@@ -1,0 +1,199 @@
+//! Binomial and Poisson slot-class probabilities.
+//!
+//! With `N` participating tags each transmitting independently with report
+//! probability `p`, the number of transmitters `X` in a slot is
+//! `Binomial(N, p)`; for large `N` and `ω = N·p` fixed it converges to
+//! `Poisson(ω)`. The paper's Eq. (2) is the binomial form of the *useful
+//! slot* probability `P{X ∈ [1..λ]}` and Eq. (4) its Poisson approximation.
+
+/// `ln(k!)` via the log-gamma-free running sum (exact for the small `k`
+/// used here, stable for large `k`).
+#[must_use]
+pub fn ln_factorial(k: u32) -> f64 {
+    (1..=u64::from(k)).map(|i| (i as f64).ln()).sum()
+}
+
+/// `k!` as a float.
+///
+/// Exact for `k ≤ 170` (beyond which `f64` overflows to infinity).
+#[must_use]
+pub fn factorial(k: u32) -> f64 {
+    (1..=u64::from(k)).map(|i| i as f64).product()
+}
+
+/// Binomial pmf `P{X = k}` for `X ~ Binomial(n, p)`.
+///
+/// Computed in log space to stay finite for the population sizes the paper
+/// simulates (N up to 20 000+).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln_choose = ln_choose(n, k);
+    // ln(1−p) via ln_1p for accuracy at small p.
+    let ln_p = ln_choose + k as f64 * p.ln() + (n - k) as f64 * (-p).ln_1p();
+    ln_p.exp()
+}
+
+/// `ln C(n, k)` via the symmetric product form.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    (0..k)
+        .map(|i| ((n - i) as f64).ln() - ((i + 1) as f64).ln())
+        .sum()
+}
+
+/// Poisson pmf `P{X = k}` for `X ~ Poisson(omega)`.
+///
+/// # Panics
+///
+/// Panics if `omega < 0`.
+#[must_use]
+pub fn poisson_pmf(omega: f64, k: u32) -> f64 {
+    assert!(omega >= 0.0, "omega must be >= 0, got {omega}");
+    if omega == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    (f64::from(k) * omega.ln() - omega - ln_factorial(k)).exp()
+}
+
+/// The *useful slot* probability under a binomial population — the paper's
+/// Eq. (2): `Σ_{k=1..λ} C(N,k) p^k (1−p)^{N−k}`.
+///
+/// A slot is useful when it is a singleton (ID learned now) or a
+/// `k ≤ λ`-collision (ID learned later via ANC resolution).
+///
+/// # Panics
+///
+/// Panics if `lambda == 0` or `p` is outside `[0, 1]`.
+#[must_use]
+pub fn binomial_useful_slot_probability(n: u64, p: f64, lambda: u32) -> f64 {
+    assert!(lambda >= 1, "lambda must be >= 1");
+    (1..=u64::from(lambda).min(n))
+        .map(|k| binomial_pmf(n, k, p))
+        .sum()
+}
+
+/// The Poisson-limit useful-slot probability — the paper's Eq. (4) for
+/// λ = 2 and its generalization: `Σ_{k=1..λ} ω^k/k! · e^{−ω}`.
+///
+/// # Panics
+///
+/// Panics if `lambda == 0` or `omega < 0`.
+#[must_use]
+pub fn poisson_useful_slot_probability(omega: f64, lambda: u32) -> f64 {
+    assert!(lambda >= 1, "lambda must be >= 1");
+    (1..=lambda).map(|k| poisson_pmf(omega, k)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(5), 120.0);
+        assert!((ln_factorial(10) - factorial(10).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_pmf_small_cases() {
+        // Binomial(4, 0.5): P{X=2} = 6/16.
+        assert!((binomial_pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+        assert_eq!(binomial_pmf(4, 5, 0.5), 0.0);
+        assert_eq!(binomial_pmf(4, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(4, 4, 1.0), 1.0);
+        assert_eq!(binomial_pmf(4, 3, 1.0), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 50;
+        let p = 0.137;
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let total: f64 = (0..60).map(|k| poisson_pmf(2.213, k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        assert_eq!(poisson_pmf(0.0, 0), 1.0);
+        assert_eq!(poisson_pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn paper_eq4_value_at_optimum() {
+        // At ω = √2, (ω + ω²/2)e^{−ω} = (√2 + 1)e^{−√2} ≈ 0.5869.
+        let p = poisson_useful_slot_probability(2f64.sqrt(), 2);
+        assert!((p - (2f64.sqrt() + 1.0) * (-2f64.sqrt()).exp()).abs() < 1e-12);
+        assert!((p - 0.58689).abs() < 1e-4, "{p}");
+    }
+
+    #[test]
+    fn binomial_converges_to_poisson() {
+        let omega = 1.817;
+        let coarse = binomial_useful_slot_probability(100, omega / 100.0, 3);
+        let fine = binomial_useful_slot_probability(100_000, omega / 100_000.0, 3);
+        let limit = poisson_useful_slot_probability(omega, 3);
+        assert!((fine - limit).abs() < 1e-4, "fine {fine} limit {limit}");
+        assert!((coarse - limit).abs() < 0.01);
+        assert!((fine - limit).abs() < (coarse - limit).abs());
+    }
+
+    #[test]
+    fn useful_probability_increases_with_lambda() {
+        let omega = 1.5;
+        let p2 = poisson_useful_slot_probability(omega, 2);
+        let p3 = poisson_useful_slot_probability(omega, 3);
+        let p4 = poisson_useful_slot_probability(omega, 4);
+        assert!(p2 < p3 && p3 < p4);
+    }
+
+    #[test]
+    fn lambda_larger_than_n_is_fine() {
+        // With n=1 only k=1 contributes regardless of lambda.
+        let p = binomial_useful_slot_probability(1, 0.4, 4);
+        assert!((p - 0.4).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_binomial_pmf_in_unit_interval(
+            n in 1u64..500,
+            k in 0u64..500,
+            p in 0.0f64..=1.0,
+        ) {
+            let v = binomial_pmf(n, k, p);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+
+        #[test]
+        fn prop_useful_prob_below_one(omega in 0.0f64..10.0, lambda in 1u32..6) {
+            let v = poisson_useful_slot_probability(omega, lambda);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

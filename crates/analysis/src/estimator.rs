@@ -1,0 +1,315 @@
+//! The embedded remaining-tag estimator of §V-C and its bias/variance
+//! analysis (paper appendix; Fig. 3).
+//!
+//! After each FCAT frame the reader counts the collision slots `n_c` and
+//! inverts Eq. (10) to estimate the number of still-participating tags:
+//!
+//! ```text
+//! N̂ = [ln(1 − n_c/f) − ln(1 − p + ω)] / ln(1 − p) + 1      (Eq. 12)
+//! ```
+//!
+//! where `ω = N·p` is approximated by the protocol's target ω (the reader
+//! sets `p = ω/N̂_prev`, so `N·p ≈ ω` once the estimate has locked on).
+
+/// Inverts the collision count of one frame into a remaining-tag estimate
+/// (Eq. 12).
+///
+/// Degenerate frames are clamped rather than failed, matching how a running
+/// protocol must behave:
+///
+/// * `n_c == f` (every slot collided — estimate unboundedly large): returns
+///   the estimate for `n_c = f − ½` so callers get a large finite value.
+/// * `n_c == 0` with tiny `p`: the formula can dip below 1; clamped to 0.
+///
+/// # Panics
+///
+/// Panics if `frame_size == 0`, `collisions > frame_size`, `p` is not in
+/// `(0, 1)`, or `omega <= 0`.
+#[must_use]
+pub fn estimate_remaining_from_collisions(
+    collisions: u32,
+    frame_size: u32,
+    p: f64,
+    omega: f64,
+) -> f64 {
+    assert!(frame_size > 0, "frame_size must be positive");
+    assert!(
+        collisions <= frame_size,
+        "collisions ({collisions}) exceed frame size ({frame_size})"
+    );
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    assert!(omega > 0.0, "omega must be positive, got {omega}");
+
+    let f = f64::from(frame_size);
+    let nc = if collisions == frame_size {
+        f - 0.5
+    } else {
+        f64::from(collisions)
+    };
+    let estimate = ((1.0 - nc / f).ln() - (1.0 - p + omega).ln()) / (1.0 - p).ln() + 1.0;
+    estimate.max(0.0)
+}
+
+/// The alternative estimator from the count of *empty* slots, inverting
+/// Eq. (7): `N̂ = ln(n₀/f) / ln(1−p)`.
+///
+/// The paper mentions it and reports its variance is larger in simulation;
+/// the `ablation-estimator` experiment quantifies that.
+///
+/// # Panics
+///
+/// Panics if `frame_size == 0`, `empties > frame_size` or `p ∉ (0,1)`.
+#[must_use]
+pub fn estimate_remaining_from_empties(empties: u32, frame_size: u32, p: f64) -> f64 {
+    assert!(frame_size > 0, "frame_size must be positive");
+    assert!(
+        empties <= frame_size,
+        "empties ({empties}) exceed frame size ({frame_size})"
+    );
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    let f = f64::from(frame_size);
+    // n₀ = 0 would put the estimate at infinity; clamp as for collisions.
+    let n0 = if empties == 0 { 0.5 } else { f64::from(empties) };
+    ((n0 / f).ln() / (1.0 - p).ln()).max(0.0)
+}
+
+/// Variance of the per-frame collision count (appendix Eq. 19):
+/// `V(n_c) = f·(1+Np)e^{−Np}·(1 − (1+Np)e^{−Np})`.
+///
+/// # Panics
+///
+/// Panics if `frame_size == 0` or `np < 0`.
+#[must_use]
+pub fn collision_count_variance(np: f64, frame_size: u32) -> f64 {
+    assert!(frame_size > 0, "frame_size must be positive");
+    assert!(np >= 0.0, "N·p must be >= 0");
+    let q = (1.0 + np) * (-np).exp();
+    f64::from(frame_size) * q * (1.0 - q)
+}
+
+/// Bias of the normalized estimate `N̂/N` (appendix Eq. 16):
+///
+/// ```text
+/// Bias(N̂/N) = (1 + ω − e^ω) / (2·f·N·ln(1−p)·(1+ω))
+/// ```
+///
+/// with `p = ω/N`. The paper's Fig. 3 plots `|Bias|` against `N` for
+/// ω ∈ {1.414, 1.817, 2.213} and observes values ≈ 0.0082 / 0.011 / 0.014.
+///
+/// # Panics
+///
+/// Panics if `n_tags == 0`, `frame_size == 0`, `omega <= 0`, or
+/// `omega >= n_tags` (p would leave `(0,1)`).
+#[must_use]
+pub fn normalized_bias(n_tags: u64, omega: f64, frame_size: u32) -> f64 {
+    assert!(n_tags > 0, "n_tags must be positive");
+    assert!(frame_size > 0, "frame_size must be positive");
+    assert!(omega > 0.0, "omega must be positive");
+    let n = n_tags as f64;
+    let p = omega / n;
+    assert!(p < 1.0, "omega must be < n_tags");
+    (1.0 + omega - omega.exp()) / (2.0 * f64::from(frame_size) * n * (1.0 - p).ln() * (1.0 + omega))
+}
+
+/// Variance of the normalized estimate of the **empties-based** estimator
+/// (the alternative the paper mentions and rejects in §V-C).
+///
+/// Derived the same way as the appendix does for the collision count:
+/// `V(n₀) = f·q₀(1−q₀)` with `q₀ = (1−p)^N ≈ e^{−ω}`, the estimator is the
+/// inverse of `g₀(N) = f·(1−p)^N` whose derivative is `g₀'(N) =
+/// f·(1−p)^N·ln(1−p) ≈ −f·q₀·p`, so by the δ-method
+///
+/// ```text
+/// V(N̂₀/N) = q₀(1−q₀) / (f·q₀²·ω²) = (1−q₀)·e^ω / (f·ω²)
+/// ```
+///
+/// At `f = 30`: 0.0518 / 0.0541 / 0.0617 for ω = 1.414 / 1.817 / 2.213 —
+/// uniformly *larger* than the collision-based 0.0342 / 0.0287 / 0.0265,
+/// which is exactly the paper's empirical finding ("we find in our
+/// simulations that the variance of such an estimator is larger").
+///
+/// # Panics
+///
+/// Panics if `frame_size == 0` or `omega <= 0`.
+#[must_use]
+pub fn normalized_variance_from_empties(omega: f64, frame_size: u32) -> f64 {
+    assert!(frame_size > 0, "frame_size must be positive");
+    assert!(omega > 0.0, "omega must be positive");
+    let q0 = (-omega).exp();
+    (1.0 - q0) / (f64::from(frame_size) * q0 * omega * omega)
+}
+
+/// Variance of the normalized estimate `N̂/N` (appendix Eq. 25):
+///
+/// ```text
+/// V(N̂/N) = [(1+Np)e^{Np} − (1 + 2Np + N²p²)] / (f·N⁴·p⁴)
+/// ```
+///
+/// With `Np = ω` this reduces to `[(1+ω)e^ω − (1+2ω+ω²)]/(f·ω⁴)` — the
+/// appendix evaluates it to ≈ 0.0342 / 0.0287 / 0.0265 for
+/// ω = 1.414 / 1.817 / 2.213 at `f = 30`.
+///
+/// # Panics
+///
+/// Panics if `frame_size == 0` or `omega <= 0`.
+#[must_use]
+pub fn normalized_variance(omega: f64, frame_size: u32) -> f64 {
+    assert!(frame_size > 0, "frame_size must be positive");
+    assert!(omega > 0.0, "omega must be positive");
+    ((1.0 + omega) * omega.exp() - (1.0 + 2.0 * omega + omega * omega))
+        / (f64::from(frame_size) * omega.powi(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::slot_moments;
+    use proptest::prelude::*;
+
+    #[test]
+    fn inversion_recovers_n_at_expectation() {
+        // Feed the estimator the *expected* collision count; it should
+        // recover N (up to the ω ≈ N·p approximation and integer rounding
+        // of n_c, which we avoid by passing the real-valued expectation
+        // through a fractional frame count).
+        for &n in &[1_000u64, 5_000, 20_000] {
+            let omega = 1.414;
+            let p = omega / n as f64;
+            let f = 30u32;
+            let m = slot_moments(n, p, f);
+            // Use the exact expected value (not an integer draw).
+            let est = ((1.0 - m.collision / f64::from(f)).ln() - (1.0 - p + omega).ln())
+                / (1.0 - p).ln()
+                + 1.0;
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.01, "n {n}: est {est} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn integer_inversion_reasonable() {
+        let n = 10_000u64;
+        let omega = 1.414;
+        let p = omega / n as f64;
+        let f = 30u32;
+        let expected_nc = slot_moments(n, p, f).collision.round() as u32;
+        let est = estimate_remaining_from_collisions(expected_nc, f, p, omega);
+        assert!((est - n as f64).abs() / (n as f64) < 0.1, "est {est}");
+    }
+
+    #[test]
+    fn saturated_frame_clamps_to_large_finite() {
+        let est = estimate_remaining_from_collisions(30, 30, 1e-4, 1.414);
+        assert!(est.is_finite());
+        assert!(est > 30_000.0, "saturated estimate {est} should be large");
+    }
+
+    #[test]
+    fn zero_collisions_small_estimate() {
+        let est = estimate_remaining_from_collisions(0, 30, 0.1, 1.414);
+        assert!(est >= 0.0 && est < 30.0, "est {est}");
+    }
+
+    #[test]
+    fn empties_estimator_inverts_expectation() {
+        let n = 5_000u64;
+        let p = 1.414 / n as f64;
+        let f = 30u32;
+        let expected_n0 = slot_moments(n, p, f).empty.round() as u32;
+        let est = estimate_remaining_from_empties(expected_n0, f, p);
+        assert!((est - n as f64).abs() / (n as f64) < 0.15, "est {est}");
+        // All-empty frame → ~0 tags.
+        assert!(estimate_remaining_from_empties(30, 30, 0.1) < 1e-9);
+        // No-empty frame → large but finite.
+        assert!(estimate_remaining_from_empties(0, 30, 1e-4).is_finite());
+    }
+
+    #[test]
+    fn fig3_bias_values_match_paper() {
+        // Fig. 3 reports |Bias| ≈ 0.0082, 0.011, 0.014 at f = 30 (flat in N).
+        let cases = [(1.414, 0.0082), (1.817, 0.011), (2.213, 0.014)];
+        for (omega, expected) in cases {
+            for &n in &[5_000u64, 10_000, 40_000] {
+                let b = normalized_bias(n, omega, 30).abs();
+                assert!(
+                    (b - expected).abs() < 0.001,
+                    "omega {omega} n {n}: bias {b} expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn appendix_variance_values_match_paper() {
+        // Appendix: V(N̂/N) ≈ 0.0342, 0.0287, 0.0265 at f = 30.
+        let cases = [(1.414, 0.0342), (1.817, 0.0287), (2.213, 0.0265)];
+        for (omega, expected) in cases {
+            let v = normalized_variance(omega, 30);
+            assert!(
+                (v - expected).abs() < 0.0005,
+                "omega {omega}: var {v} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empties_estimator_variance_is_larger() {
+        // The analytical justification for the paper's §V-C choice of n_c
+        // over n₀ as the estimator input.
+        for omega in [1.414, 1.817, 2.213] {
+            let from_empties = normalized_variance_from_empties(omega, 30);
+            let from_collisions = normalized_variance(omega, 30);
+            assert!(
+                from_empties > from_collisions,
+                "omega {omega}: empties {from_empties} <= collisions {from_collisions}"
+            );
+        }
+        // Spot value: (1 − e^{−ω})·e^ω/(f·ω²) at ω = √2, f = 30.
+        let v = normalized_variance_from_empties(1.414, 30);
+        assert!((v - 0.0518).abs() < 0.002, "{v}");
+    }
+
+    #[test]
+    fn variance_shrinks_with_frame_size() {
+        assert!(normalized_variance(1.414, 60) < normalized_variance(1.414, 30));
+        assert!(collision_count_variance(1.414, 60) > collision_count_variance(1.414, 30));
+    }
+
+    #[test]
+    fn collision_count_variance_zero_rate() {
+        // np = 0 → every slot empty, no variance.
+        assert_eq!(collision_count_variance(0.0, 30), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "collisions")]
+    fn too_many_collisions_panics() {
+        let _ = estimate_remaining_from_collisions(31, 30, 0.1, 1.414);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_estimate_nonnegative_finite(
+            nc in 0u32..=30,
+            p in 1e-6f64..0.5,
+            omega in 0.1f64..4.0,
+        ) {
+            let est = estimate_remaining_from_collisions(nc, 30, p, omega);
+            prop_assert!(est.is_finite() && est >= 0.0);
+        }
+
+        #[test]
+        fn prop_estimate_monotone_in_collisions(
+            p in 1e-5f64..0.01,
+            omega in 0.5f64..3.0,
+        ) {
+            // More collision slots must never lower the estimate.
+            let mut prev = -1.0;
+            for nc in 0..=30u32 {
+                let est = estimate_remaining_from_collisions(nc, 30, p, omega);
+                prop_assert!(est >= prev - 1e-9, "nc {nc}: {est} < {prev}");
+                prev = est;
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Closed-form analysis from the paper, verified numerically.
+//!
+//! * [`distribution`] — binomial and Poisson slot-class probabilities; the
+//!   probability `P{X ∈ [1..λ]}` a slot is *useful* under collision-aware
+//!   reading (Eq. 2 and its Poisson approximation, Eq. 4).
+//! * [`omega`] — the optimal normalized report probability
+//!   `ω* = (λ!)^{1/λ}` (§IV-C: 1.414 / 1.817 / 2.213 for λ = 2 / 3 / 4),
+//!   plus numeric optimizers used to *verify* the closed form, both in the
+//!   Poisson limit and for finite binomial populations.
+//! * [`moments`] — expected empty/singleton/collision slot counts per frame
+//!   (Eqs. 7, 9, 10; Fig. 4).
+//! * [`estimator`] — the embedded remaining-tag estimator of §V-C: the
+//!   inversion formula (Eq. 12), its bias (Eq. 16; Fig. 3), the variance of
+//!   the collision count (Eq. 19) and of the normalized estimate (Eq. 25),
+//!   and the alternative `n₀`-based estimator the paper mentions and
+//!   rejects.
+//! * [`bounds`] — the `1/(eT)` ALOHA and `1/(2.88T)` tree throughput
+//!   ceilings the paper's §I/§VII cite, for annotating experiment output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod distribution;
+pub mod estimator;
+pub mod moments;
+pub mod omega;
+pub mod throughput;
+
+pub use estimator::{estimate_remaining_from_collisions, normalized_bias, normalized_variance};
+pub use throughput::{fcat_model, FcatModel};
+pub use omega::{optimal_omega, OMEGA_LAMBDA_2, OMEGA_LAMBDA_3, OMEGA_LAMBDA_4};

@@ -1,0 +1,162 @@
+//! Expected per-frame slot-class counts (Eqs. 7, 9, 10; Fig. 4).
+//!
+//! In a frame of `f` slots where each of `N` tags transmits independently
+//! with probability `p` in *every* slot (the FCAT rule — unlike classic
+//! framed ALOHA, where a tag picks one slot per frame):
+//!
+//! ```text
+//! E(n₀) = f·(1−p)^N                      (Eq. 7)
+//! E(n₁) = f·N·p·(1−p)^{N−1}              (Eq. 9)
+//! E(n_c) = f − E(n₀) − E(n₁)             (Eq. 10)
+//! ```
+//!
+//! Fig. 4 plots these against `N` with `p = 1.414/N`, `f = 30` and observes
+//! that `E(n₁)` is **not monotonic** in `N` — which is why the paper's
+//! estimator inverts `n_c` rather than `n₁`.
+
+/// Expected counts of each slot class in one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SlotMoments {
+    /// Expected empty slots, `E(n₀)`.
+    pub empty: f64,
+    /// Expected singleton slots, `E(n₁)`.
+    pub singleton: f64,
+    /// Expected collision slots, `E(n_c)`.
+    pub collision: f64,
+}
+
+/// Computes Eqs. (7), (9), (10) exactly (binomial form).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `frame_size == 0`.
+#[must_use]
+pub fn slot_moments(n_tags: u64, p: f64, frame_size: u32) -> SlotMoments {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    assert!(frame_size > 0, "frame_size must be positive");
+    let f = f64::from(frame_size);
+    let n = n_tags as f64;
+    let empty = f * (1.0 - p).powf(n);
+    let singleton = if n_tags == 0 {
+        0.0
+    } else {
+        f * n * p * (1.0 - p).powf(n - 1.0)
+    };
+    let collision = (f - empty - singleton).max(0.0);
+    SlotMoments {
+        empty,
+        singleton,
+        collision,
+    }
+}
+
+/// The Poisson-limit version with `ω = N·p` (used in the paper's algebra):
+/// `E(n₀) = f·e^{−ω}`, `E(n₁) = f·ω·e^{−ω}`.
+///
+/// # Panics
+///
+/// Panics if `omega < 0` or `frame_size == 0`.
+#[must_use]
+pub fn slot_moments_poisson(omega: f64, frame_size: u32) -> SlotMoments {
+    assert!(omega >= 0.0, "omega must be >= 0");
+    assert!(frame_size > 0, "frame_size must be positive");
+    let f = f64::from(frame_size);
+    let empty = f * (-omega).exp();
+    let singleton = f * omega * (-omega).exp();
+    SlotMoments {
+        empty,
+        singleton,
+        collision: (f - empty - singleton).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn moments_sum_to_frame_size() {
+        let m = slot_moments(1000, 1.414 / 1000.0, 30);
+        assert!((m.empty + m.singleton + m.collision - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_tags_all_empty() {
+        let m = slot_moments(0, 0.5, 10);
+        assert_eq!(m.empty, 10.0);
+        assert_eq!(m.singleton, 0.0);
+        assert_eq!(m.collision, 0.0);
+    }
+
+    #[test]
+    fn p_one_single_tag_all_singletons() {
+        let m = slot_moments(1, 1.0, 8);
+        assert_eq!(m.singleton, 8.0);
+        assert_eq!(m.empty, 0.0);
+    }
+
+    #[test]
+    fn fig4_shape_e_n1_non_monotonic() {
+        // Fig. 4: with p = 1.414/N fixed *relative to the true N*, vary the
+        // actual number of participating tags N around the design point.
+        // E(n₁) rises then falls — the non-monotonicity the paper uses to
+        // rule out n₁ as an estimator input.
+        let design_n = 10_000u64;
+        let p = 1.414 / design_n as f64;
+        let at = |n: u64| slot_moments(n, p, 30).singleton;
+        let low = at(2_000);
+        let mid = at(7_000); // near the 1/p ≈ 7 072 peak
+        let high = at(40_000);
+        assert!(mid > low, "mid {mid} low {low}");
+        assert!(mid > high, "mid {mid} high {high}");
+    }
+
+    #[test]
+    fn fig4_e_n0_monotone_decreasing_e_nc_increasing() {
+        let design_n = 10_000u64;
+        let p = 1.414 / design_n as f64;
+        let mut prev = slot_moments(100, p, 30);
+        for n in [1_000u64, 5_000, 10_000, 20_000, 40_000] {
+            let m = slot_moments(n, p, 30);
+            assert!(m.empty < prev.empty);
+            assert!(m.collision > prev.collision);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn poisson_limit_agrees_with_binomial() {
+        let n = 100_000u64;
+        let omega = 2.213;
+        let b = slot_moments(n, omega / n as f64, 30);
+        let p = slot_moments_poisson(omega, 30);
+        assert!((b.empty - p.empty).abs() < 1e-3);
+        assert!((b.singleton - p.singleton).abs() < 1e-3);
+        assert!((b.collision - p.collision).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_design_point_collision_fraction() {
+        // At ω = 1.414: e^{−ω} = 0.2432, ω·e^{−ω} = 0.3439 → collisions
+        // ≈ 41.3% of slots. Sanity anchor for Table II's FCAT-2 row.
+        let m = slot_moments_poisson(1.414, 1000);
+        assert!((m.collision / 1000.0 - 0.4129).abs() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_moments_nonnegative_and_bounded(
+            n in 0u64..100_000,
+            p in 0.0f64..=1.0,
+            f in 1u32..1000,
+        ) {
+            let m = slot_moments(n, p, f);
+            for v in [m.empty, m.singleton, m.collision] {
+                prop_assert!(v >= 0.0 && v <= f64::from(f) + 1e-9);
+            }
+            prop_assert!((m.empty + m.singleton + m.collision - f64::from(f)).abs() < 1e-6);
+        }
+    }
+}

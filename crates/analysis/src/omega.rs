@@ -1,0 +1,172 @@
+//! The optimal normalized report probability `ω* = N·p*` (§IV-C).
+//!
+//! The reader should choose `p_i` to maximize the probability that a slot
+//! is *useful* — one to λ tags transmit. In the Poisson limit the objective
+//! is `g(ω) = Σ_{k=1..λ} ω^k/k! · e^{−ω}`, and
+//!
+//! ```text
+//! g'(ω) = e^{−ω}·(1 − ω^λ/λ!) = 0   ⟹   ω* = (λ!)^{1/λ}.
+//! ```
+//!
+//! For λ = 2, 3, 4 this gives the paper's 1.414, 1.817, 2.213. The numeric
+//! optimizers in this module exist to *verify* the closed form (they are
+//! also used by the Table IV experiment, which reports the simulated
+//! optimum next to the computed one).
+
+use crate::distribution::{
+    binomial_useful_slot_probability, factorial, poisson_useful_slot_probability,
+};
+
+/// `ω*` for λ = 2: `√2 ≈ 1.414` (paper §IV-C).
+pub const OMEGA_LAMBDA_2: f64 = std::f64::consts::SQRT_2;
+
+/// `ω*` for λ = 3: `6^{1/3} ≈ 1.817` (paper §IV-C).
+pub const OMEGA_LAMBDA_3: f64 = 1.817_120_592_832_139_6;
+
+/// `ω*` for λ = 4: `24^{1/4} ≈ 2.213` (paper §IV-C).
+pub const OMEGA_LAMBDA_4: f64 = 2.213_363_839_400_643;
+
+/// The closed-form optimal `ω* = (λ!)^{1/λ}`.
+///
+/// λ = 1 recovers classic slotted ALOHA (`ω* = 1`, throughput `1/e`).
+///
+/// # Panics
+///
+/// Panics if `lambda == 0` or `lambda > 170` (factorial overflow).
+#[must_use]
+pub fn optimal_omega(lambda: u32) -> f64 {
+    assert!(lambda >= 1, "lambda must be >= 1");
+    assert!(lambda <= 170, "lambda too large for f64 factorial");
+    factorial(lambda).powf(1.0 / f64::from(lambda))
+}
+
+/// Golden-section maximization of the Poisson useful-slot probability over
+/// `ω ∈ (0, hi]`; used to verify [`optimal_omega`].
+///
+/// # Panics
+///
+/// Panics if `lambda == 0` or `hi <= 0`.
+#[must_use]
+pub fn numeric_optimal_omega(lambda: u32, hi: f64) -> f64 {
+    assert!(hi > 0.0, "hi must be positive");
+    golden_section_max(|w| poisson_useful_slot_probability(w, lambda), 1e-9, hi)
+}
+
+/// Numerically optimal report probability for a *finite* population of `n`
+/// tags: maximizes the binomial Eq. (2) over `p ∈ (0, 1]`.
+///
+/// As `n → ∞`, `n·p*` converges to `(λ!)^{1/λ}` (property-tested).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `lambda == 0`.
+#[must_use]
+pub fn numeric_optimal_probability(n: u64, lambda: u32) -> f64 {
+    assert!(n >= 1, "n must be >= 1");
+    golden_section_max(
+        |p| binomial_useful_slot_probability(n, p, lambda),
+        1e-12,
+        1.0,
+    )
+}
+
+/// Golden-section search for the maximum of a unimodal `f` on `[lo, hi]`.
+fn golden_section_max<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..200 {
+        if (b - a).abs() < 1e-12 {
+            break;
+        }
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    (a + b) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn closed_form_matches_paper_constants() {
+        assert!((optimal_omega(2) - 1.414).abs() < 5e-4);
+        assert!((optimal_omega(3) - 1.817).abs() < 5e-4);
+        assert!((optimal_omega(4) - 2.213).abs() < 5e-4);
+        assert!((optimal_omega(2) - OMEGA_LAMBDA_2).abs() < 1e-12);
+        assert!((optimal_omega(3) - OMEGA_LAMBDA_3).abs() < 1e-12);
+        assert!((optimal_omega(4) - OMEGA_LAMBDA_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_one_is_slotted_aloha() {
+        assert!((optimal_omega(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_agrees_with_closed_form() {
+        for lambda in 1..=6 {
+            let closed = optimal_omega(lambda);
+            let numeric = numeric_optimal_omega(lambda, 10.0);
+            assert!(
+                (closed - numeric).abs() < 1e-6,
+                "lambda {lambda}: closed {closed} numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_population_optimum_approaches_limit() {
+        let lambda = 2;
+        let p_star = numeric_optimal_probability(10_000, lambda);
+        assert!(
+            (10_000.0 * p_star - OMEGA_LAMBDA_2).abs() < 0.01,
+            "N·p* = {}",
+            10_000.0 * p_star
+        );
+    }
+
+    #[test]
+    fn small_population_optimum_transmits_aggressively() {
+        // With n <= lambda every tag should transmit: any arity 1..=n is
+        // useful, so p* = 1.
+        assert!((numeric_optimal_probability(2, 2) - 1.0).abs() < 1e-6);
+        assert!((numeric_optimal_probability(1, 4) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be >= 1")]
+    fn zero_lambda_panics() {
+        let _ = optimal_omega(0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_np_converges_to_omega(lambda in 2u32..5, n in 2_000u64..50_000) {
+            let p_star = numeric_optimal_probability(n, lambda);
+            let target = optimal_omega(lambda);
+            prop_assert!((n as f64 * p_star - target).abs() < 0.05);
+        }
+
+        #[test]
+        fn prop_omega_monotone_in_lambda(lambda in 1u32..20) {
+            prop_assert!(optimal_omega(lambda + 1) > optimal_omega(lambda));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Closed-form FCAT performance model.
+//!
+//! At the optimal operating point every slot is *useful* (yields one ID,
+//! now or later) with probability `g(ω, λ) = Σ_{k=1..λ} ω^k/k!·e^{−ω}`, so
+//! identifying `N` tags costs `≈ N/g` slots, plus one pre-frame
+//! advertisement per `f` slots and one index acknowledgement per ID that
+//! came out of a collision record. The fraction of IDs resolved from
+//! collision records is
+//!
+//! ```text
+//! r(ω, λ) = Σ_{k=2..λ} π_k / Σ_{k=1..λ} π_k,     π_k = ω^k/k!·e^{−ω}
+//! ```
+//!
+//! which at `(λ=2, ω=√2)` gives `r ≈ 0.414` — exactly the ≈ 41 % of IDs
+//! the paper's Table III reports coming from collision slots. The
+//! integration suite checks this model against simulation to a few
+//! percent.
+
+use crate::distribution::{poisson_pmf, poisson_useful_slot_probability};
+use rfid_types::TimingConfig;
+
+/// Model outputs for one FCAT configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FcatModel {
+    /// Probability a slot is useful, `g(ω, λ)`.
+    pub useful_probability: f64,
+    /// Expected slots per identified tag, `1/g`.
+    pub slots_per_tag: f64,
+    /// Fraction of IDs recovered from collision records, `r(ω, λ)`.
+    pub resolved_fraction: f64,
+    /// Predicted reading throughput in tags per second, including frame
+    /// advertisements and index-acknowledgement overhead.
+    pub throughput_tags_per_sec: f64,
+}
+
+/// Evaluates the model.
+///
+/// # Panics
+///
+/// Panics if `lambda < 1`, `omega <= 0`, or `frame_size == 0`.
+#[must_use]
+pub fn fcat_model(timing: &TimingConfig, lambda: u32, omega: f64, frame_size: u32) -> FcatModel {
+    assert!(lambda >= 1, "lambda must be >= 1");
+    assert!(omega > 0.0 && omega.is_finite(), "omega must be positive");
+    assert!(frame_size > 0, "frame_size must be positive");
+
+    let useful = poisson_useful_slot_probability(omega, lambda);
+    let singleton = poisson_pmf(omega, 1);
+    let resolved_fraction = if useful > 0.0 {
+        (useful - singleton) / useful
+    } else {
+        0.0
+    };
+    let slots_per_tag = 1.0 / useful;
+
+    // Per-tag air time: its share of slots, of pre-frame advertisements,
+    // and (if it was resolved from a record) one index announcement.
+    let per_tag_us = slots_per_tag
+        * (timing.basic_slot_us() + timing.frame_advertisement_us() / f64::from(frame_size))
+        + resolved_fraction * timing.index_ack_us();
+    FcatModel {
+        useful_probability: useful,
+        slots_per_tag,
+        resolved_fraction,
+        throughput_tags_per_sec: 1e6 / per_tag_us,
+    }
+}
+
+/// Finite-population refinement of [`fcat_model`]: uses the exact binomial
+/// useful-slot probability at the operating point `p = ω/n` instead of the
+/// Poisson limit. Converges to [`fcat_model`] as `n → ∞`.
+///
+/// # Panics
+///
+/// Panics on the same inputs as [`fcat_model`], or when `n == 0` or
+/// `omega >= n` (the report probability would leave `(0, 1)`).
+#[must_use]
+pub fn fcat_model_exact(
+    timing: &TimingConfig,
+    n: u64,
+    lambda: u32,
+    omega: f64,
+    frame_size: u32,
+) -> FcatModel {
+    assert!(n >= 1, "n must be >= 1");
+    assert!(lambda >= 1, "lambda must be >= 1");
+    assert!(omega > 0.0 && omega < n as f64, "need 0 < omega < n");
+    assert!(frame_size > 0, "frame_size must be positive");
+
+    let p = omega / n as f64;
+    let useful = crate::distribution::binomial_useful_slot_probability(n, p, lambda);
+    let singleton = crate::distribution::binomial_pmf(n, 1, p);
+    let resolved_fraction = if useful > 0.0 {
+        (useful - singleton) / useful
+    } else {
+        0.0
+    };
+    let slots_per_tag = 1.0 / useful;
+    let per_tag_us = slots_per_tag
+        * (timing.basic_slot_us() + timing.frame_advertisement_us() / f64::from(frame_size))
+        + resolved_fraction * timing.index_ack_us();
+    FcatModel {
+        useful_probability: useful,
+        slots_per_tag,
+        resolved_fraction,
+        throughput_tags_per_sec: 1e6 / per_tag_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omega::optimal_omega;
+
+    fn icode() -> TimingConfig {
+        TimingConfig::philips_icode()
+    }
+
+    #[test]
+    fn lambda2_matches_paper_scale() {
+        let m = fcat_model(&icode(), 2, optimal_omega(2), 30);
+        // g(√2, 2) ≈ 0.5869 → ≈ 1.704 slots/tag; paper's Table II has
+        // 17 066 slots for 10 000 tags = 1.707. Throughput ≈ paper's 201.
+        assert!((m.slots_per_tag - 1.704).abs() < 0.01, "{}", m.slots_per_tag);
+        assert!(
+            (m.throughput_tags_per_sec - 201.0).abs() < 6.0,
+            "{}",
+            m.throughput_tags_per_sec
+        );
+    }
+
+    #[test]
+    fn resolved_fraction_matches_table3() {
+        // Paper Table III fractions: ≈ 41 % (λ=2), ≈ 59 % (λ=3), ≈ 70 % (λ=4).
+        for (lambda, expected) in [(2u32, 0.414), (3, 0.590), (4, 0.698)] {
+            let m = fcat_model(&icode(), lambda, optimal_omega(lambda), 30);
+            assert!(
+                (m.resolved_fraction - expected).abs() < 0.02,
+                "lambda {lambda}: {}",
+                m.resolved_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_ordering_in_lambda() {
+        let t: Vec<f64> = (2..=5)
+            .map(|l| fcat_model(&icode(), l, optimal_omega(l), 30).throughput_tags_per_sec)
+            .collect();
+        assert!(t[0] < t[1] && t[1] < t[2] && t[2] < t[3]);
+        // Diminishing returns (§VI-A).
+        assert!(t[1] - t[0] > t[2] - t[1]);
+        assert!(t[2] - t[1] > t[3] - t[2]);
+    }
+
+    #[test]
+    fn small_frames_pay_more_advertisement() {
+        let big = fcat_model(&icode(), 2, optimal_omega(2), 100);
+        let small = fcat_model(&icode(), 2, optimal_omega(2), 2);
+        assert!(small.throughput_tags_per_sec < big.throughput_tags_per_sec);
+    }
+
+    #[test]
+    fn exact_model_converges_to_poisson_limit() {
+        let omega = optimal_omega(2);
+        let limit = fcat_model(&icode(), 2, omega, 30);
+        let coarse = fcat_model_exact(&icode(), 50, 2, omega, 30);
+        let fine = fcat_model_exact(&icode(), 50_000, 2, omega, 30);
+        let err = |m: &FcatModel| {
+            (m.throughput_tags_per_sec - limit.throughput_tags_per_sec).abs()
+        };
+        assert!(err(&fine) < err(&coarse));
+        assert!(err(&fine) < 0.05, "fine err {}", err(&fine));
+        // Small populations genuinely differ (the paper's Table I shows
+        // FCAT slower at N = 1 000 than at 10 000 — same direction).
+        assert!(
+            coarse.throughput_tags_per_sec != limit.throughput_tags_per_sec,
+            "finite-N correction should be visible at n = 50"
+        );
+    }
+
+    #[test]
+    fn lambda1_has_no_resolution() {
+        let m = fcat_model(&icode(), 1, 1.0, 30);
+        assert_eq!(m.resolved_fraction, 0.0);
+        // 1/e useful probability → classic ALOHA scale.
+        assert!((m.useful_probability - (-1.0f64).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Criterion microbenchmarks for the hot components: CRC, slot hash, MSK
+//! modulation/demodulation, ANC resolution, record-store cascade, and the
+//! frame estimator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfid_anc::CollisionRecordStore;
+use rfid_signal::{anc, ChannelModel, MskConfig, MskDemodulator, MskModulator};
+use rfid_sim::seeded_rng;
+use rfid_types::{crc, hash, TagId};
+
+fn bench_crc(c: &mut Criterion) {
+    let id = TagId::from_payload(0xDEAD_BEEF_CAFE);
+    c.bench_function("crc16_value_96bit", |b| {
+        b.iter(|| crc::crc16_value(black_box(id.raw_bits()), 96));
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let id = TagId::from_payload(0x1234_5678);
+    c.bench_function("slot_hash", |b| {
+        b.iter(|| hash::slot_hash(black_box(id), black_box(12345)));
+    });
+}
+
+fn bench_msk(c: &mut Criterion) {
+    let cfg = MskConfig::default();
+    let id = TagId::from_payload(0xA5A5);
+    let bits = id.to_bits();
+    let modulator = MskModulator::new(cfg.clone());
+    let wave = modulator.modulate(&bits, 1.0, 0.3);
+    let demodulator = MskDemodulator::new(cfg);
+    c.bench_function("msk_modulate_96bit", |b| {
+        b.iter(|| modulator.modulate(black_box(&bits), 1.0, 0.3));
+    });
+    c.bench_function("msk_demodulate_96bit", |b| {
+        b.iter(|| demodulator.demodulate(black_box(&wave)));
+    });
+}
+
+fn bench_anc_resolve(c: &mut Criterion) {
+    let cfg = MskConfig::default();
+    let model = ChannelModel::default();
+    let mut rng = seeded_rng(1);
+    let t1 = TagId::from_payload(1);
+    let t2 = TagId::from_payload(2);
+    let t3 = TagId::from_payload(3);
+    let mixed2 = anc::transmit_mixed(&[t1, t2], &cfg, &model, &mut rng);
+    let mixed3 = anc::transmit_mixed(&[t1, t2, t3], &cfg, &model, &mut rng);
+    c.bench_function("anc_resolve_2collision", |b| {
+        b.iter(|| anc::resolve(black_box(&mixed2), &[t1], &cfg));
+    });
+    c.bench_function("anc_resolve_3collision", |b| {
+        b.iter(|| anc::resolve(black_box(&mixed3), &[t1, t2], &cfg));
+    });
+}
+
+fn bench_record_cascade(c: &mut Criterion) {
+    c.bench_function("record_store_chain_cascade_1000", |b| {
+        b.iter(|| {
+            // A 1000-link chain of 2-collision records resolved by one
+            // singleton — worst-case cascade depth.
+            let mut store = CollisionRecordStore::slot_level(2);
+            for i in 0..1000u128 {
+                store.add_record(
+                    i as u64,
+                    vec![TagId::from_payload(i), TagId::from_payload(i + 1)],
+                    true,
+                    None,
+                );
+            }
+            let resolved = store.learn(TagId::from_payload(0));
+            assert_eq!(resolved.len(), 1000);
+        });
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    c.bench_function("estimate_remaining_from_collisions", |b| {
+        b.iter(|| {
+            rfid_analysis::estimator::estimate_remaining_from_collisions(
+                black_box(13),
+                30,
+                1.414e-4,
+                1.414,
+            )
+        });
+    });
+}
+
+fn bench_energy_receiver(c: &mut Criterion) {
+    let cfg = MskConfig::default();
+    let model = ChannelModel::default();
+    let mut rng = seeded_rng(2);
+    let t1 = TagId::from_payload(0x1111);
+    let t2 = TagId::from_payload(0x2222);
+    let mixed = anc::transmit_mixed(&[t1, t2], &cfg, &model, &mut rng);
+    c.bench_function("energy_estimate_two_amplitudes", |b| {
+        b.iter(|| anc::estimate_two_amplitudes(black_box(&mixed)));
+    });
+    c.bench_function("energy_resolve_two", |b| {
+        b.iter(|| rfid_signal::resolve_two_energy(black_box(&mixed), t1, &cfg));
+    });
+}
+
+fn bench_binomial_sampling(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    c.bench_function("sample_binomial_n20000_p1e-4", |b| {
+        b.iter(|| rfid_sim::sampling::sample_binomial(black_box(20_000), 1.414e-4, &mut rng));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_hash,
+    bench_msk,
+    bench_anc_resolve,
+    bench_energy_receiver,
+    bench_binomial_sampling,
+    bench_record_cascade,
+    bench_estimator
+);
+criterion_main!(benches);

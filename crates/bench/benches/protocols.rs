@@ -1,0 +1,47 @@
+//! Criterion benchmarks of complete inventory runs (N = 1 000) for every
+//! protocol — wall-clock cost of the simulators themselves, one bench per
+//! Table I column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfid_anc::device::MessageLevelFcat;
+use rfid_anc::{Fcat, FcatConfig};
+use rfid_protocols::{Abs, Aqs, Crdsa, Dfsa, Edfsa, Gen2Q, QueryTree, SlottedAloha};
+use rfid_sim::{run_inventory, seeded_rng, AntiCollisionProtocol, SimConfig};
+use rfid_types::population;
+
+fn bench_inventories(c: &mut Criterion) {
+    let tags = population::uniform(&mut seeded_rng(11), 1_000);
+    let config = SimConfig::default().with_seed(5);
+    let protocols: Vec<Box<dyn AntiCollisionProtocol + Sync>> = vec![
+        Box::new(Fcat::new(FcatConfig::default())),
+        Box::new(Fcat::new(FcatConfig::default().with_lambda(4))),
+        Box::new(MessageLevelFcat::new(FcatConfig::default())),
+        Box::new(Dfsa::new()),
+        Box::new(Edfsa::new()),
+        Box::new(Crdsa::new()),
+        Box::new(Gen2Q::new()),
+        Box::new(Abs::new()),
+        Box::new(Aqs::new()),
+        Box::new(QueryTree::new()),
+        Box::new(SlottedAloha::new()),
+    ];
+    let mut group = c.benchmark_group("inventory_n1000");
+    group.sample_size(20);
+    for protocol in &protocols {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            protocol,
+            |b, protocol| {
+                b.iter(|| {
+                    let report =
+                        run_inventory(protocol.as_ref(), &tags, &config).expect("run succeeds");
+                    assert_eq!(report.identified, 1_000);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inventories);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--runs N] [--seed S] [--out DIR] [--quick] <experiment>...
+//!
+//! experiments:
+//!   table1 table2 table3 table4 fig3 fig4 fig5 fig6
+//!   ablation-estimator ablation-snr ablation-noise
+//!   extension-crdsa extension-model extension-rounds extension-signal bounds
+//!   all        (everything above)
+//! ```
+//!
+//! Each experiment prints its table and writes `<out>/<name>.csv`
+//! (default `results/`).
+
+use rfid_bench::experiments::{self, ExperimentOptions};
+use rfid_bench::output::Table;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Every experiment, in `all` execution order.
+const EXPERIMENTS: &[&str] = &[
+    "bounds",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ablation-estimator",
+    "ablation-snr",
+    "ablation-noise",
+    "extension-crdsa",
+    "extension-model",
+    "extension-rounds",
+    "extension-signal",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("usage: repro [--runs N] [--seed S] [--out DIR] [--quick] <experiment>...");
+            eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6");
+            eprintln!("             ablation-estimator ablation-snr ablation-noise");
+            eprintln!("             extension-crdsa extension-model extension-rounds extension-signal");
+            eprintln!("             bounds all");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut opts = ExperimentOptions::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--runs" => {
+                opts.runs = iter
+                    .next()
+                    .ok_or("--runs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+                if opts.runs == 0 {
+                    return Err("--runs must be positive".into());
+                }
+            }
+            "--seed" => {
+                opts.seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--quick" => opts.quick = true,
+            "--list" => {
+                for name in EXPERIMENTS {
+                    println!("{name}");
+                }
+                return Ok(());
+            }
+            name if !name.starts_with('-') => selected.push(name.to_owned()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if selected.is_empty() {
+        return Err("no experiment selected".into());
+    }
+    if selected.iter().any(|s| s == "all") {
+        selected = EXPERIMENTS.iter().map(|&s| s.to_owned()).collect();
+    }
+
+    for name in &selected {
+        let started = std::time::Instant::now();
+        let table: Table = match name.as_str() {
+            "table1" => experiments::run_table1(&opts).map_err(|e| e.to_string())?,
+            "table2" => experiments::run_table2(&opts).map_err(|e| e.to_string())?,
+            "table3" => experiments::run_table3(&opts).map_err(|e| e.to_string())?,
+            "table4" => experiments::run_table4(&opts).map_err(|e| e.to_string())?,
+            "fig3" => experiments::run_fig3(&opts),
+            "fig4" => experiments::run_fig4(&opts),
+            "fig5" => experiments::run_fig5(&opts).map_err(|e| e.to_string())?,
+            "fig6" => experiments::run_fig6(&opts).map_err(|e| e.to_string())?,
+            "ablation-estimator" => {
+                experiments::run_ablation_estimator(&opts).map_err(|e| e.to_string())?
+            }
+            "ablation-snr" => experiments::run_ablation_snr(&opts),
+            "ablation-noise" => {
+                experiments::run_ablation_noise(&opts).map_err(|e| e.to_string())?
+            }
+            "extension-crdsa" => {
+                experiments::run_extension_crdsa(&opts).map_err(|e| e.to_string())?
+            }
+            "extension-model" => {
+                experiments::run_extension_model(&opts).map_err(|e| e.to_string())?
+            }
+            "extension-rounds" => {
+                experiments::run_extension_rounds(&opts).map_err(|e| e.to_string())?
+            }
+            "extension-signal" => {
+                experiments::run_extension_signal(&opts).map_err(|e| e.to_string())?
+            }
+            "bounds" => experiments::run_bounds(),
+            other => return Err(format!("unknown experiment {other}")),
+        };
+        println!("{}", table.render());
+        if name.starts_with("fig") || name == "ablation-snr" {
+            let lines = rfid_bench::output::table_sparklines(&table);
+            if !lines.is_empty() {
+                println!("{lines}");
+            }
+        }
+        let path = table
+            .write_csv(&out_dir, name)
+            .map_err(|e| format!("writing csv: {e}"))?;
+        println!(
+            "[{name}: {:.1}s, csv -> {}]\n",
+            started.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,648 @@
+//! One function per paper table/figure, plus the ablations from DESIGN.md.
+
+use crate::output::{f1, fx, Table};
+use rfid_analysis::bounds;
+use rfid_analysis::estimator::normalized_bias;
+use rfid_analysis::moments::slot_moments;
+use rfid_analysis::omega::optimal_omega;
+use rfid_anc::{EstimatorInput, Fcat, FcatConfig, Scat, ScatConfig};
+use rfid_protocols::{Abs, Aqs, Dfsa, Edfsa};
+use rfid_sim::{run_many, seeded_rng, AntiCollisionProtocol, ErrorModel, MultiRunReport, SimConfig, SimError};
+use rfid_signal::{anc, ChannelModel, MskConfig};
+use rfid_types::TagId;
+
+/// Scale knobs shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Repetitions per cell (the paper averages 100).
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Reduced population grid for smoke tests / quick runs.
+    pub quick: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            runs: 10,
+            seed: 42,
+            quick: false,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    fn sim(&self) -> SimConfig {
+        SimConfig::default().with_seed(self.seed)
+    }
+
+    fn table1_populations(&self) -> Vec<usize> {
+        if self.quick {
+            vec![1_000, 5_000, 10_000]
+        } else {
+            (1..=20).map(|k| k * 1_000).collect()
+        }
+    }
+
+    fn table3_populations(&self) -> Vec<usize> {
+        if self.quick {
+            vec![1_000, 5_000]
+        } else {
+            vec![1_000, 5_000, 10_000, 15_000, 20_000]
+        }
+    }
+}
+
+fn fcat(lambda: u32) -> Fcat {
+    Fcat::new(FcatConfig::default().with_lambda(lambda))
+}
+
+fn fcat_run(
+    lambda: u32,
+    n: usize,
+    opts: &ExperimentOptions,
+) -> Result<MultiRunReport, SimError> {
+    run_many(&fcat(lambda), n, opts.runs, &opts.sim())
+}
+
+/// All seven Table I/II protocols, boxed for uniform iteration.
+fn comparison_protocols() -> Vec<Box<dyn AntiCollisionProtocol + Sync>> {
+    vec![
+        Box::new(fcat(2)),
+        Box::new(fcat(3)),
+        Box::new(fcat(4)),
+        Box::new(Dfsa::new()),
+        Box::new(Edfsa::new()),
+        Box::new(Abs::new()),
+        Box::new(Aqs::new()),
+    ]
+}
+
+/// **Table I** — reading throughput (tags/s) for N = 1 000…20 000.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_table1(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let protocols = comparison_protocols();
+    let mut columns: Vec<&str> = vec!["N"];
+    let names: Vec<String> = protocols.iter().map(|p| p.name().to_owned()).collect();
+    columns.extend(names.iter().map(String::as_str));
+    let mut table = Table::new(
+        "Table I: reading throughput (tags/sec)",
+        &columns,
+    );
+    for n in opts.table1_populations() {
+        let mut row = vec![n.to_string()];
+        for protocol in &protocols {
+            let agg = run_many(protocol.as_ref(), n, opts.runs, &opts.sim())?;
+            row.push(f1(agg.throughput.mean));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// **Table II** — empty/singleton/collision slot counts at N = 10 000.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_table2(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let n = if opts.quick { 2_000 } else { 10_000 };
+    let protocols = comparison_protocols();
+    let mut columns: Vec<&str> = vec!["slots"];
+    let names: Vec<String> = protocols.iter().map(|p| p.name().to_owned()).collect();
+    columns.extend(names.iter().map(String::as_str));
+    let mut table = Table::new(
+        &format!("Table II: slot-class counts at N = {n}"),
+        &columns,
+    );
+    let mut aggs = Vec::new();
+    for protocol in &protocols {
+        aggs.push(run_many(protocol.as_ref(), n, opts.runs, &opts.sim())?);
+    }
+    for (label, pick) in [
+        ("empty", &(|a: &MultiRunReport| a.empty_slots.mean) as &dyn Fn(&MultiRunReport) -> f64),
+        ("singleton", &|a| a.singleton_slots.mean),
+        ("collision", &|a| a.collision_slots.mean),
+        ("total", &|a| a.total_slots.mean),
+    ] {
+        let mut row = vec![label.to_owned()];
+        for agg in &aggs {
+            row.push(format!("{:.0}", pick(agg)));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// **Table III** — tag IDs resolved from collision slots (FCAT-2/3/4).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_table3(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let mut table = Table::new(
+        "Table III: tag IDs resolved from collision slots",
+        &["N", "FCAT-2", "FCAT-3", "FCAT-4"],
+    );
+    for n in opts.table3_populations() {
+        let mut row = vec![n.to_string()];
+        for lambda in 2..=4 {
+            let agg = fcat_run(lambda, n, opts)?;
+            row.push(format!("{:.0}", agg.resolved_from_collisions.mean));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// **Table IV** — simulated optimal ω vs the computed `(λ!)^{1/λ}`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_table4(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let n = if opts.quick { 2_000 } else { 10_000 };
+    let mut table = Table::new(
+        &format!("Table IV: optimal vs computed omega at N = {n}"),
+        &[
+            "lambda",
+            "optimal w (search)",
+            "max throughput",
+            "computed w",
+            "FCAT throughput",
+        ],
+    );
+    let step = if opts.quick { 0.2 } else { 0.04 };
+    for lambda in 2..=4u32 {
+        let computed = optimal_omega(lambda);
+        let mut best = (0.0f64, f64::MIN);
+        let mut w = 0.6;
+        while w <= 3.2 {
+            let cfg = FcatConfig::default()
+                .with_lambda(lambda)
+                .with_omega(w);
+            let agg = run_many(&Fcat::new(cfg), n, opts.runs, &opts.sim())?;
+            if agg.throughput.mean > best.1 {
+                best = (w, agg.throughput.mean);
+            }
+            w += step;
+        }
+        let fcat_tp = fcat_run(lambda, n, opts)?.throughput.mean;
+        table.push_row(vec![
+            lambda.to_string(),
+            fx(best.0, 2),
+            f1(best.1),
+            fx(computed, 2),
+            f1(fcat_tp),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **Fig. 3** — |Bias(N̂/N)| vs N for ω ∈ {1.414, 1.817, 2.213} (analytic,
+/// Eq. 16, f = 30).
+#[must_use]
+pub fn run_fig3(opts: &ExperimentOptions) -> Table {
+    let mut table = Table::new(
+        "Fig. 3: |bias(N_hat/N)| vs N (f = 30)",
+        &["N", "w=1.414", "w=1.817", "w=2.213"],
+    );
+    let step = if opts.quick { 10_000 } else { 2_500 };
+    let mut n = 2_500u64;
+    while n <= 40_000 {
+        let mut row = vec![n.to_string()];
+        for lambda in 2..=4u32 {
+            let omega = optimal_omega(lambda);
+            row.push(fx(normalized_bias(n, omega, 30).abs(), 4));
+        }
+        table.push_row(row);
+        n += step;
+    }
+    table
+}
+
+/// **Fig. 4** — E(n₀), E(n₁), E(n_c) vs the actual tag count, at the
+/// design point p = 1.414/10 000, f = 30 (analytic, Eqs. 7/9/10).
+#[must_use]
+pub fn run_fig4(opts: &ExperimentOptions) -> Table {
+    let mut table = Table::new(
+        "Fig. 4: expected slot-class counts per frame (p = 1.414/10000, f = 30)",
+        &["N", "E(n0)", "E(n1)", "E(nc)"],
+    );
+    let p = 1.414 / 10_000.0;
+    let step = if opts.quick { 10_000 } else { 2_000 };
+    let mut n = 0u64;
+    while n <= 40_000 {
+        let m = slot_moments(n, p, 30);
+        table.push_row(vec![
+            n.to_string(),
+            fx(m.empty, 2),
+            fx(m.singleton, 2),
+            fx(m.collision, 2),
+        ]);
+        n += step;
+    }
+    table
+}
+
+/// **Fig. 5** — FCAT throughput vs ω at N = 10 000 for λ = 2, 3, 4.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_fig5(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let n = if opts.quick { 2_000 } else { 10_000 };
+    let mut table = Table::new(
+        &format!("Fig. 5: FCAT throughput vs omega (N = {n})"),
+        &["omega", "FCAT-2", "FCAT-3", "FCAT-4"],
+    );
+    let step = if opts.quick { 0.5 } else { 0.1 };
+    let mut w = 0.1f64;
+    while w <= 3.0 + 1e-9 {
+        let mut row = vec![fx(w, 1)];
+        for lambda in 2..=4u32 {
+            let cfg = FcatConfig::default()
+                .with_lambda(lambda)
+                .with_omega(w);
+            let agg = run_many(&Fcat::new(cfg), n, opts.runs, &opts.sim())?;
+            row.push(f1(agg.throughput.mean));
+        }
+        table.push_row(row);
+        w += step;
+    }
+    Ok(table)
+}
+
+/// **Fig. 6** — FCAT throughput vs frame size f at N = 10 000.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_fig6(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let n = if opts.quick { 2_000 } else { 10_000 };
+    let mut table = Table::new(
+        &format!("Fig. 6: FCAT throughput vs frame size (N = {n})"),
+        &["f", "FCAT-2", "FCAT-3", "FCAT-4"],
+    );
+    let frames: &[u32] = if opts.quick {
+        &[2, 10, 30, 100]
+    } else {
+        &[2, 5, 10, 20, 30, 40, 60, 80, 100, 120, 140, 160, 180, 200]
+    };
+    for &f in frames {
+        let mut row = vec![f.to_string()];
+        for lambda in 2..=4u32 {
+            let cfg = FcatConfig::default()
+                .with_lambda(lambda)
+                .with_frame_size(f);
+            let agg = run_many(&Fcat::new(cfg), n, opts.runs, &opts.sim())?;
+            row.push(f1(agg.throughput.mean));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// **Ablation A** — estimator input: collisions (paper) vs empties vs
+/// oracle; also SCAT with its pre-step for context.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_ablation_estimator(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let n = if opts.quick { 2_000 } else { 10_000 };
+    let mut table = Table::new(
+        &format!("Ablation A: estimator input (N = {n}, FCAT-2)"),
+        &["estimator", "throughput", "total slots", "resolved"],
+    );
+    for (label, input) in [
+        ("collisions (paper)", EstimatorInput::Collisions),
+        ("empties", EstimatorInput::Empties),
+        ("oracle", EstimatorInput::Oracle),
+    ] {
+        let cfg = FcatConfig::default().with_estimator(input);
+        let agg = run_many(&Fcat::new(cfg), n, opts.runs, &opts.sim())?;
+        table.push_row(vec![
+            label.to_owned(),
+            f1(agg.throughput.mean),
+            format!("{:.0}", agg.total_slots.mean),
+            format!("{:.0}", agg.resolved_from_collisions.mean),
+        ]);
+    }
+    // SCAT variants for context: per-slot advertisements cost throughput.
+    for (label, init) in [
+        ("SCAT-2 oracle N", rfid_anc::InitialPopulation::Known),
+        (
+            "SCAT-2 pre-step",
+            rfid_anc::InitialPopulation::PreStep {
+                frame_size: 32,
+                rounds: 8,
+            },
+        ),
+    ] {
+        let cfg = ScatConfig::default().with_initial(init);
+        let agg = run_many(&Scat::new(cfg), n, opts.runs, &opts.sim())?;
+        table.push_row(vec![
+            label.to_owned(),
+            f1(agg.throughput.mean),
+            format!("{:.0}", agg.total_slots.mean),
+            format!("{:.0}", agg.resolved_from_collisions.mean),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **Ablation B** — signal-level ANC resolvability vs noise (SNR sweep):
+/// the measured ground truth behind the slot-level `k ≤ λ` abstraction.
+#[must_use]
+pub fn run_ablation_snr(opts: &ExperimentOptions) -> Table {
+    let mut table = Table::new(
+        "Ablation B: signal-level resolution success vs noise (per-component SNR)",
+        &["noise_std", "SNR(dB)@a=0.75", "k=2", "k=3", "k=4"],
+    );
+    let trials = if opts.quick { 40 } else { 200 };
+    let msk = MskConfig::default();
+    for &noise in &[0.01f64, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.6] {
+        let model = ChannelModel::default().with_noise_std(noise);
+        let mut row = vec![fx(noise, 2), f1(model.snr_db(0.75))];
+        for k in 2..=4usize {
+            let mut rng = seeded_rng(opts.seed ^ ((k as u64) << 8));
+            let mut ok = 0u32;
+            for _ in 0..trials {
+                // Random IDs: near-identical IDs give near-collinear
+                // waveforms that genuinely resist subtraction.
+                let ids: Vec<TagId> = rfid_types::population::uniform(&mut rng, k);
+                let mixed = anc::transmit_mixed(&ids, &msk, &model, &mut rng);
+                if anc::resolve(&mixed, &ids[..k - 1], &msk) == Ok(ids[k - 1]) {
+                    ok += 1;
+                }
+            }
+            row.push(format!("{:.0}%", 100.0 * f64::from(ok) / trials as f64));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// **Ablation C** — throughput under unresolvable-collision probability
+/// (§IV-E's noisy-environment degradation).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_ablation_noise(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let n = if opts.quick { 1_000 } else { 5_000 };
+    let mut table = Table::new(
+        &format!("Ablation C: throughput vs unresolvable-collision probability (N = {n})"),
+        &["P(unresolvable)", "FCAT-2", "DFSA"],
+    );
+    for &p_bad in &[0.0f64, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let config = opts
+            .sim()
+            .with_errors(ErrorModel::new(0.0, 0.0, p_bad));
+        let fcat_tp = run_many(&fcat(2), n, opts.runs, &config)?.throughput.mean;
+        let dfsa_tp = run_many(&Dfsa::new(), n, opts.runs, &config)?.throughput.mean;
+        table.push_row(vec![fx(p_bad, 2), f1(fcat_tp), f1(dfsa_tp)]);
+    }
+    Ok(table)
+}
+
+/// **Extension D** — CRDSA (the satellite collision-resolution protocol
+/// the paper cites in §III-C) head-to-head with FCAT and DFSA: two
+/// different ways of exploiting collision slots.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_extension_crdsa(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let mut table = Table::new(
+        "Extension D: CRDSA vs FCAT-2 vs DFSA (tags/sec)",
+        &["N", "FCAT-2", "CRDSA", "DFSA"],
+    );
+    let populations: Vec<usize> = if opts.quick {
+        vec![1_000, 5_000]
+    } else {
+        vec![1_000, 5_000, 10_000, 20_000]
+    };
+    for n in populations {
+        let fcat_tp = fcat_run(2, n, opts)?.throughput.mean;
+        let crdsa_tp = run_many(&rfid_protocols::Crdsa::new(), n, opts.runs, &opts.sim())?
+            .throughput
+            .mean;
+        let dfsa_tp = run_many(&Dfsa::new(), n, opts.runs, &opts.sim())?.throughput.mean;
+        table.push_row(vec![n.to_string(), f1(fcat_tp), f1(crdsa_tp), f1(dfsa_tp)]);
+    }
+    Ok(table)
+}
+
+/// **Extension E** — the closed-form FCAT model of
+/// [`rfid_analysis::throughput`] against simulation.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_extension_model(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let n = if opts.quick { 2_000 } else { 10_000 };
+    let timing = rfid_types::TimingConfig::philips_icode();
+    let mut table = Table::new(
+        &format!("Extension E: closed-form model vs simulation (N = {n})"),
+        &[
+            "lambda",
+            "model tags/s",
+            "measured tags/s",
+            "model resolved %",
+            "measured resolved %",
+        ],
+    );
+    for lambda in 2..=4u32 {
+        let model = rfid_analysis::fcat_model(&timing, lambda, optimal_omega(lambda), 30);
+        let agg = fcat_run(lambda, n, opts)?;
+        table.push_row(vec![
+            lambda.to_string(),
+            f1(model.throughput_tags_per_sec),
+            f1(agg.throughput.mean),
+            f1(100.0 * model.resolved_fraction),
+            f1(100.0 * agg.resolved_from_collisions.mean / n as f64),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **Extension F** — periodic reading with churn (§I's motivating
+/// workload): throughput per round for warm ABS, warm FCAT, and stateless
+/// DFSA under increasing churn.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_extension_rounds(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    use rfid_anc::FcatSession;
+    use rfid_protocols::{AbsSession, AqsSession};
+    use rfid_sim::rounds::{run_rounds, ChurnModel, MultiRoundSession, StatelessSession};
+
+    let n = if opts.quick { 500 } else { 5_000 };
+    let rounds = 6;
+    let mut table = Table::new(
+        &format!("Extension F: periodic reading, warm-round throughput (N = {n}, {rounds} rounds)"),
+        &[
+            "churn (dep%, arrivals)",
+            "FCAT-2 warm",
+            "ABS warm",
+            "AQS warm",
+            "DFSA stateless",
+        ],
+    );
+    let churns: &[(f64, usize)] = &[
+        (0.0, 0),
+        (0.02, n / 50),
+        (0.10, n / 10),
+        (0.30, n * 3 / 10),
+    ];
+    for &(dep, arr) in churns {
+        let churn = ChurnModel::new(dep, arr);
+        let mut row = vec![format!("{:.0}% +{arr}", dep * 100.0)];
+        let mut sessions: Vec<Box<dyn MultiRoundSession>> = vec![
+            Box::new(FcatSession::new(FcatConfig::default())),
+            Box::new(AbsSession::new()),
+            Box::new(AqsSession::new()),
+            Box::new(StatelessSession::new(Dfsa::new())),
+        ];
+        for session in &mut sessions {
+            let report = run_rounds(session.as_mut(), n, rounds, &churn, &opts.sim())?;
+            row.push(f1(report.warm_throughput()));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// **Extension G** — full-DSP FCAT vs the slot-level abstraction across
+/// population sizes: the end-to-end validation that the paper's
+/// simulation model is conservative.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_extension_signal(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    use rfid_anc::{Fidelity, SignalLevelConfig};
+
+    let mut table = Table::new(
+        "Extension G: slot-level vs signal-level FCAT-2 (tags/sec)",
+        &["N", "slot-level", "signal-level", "signal resolved %"],
+    );
+    let populations: &[usize] = if opts.quick {
+        &[50, 150]
+    } else {
+        &[50, 150, 300, 500]
+    };
+    let runs = opts.runs.min(5);
+    for &n in populations {
+        let slot = run_many(&fcat(2), n, runs, &opts.sim())?;
+        let cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(
+            SignalLevelConfig {
+                msk: MskConfig::default(),
+                channel: ChannelModel::new((0.7, 1.0), 0.01),
+            },
+        ));
+        let signal = run_many(&Fcat::new(cfg), n, runs, &opts.sim())?;
+        table.push_row(vec![
+            n.to_string(),
+            f1(slot.throughput.mean),
+            f1(signal.throughput.mean),
+            f1(100.0 * signal.resolved_from_collisions.mean / n as f64),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Reference throughput ceilings (§I/§VII), for annotating output.
+#[must_use]
+pub fn run_bounds() -> Table {
+    let timing = rfid_types::TimingConfig::philips_icode();
+    let mut table = Table::new(
+        "Analytical throughput ceilings (I-Code timing)",
+        &["bound", "tags/sec"],
+    );
+    table.push_row(vec![
+        "ALOHA 1/(eT)".into(),
+        f1(bounds::aloha_throughput_bound(&timing)),
+    ]);
+    table.push_row(vec![
+        "tree 1/(2.88T)".into(),
+        f1(bounds::tree_throughput_bound(&timing)),
+    ]);
+    for lambda in 2..=4 {
+        table.push_row(vec![
+            format!("collision-aware g(w*)/T, lambda={lambda}"),
+            f1(bounds::collision_aware_throughput_bound(&timing, lambda)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentOptions {
+        ExperimentOptions {
+            runs: 2,
+            seed: 7,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn table1_quick_shape_and_ordering() {
+        let t = run_table1(&quick()).unwrap();
+        assert_eq!(t.columns.len(), 8);
+        assert_eq!(t.rows.len(), 3);
+        // FCAT-2 beats DFSA on every row.
+        for row in &t.rows {
+            let fcat2: f64 = row[1].parse().unwrap();
+            let dfsa: f64 = row[4].parse().unwrap();
+            assert!(fcat2 > dfsa, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn table3_quick_resolved_grow_with_lambda() {
+        let t = run_table3(&quick()).unwrap();
+        for row in &t.rows {
+            let r2: f64 = row[1].parse().unwrap();
+            let r4: f64 = row[3].parse().unwrap();
+            assert!(r4 > r2, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig3_fig4_analytic_shapes() {
+        let f3 = run_fig3(&quick());
+        assert!(f3.rows.len() >= 3);
+        let f4 = run_fig4(&quick());
+        // E(nc) increases with N.
+        let first: f64 = f4.rows.first().unwrap()[3].parse().unwrap();
+        let last: f64 = f4.rows.last().unwrap()[3].parse().unwrap();
+        assert!(last > first);
+    }
+
+    #[test]
+    fn ablation_snr_degrades_with_noise() {
+        let t = run_ablation_snr(&quick());
+        let first_k2: f64 = t.rows.first().unwrap()[2].trim_end_matches('%').parse().unwrap();
+        let last_k2: f64 = t.rows.last().unwrap()[2].trim_end_matches('%').parse().unwrap();
+        assert!(first_k2 > 90.0, "clean channel resolves: {first_k2}%");
+        assert!(last_k2 < 50.0, "heavy noise fails: {last_k2}%");
+    }
+
+    #[test]
+    fn bounds_table_renders() {
+        let t = run_bounds();
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.render().contains("ALOHA"));
+    }
+}

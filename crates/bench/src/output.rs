@@ -1,0 +1,205 @@
+//! Plain-text table rendering and CSV export for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table: named columns, string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; each must have `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut header = String::new();
+        for (w, col) in widths.iter().zip(&self.columns) {
+            let _ = write!(header, "{col:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", header.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ", w = w);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `dir/<slug>.csv` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path, slug: &str) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{slug}.csv"));
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+/// Renders a unicode sparkline for a numeric series (empty input → empty
+/// string). Used to give the figure experiments an at-a-glance curve shape
+/// directly in the terminal.
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            if !v.is_finite() {
+                return ' ';
+            }
+            let level = (((v - min) / span) * 7.0).round() as usize;
+            BLOCKS[level.min(7)]
+        })
+        .collect()
+}
+
+/// Renders one sparkline row per numeric column of a table (skipping the
+/// first, label column).
+#[must_use]
+pub fn table_sparklines(table: &Table) -> String {
+    let mut out = String::new();
+    for col in 1..table.columns.len() {
+        let values: Vec<f64> = table
+            .rows
+            .iter()
+            .filter_map(|row| row[col].trim_end_matches('%').parse().ok())
+            .collect();
+        if values.len() == table.rows.len() && !values.is_empty() {
+            let _ = writeln!(out, "{:>12}  {}", table.columns[col], sparkline(&values));
+        }
+    }
+    out
+}
+
+/// Formats a float with one decimal, the paper's table precision.
+#[must_use]
+pub fn f1(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+/// Formats a float with `digits` decimals.
+#[must_use]
+pub fn fx(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_alignment() {
+        let mut t = Table::new("Demo", &["N", "value"]);
+        t.push_row(vec!["1000".into(), "1.5".into()]);
+        t.push_row(vec!["20".into(), "12345.0".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("N"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("rfid_bench_test_csv");
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let path = t.write_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let line = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+        // Constant series renders at one level without panicking.
+        let flat = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(flat.chars().count(), 3);
+    }
+
+    #[test]
+    fn table_sparklines_skip_label_column() {
+        let mut t = Table::new("Demo", &["x", "a", "note"]);
+        t.push_row(vec!["1".into(), "1.0".into(), "n/a".into()]);
+        t.push_row(vec!["2".into(), "3.0".into(), "n/a".into()]);
+        let lines = table_sparklines(&t);
+        assert!(lines.contains('a'));
+        assert!(!lines.contains("note"));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f1(201.34), "201.3");
+        assert_eq!(fx(0.00821, 4), "0.0082");
+    }
+}

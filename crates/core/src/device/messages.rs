@@ -1,0 +1,116 @@
+//! Typed air-interface messages exchanged by [`super::ReaderDevice`] and
+//! [`super::TagDevice`].
+
+use rfid_types::TagId;
+
+/// The pre-frame advertisement (§V-B): frame index and the quantized
+/// report probability, from which every slot's parameters follow.
+///
+/// The slot numbering is carried as an explicit `base_slot` (rather than
+/// computed as `i·f + j`) so that variable-size frames — in particular the
+/// single-slot termination probe — keep global slot indices unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FrameAdvertisement {
+    /// Frame index `i` (informational).
+    pub frame_index: u64,
+    /// Global index of this frame's first slot.
+    pub base_slot: u64,
+    /// Number of slots in the frame.
+    pub frame_size: u32,
+    /// The `l`-bit threshold `⌊p_i·2^l⌋` of the hash test.
+    pub threshold: u64,
+    /// Width `l` of the threshold in bits.
+    pub threshold_bits: u32,
+}
+
+impl FrameAdvertisement {
+    /// Global slot index of slot `j` of this frame.
+    #[must_use]
+    pub fn global_slot(&self, j: u32) -> u64 {
+        self.base_slot + u64::from(j)
+    }
+}
+
+/// The acknowledgement segment content of one slot: an optional decoded ID
+/// (positive acknowledgement) plus the slot indices of any collision
+/// records resolved this slot — each index stops the not-yet-acknowledged
+/// tag that recognizes it among its own past transmissions (§V-B).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AckPayload {
+    /// The ID decoded in this slot's report segment, if any.
+    pub decoded: Option<TagId>,
+    /// Slot indices of collision records resolved during this slot.
+    pub resolved_slots: Vec<u64>,
+}
+
+impl AckPayload {
+    /// A plain negative acknowledgement.
+    #[must_use]
+    pub fn negative() -> Self {
+        AckPayload::default()
+    }
+
+    /// Whether this acknowledgement carries nothing.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.decoded.is_none() && self.resolved_slots.is_empty()
+    }
+
+    /// Number of extra index announcements carried (for airtime costing).
+    #[must_use]
+    pub fn resolved_count(&self) -> usize {
+        self.resolved_slots.len()
+    }
+}
+
+/// What the reader's receive chain observed during one report segment —
+/// the slot-level abstraction of the superposed channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotObservation {
+    /// No energy detected.
+    Empty,
+    /// Exactly one transmission, CRC verified.
+    Singleton(TagId),
+    /// Multiple transmissions (or a corrupted reception): an undecodable
+    /// mixture whose ground-truth participants the simulation carries for
+    /// later record resolution. `usable` is false when the recording was
+    /// ruined beyond any future use.
+    Mixture {
+        /// Tags whose transmissions are superposed in the recording.
+        participants: Vec<TagId>,
+        /// Whether the recording is clean enough for future resolution.
+        usable: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_slot_arithmetic() {
+        let adv = FrameAdvertisement {
+            frame_index: 3,
+            base_slot: 90,
+            frame_size: 30,
+            threshold: 100,
+            threshold_bits: 16,
+        };
+        assert_eq!(adv.global_slot(0), 90);
+        assert_eq!(adv.global_slot(29), 119);
+    }
+
+    #[test]
+    fn ack_payload_accessors() {
+        assert!(AckPayload::negative().is_negative());
+        assert_eq!(AckPayload::negative().resolved_count(), 0);
+        let ack = AckPayload {
+            decoded: Some(TagId::from_payload(1)),
+            resolved_slots: vec![5, 9],
+        };
+        assert!(!ack.is_negative());
+        assert_eq!(ack.resolved_count(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Message-level protocol execution: explicit reader and tag state
+//! machines exchanging typed air-interface messages.
+//!
+//! The aggregate engine in [`crate::Fcat`] simulates protocol *outcomes*;
+//! this module simulates the protocol *itself*: the reader broadcasts
+//! [`FrameAdvertisement`]s and per-slot [`AckPayload`]s, each
+//! [`TagDevice`] independently applies the hash test, remembers the slot
+//! indices it transmitted in (§V-B: "A tag stores the indices of the
+//! slots in which it has transmitted"), and stops only when it hears a
+//! positive acknowledgement for its ID or a resolved-record slot index it
+//! recognizes. Crucially, the [`ReaderDevice`] terminates on its own
+//! evidence — an all-empty frame followed by an empty `p = 1` probe slot —
+//! never by peeking at the simulation's ground truth.
+//!
+//! [`MessageLevelFcat`] drives the two against a slot-synchronous medium
+//! and implements [`rfid_sim::AntiCollisionProtocol`], so it plugs into
+//! the same harnesses as everything else. With a clean channel and
+//! hash-gated membership it is *slot-for-slot deterministic*, which the
+//! integration suite exploits to differential-test it against the
+//! aggregate engine.
+
+mod messages;
+mod protocol;
+mod reader;
+mod tag;
+
+pub use messages::{AckPayload, FrameAdvertisement, SlotObservation};
+pub use protocol::MessageLevelFcat;
+pub use reader::{ReaderDevice, ReaderPhase};
+pub use tag::{TagDevice, TagState};

@@ -1,0 +1,244 @@
+//! The message-level FCAT protocol: [`super::ReaderDevice`] and a field of
+//! [`super::TagDevice`]s driven slot-by-slot over a simulated medium.
+
+use super::messages::SlotObservation;
+use super::reader::ReaderDevice;
+use super::tag::{TagDevice, TagState};
+use crate::fcat::FcatConfig;
+use rand::rngs::StdRng;
+use rfid_sim::{AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
+use rfid_types::{SlotClass, TagId};
+
+/// FCAT executed message-by-message against explicit tag state machines.
+///
+/// Functionally equivalent to [`crate::Fcat`] with
+/// [`crate::Membership::Hash`], but with nothing abstracted away on the
+/// protocol plane: tags decide from advertisements, remember their
+/// transmission slots, and react to acknowledgement payloads; the reader
+/// terminates purely on observed evidence. Slower (`O(tags)` per slot) —
+/// use it for protocol validation, not for large sweeps.
+///
+/// # Example
+///
+/// ```
+/// use rfid_anc::device::MessageLevelFcat;
+/// use rfid_anc::FcatConfig;
+/// use rfid_sim::{run_inventory, SimConfig};
+/// use rfid_types::population;
+///
+/// let tags = population::uniform(&mut rfid_sim::seeded_rng(3), 200);
+/// let proto = MessageLevelFcat::new(FcatConfig::default());
+/// let report = run_inventory(&proto, &tags, &SimConfig::default())?;
+/// assert_eq!(report.identified, 200);
+/// # Ok::<(), rfid_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MessageLevelFcat {
+    config: FcatConfig,
+    name: String,
+}
+
+impl MessageLevelFcat {
+    /// Creates the protocol. Only the λ, ω, frame-size, estimator-input,
+    /// ack-mode and initial-population parts of the configuration apply
+    /// (membership is inherently hash-gated and fidelity inherently
+    /// slot-level here). [`crate::EstimatorInput::Oracle`] is downgraded
+    /// to the collision-count estimator: the self-contained reader has no
+    /// ground truth to consult, and a frozen estimate would livelock.
+    #[must_use]
+    pub fn new(config: FcatConfig) -> Self {
+        let config = if config.estimator() == crate::EstimatorInput::Oracle {
+            config.with_estimator(crate::EstimatorInput::Collisions)
+        } else {
+            config
+        };
+        let name = format!("FCAT-{}-msg", config.lambda());
+        MessageLevelFcat { config, name }
+    }
+}
+
+impl AntiCollisionProtocol for MessageLevelFcat {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+    ) -> Result<InventoryReport, SimError> {
+        let cfg = &self.config;
+        let mut report = InventoryReport::new(self.name());
+        let errors = config.errors().clone();
+        let timing = config.timing();
+        let slot_us = timing.basic_slot_us();
+
+        let initial_estimate = cfg.initial().bootstrap(tags.len(), config, rng, &mut report);
+
+        let resolved_ack_us = match cfg.ack_mode() {
+            crate::AckMode::SlotIndex => timing.index_ack_us(),
+            crate::AckMode::FullId => timing.id_ack_us(),
+        };
+        let mut reader = ReaderDevice::new(
+            cfg.lambda(),
+            cfg.omega(),
+            cfg.frame_size(),
+            cfg.estimator(),
+            initial_estimate,
+        );
+        let mut field: Vec<TagDevice> = tags.iter().map(|&t| TagDevice::new(t)).collect();
+        let mut slots_used: u64 = 0;
+
+        while let Some(adv) = reader.begin_frame() {
+            report.record_overhead(timing.frame_advertisement_us());
+            for device in &mut field {
+                device.on_frame_advertisement(adv);
+            }
+            for j in 0..adv.frame_size {
+                if slots_used >= config.max_slots() {
+                    return Err(SimError::ExceededMaxSlots {
+                        max_slots: config.max_slots(),
+                        identified: report.identified,
+                        total: tags.len(),
+                    });
+                }
+                slots_used += 1;
+
+                // Report segment: every tag applies its hash test.
+                let transmitters: Vec<TagId> = field
+                    .iter_mut()
+                    .filter_map(|device| device.on_report_segment(j))
+                    .collect();
+
+                // The medium presents the superposition to the reader.
+                let observation = match transmitters.len() {
+                    0 => SlotObservation::Empty,
+                    1 if !errors.sample_report_corrupted(rng) => {
+                        SlotObservation::Singleton(transmitters[0])
+                    }
+                    1 => SlotObservation::Mixture {
+                        participants: transmitters,
+                        usable: false,
+                    },
+                    _ => {
+                        let spoiled = errors.sample_unresolvable(rng)
+                            || errors.sample_report_corrupted(rng);
+                        SlotObservation::Mixture {
+                            participants: transmitters,
+                            usable: !spoiled,
+                        }
+                    }
+                };
+                let class = match &observation {
+                    SlotObservation::Empty => SlotClass::Empty,
+                    SlotObservation::Singleton(_) => SlotClass::Singleton,
+                    SlotObservation::Mixture { .. } => SlotClass::Collision,
+                };
+                report.record_slot(class, slot_us);
+
+                let collected_before = reader.collected().len();
+                let ack = reader.observe_slot(observation);
+                // Bookkeeping: IDs the reader gained this slot.
+                let gained = &reader.collected()[collected_before..];
+                if let Some(first) = gained.first() {
+                    if ack.decoded == Some(*first) {
+                        report.record_identified(*first);
+                        for &resolved in &gained[1..] {
+                            report.record_resolved_from_collision(resolved);
+                        }
+                    } else {
+                        for &resolved in gained {
+                            report.record_resolved_from_collision(resolved);
+                        }
+                    }
+                } else if let Some(id) = ack.decoded {
+                    // Re-decoded duplicate (earlier ack was lost).
+                    report.record_identified(id);
+                }
+                report.record_overhead(resolved_ack_us * ack.resolved_count() as f64);
+
+                // Acknowledgement segment: per-tag delivery, lossy.
+                if !ack.is_negative() {
+                    for device in &mut field {
+                        if device.state() == TagState::Active
+                            && !errors.sample_ack_lost(rng)
+                        {
+                            device.on_ack(&ack);
+                        }
+                    }
+                }
+            }
+            reader.end_frame();
+            // Done devices never transmit again; compacting here keeps the
+            // per-slot passes proportional to the live population.
+            field.retain(|device| device.state() == TagState::Active);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::{run_inventory, seeded_rng, ErrorModel};
+    use rfid_types::population;
+
+    #[test]
+    fn reads_all_tags_and_self_terminates() {
+        let tags = population::uniform(&mut seeded_rng(1), 300);
+        let proto = MessageLevelFcat::new(FcatConfig::default());
+        let report = run_inventory(&proto, &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 300);
+        assert!(report.resolved_from_collisions > 50);
+    }
+
+    #[test]
+    fn empty_population_terminates_via_probe() {
+        let proto = MessageLevelFcat::new(FcatConfig::default());
+        let report = run_inventory(&proto, &[], &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 0);
+        // One all-empty frame plus the probe slot.
+        assert_eq!(report.slots.total(), 31);
+    }
+
+    #[test]
+    fn single_tag() {
+        let tags = population::uniform(&mut seeded_rng(2), 1);
+        let proto = MessageLevelFcat::new(FcatConfig::default());
+        let report = run_inventory(&proto, &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 1);
+    }
+
+    #[test]
+    fn completes_under_channel_errors() {
+        let tags = population::uniform(&mut seeded_rng(3), 150);
+        let config = SimConfig::default().with_errors(ErrorModel::new(0.2, 0.1, 0.3));
+        let proto = MessageLevelFcat::new(FcatConfig::default());
+        let report = run_inventory(&proto, &tags, &config).unwrap();
+        assert_eq!(report.identified, 150);
+        assert!(report.duplicates_discarded > 0);
+    }
+
+    #[test]
+    fn ack_loss_only_delays_tags() {
+        let tags = population::uniform(&mut seeded_rng(4), 100);
+        let clean = run_inventory(
+            &MessageLevelFcat::new(FcatConfig::default()),
+            &tags,
+            &SimConfig::default().with_seed(5),
+        )
+        .unwrap();
+        let lossy = run_inventory(
+            &MessageLevelFcat::new(FcatConfig::default()),
+            &tags,
+            &SimConfig::default()
+                .with_seed(5)
+                .with_errors(ErrorModel::new(0.4, 0.0, 0.0)),
+        )
+        .unwrap();
+        assert_eq!(clean.identified, 100);
+        assert_eq!(lossy.identified, 100);
+        assert!(lossy.slots.total() > clean.slots.total());
+    }
+}

@@ -1,0 +1,435 @@
+//! Shared slot-execution engine for SCAT and FCAT.
+//!
+//! One `Engine` instance owns the simulated world state of a run: the
+//! still-active tags, the reader's collision-record store, and the report
+//! being built. SCAT and FCAT differ only in *when* they advertise, *how*
+//! they acknowledge resolved records, and how they adapt the report
+//! probability — all of which stay in the protocol modules.
+
+use crate::config::{Fidelity, Membership};
+use crate::records::{CollisionRecordStore, Resolved};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rfid_sim::sampling::{pick_distinct_indices, sample_binomial};
+use rfid_signal::anc;
+use rfid_sim::{ErrorModel, InventoryReport, SimConfig, SimError, TraceEvent};
+use rfid_types::hash::{effective_probability, transmits_with_probability};
+use rfid_types::{SlotClass, TagId};
+use std::collections::HashMap;
+
+/// What one slot produced, as seen by the protocol layer.
+#[derive(Debug, Default)]
+pub(crate) struct SlotOutput {
+    /// Coarse class the reader observed (corrupted singletons classify as
+    /// collisions, captured collisions as singletons).
+    pub class: Option<SlotClass>,
+    /// IDs newly learned by resolving collision records this slot.
+    pub resolved: Vec<Resolved>,
+}
+
+pub(crate) struct Engine<'a> {
+    active: Vec<TagId>,
+    position: HashMap<TagId, usize>,
+    pub records: CollisionRecordStore,
+    membership: Membership,
+    fidelity: &'a Fidelity,
+    errors: ErrorModel,
+    slot_us: f64,
+    max_slots: u64,
+    trace: bool,
+    total_tags: usize,
+    pub slot_index: u64,
+    pub report: InventoryReport,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(
+        name: &str,
+        tags: &[TagId],
+        lambda: u32,
+        membership: Membership,
+        fidelity: &'a Fidelity,
+        config: &SimConfig,
+    ) -> Self {
+        let records = match fidelity {
+            Fidelity::SlotLevel => CollisionRecordStore::slot_level(lambda),
+            Fidelity::SignalLevel(sig) => CollisionRecordStore::signal_level(sig.msk.clone()),
+        };
+        let position = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect::<HashMap<_, _>>();
+        Engine {
+            active: tags.to_vec(),
+            position,
+            records,
+            membership,
+            fidelity,
+            errors: config.errors().clone(),
+            slot_us: config.timing().basic_slot_us(),
+            max_slots: config.max_slots(),
+            trace: config.trace_enabled(),
+            total_tags: tags.len(),
+            slot_index: 0,
+            report: InventoryReport::new(name),
+        }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.active.len()
+    }
+
+    fn remove_active(&mut self, tag: TagId) {
+        if let Some(idx) = self.position.remove(&tag) {
+            self.active.swap_remove(idx);
+            if let Some(&moved) = self.active.get(idx) {
+                self.position.insert(moved, idx);
+            }
+        }
+    }
+
+    /// Selects this slot's transmitters under the configured membership
+    /// mode.
+    fn transmitters(&mut self, p: f64, rng: &mut StdRng) -> Vec<TagId> {
+        match self.membership {
+            Membership::Sampled => {
+                // Quantize exactly as the hash test would (the inclusive
+                // `H ≤ ⌊p·2^l⌋` rule realizes one quantum above the floor)
+                // so the two membership modes stay distribution-identical.
+                let k = sample_binomial(self.active.len(), effective_probability(p, 16), rng);
+                pick_distinct_indices(self.active.len(), k, rng)
+                    .into_iter()
+                    .map(|i| self.active[i])
+                    .collect()
+            }
+            Membership::Hash => {
+                let slot = self.slot_index;
+                self.active
+                    .iter()
+                    .copied()
+                    .filter(|&t| transmits_with_probability(t, slot, p, 16))
+                    .collect()
+            }
+        }
+    }
+
+    /// Runs one slot at probability `p`. Charges one basic slot of air
+    /// time; the caller layers advertisement / extended-ack overhead on
+    /// top via [`InventoryReport::record_overhead`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ExceededMaxSlots`] when the safety cap is hit.
+    pub fn run_slot(&mut self, p: f64, rng: &mut StdRng) -> Result<SlotOutput, SimError> {
+        if self.slot_index >= self.max_slots {
+            return Err(SimError::ExceededMaxSlots {
+                max_slots: self.max_slots,
+                identified: self.report.identified,
+                total: self.total_tags,
+            });
+        }
+        let transmitters = self.transmitters(p, rng);
+        self.slot_index += 1;
+        let transmitter_count = transmitters.len() as u32;
+        let identified_before = self.report.identified;
+
+        let mut output = SlotOutput::default();
+        match self.fidelity {
+            Fidelity::SlotLevel => self.run_slot_abstract(transmitters, rng, &mut output),
+            Fidelity::SignalLevel(sig) => {
+                let sig = sig.clone();
+                self.run_slot_signal(&sig, transmitters, rng, &mut output);
+            }
+        }
+        if self.trace {
+            self.report.record_trace_event(TraceEvent {
+                slot: self.slot_index - 1,
+                class: output.class.unwrap_or(SlotClass::Empty),
+                transmitters: transmitter_count,
+                learned: (self.report.identified - identified_before) as u32,
+            });
+        }
+        Ok(output)
+    }
+
+    /// Slot-level classification: counts decide; λ decides resolvability.
+    fn run_slot_abstract(
+        &mut self,
+        transmitters: Vec<TagId>,
+        rng: &mut StdRng,
+        output: &mut SlotOutput,
+    ) {
+        match transmitters.len() {
+            0 => {
+                self.report.record_slot(SlotClass::Empty, self.slot_us);
+                output.class = Some(SlotClass::Empty);
+            }
+            1 => {
+                if self.errors.sample_report_corrupted(rng) {
+                    // The reader records an unusable mixed signal.
+                    self.report.record_slot(SlotClass::Collision, self.slot_us);
+                    output.class = Some(SlotClass::Collision);
+                    let resolved =
+                        self.records
+                            .add_record(self.slot_index - 1, transmitters, false, None);
+                    self.process_resolved(resolved, rng, output);
+                } else {
+                    self.report.record_slot(SlotClass::Singleton, self.slot_us);
+                    output.class = Some(SlotClass::Singleton);
+                    self.process_singleton(transmitters[0], rng, output);
+                }
+            }
+            _ => {
+                if self.errors.sample_capture(rng) {
+                    // Capture effect: the dominant component decodes as a
+                    // singleton; the other transmissions go unrecorded.
+                    let winner = transmitters[rng.gen_range(0..transmitters.len())];
+                    self.report.record_slot(SlotClass::Singleton, self.slot_us);
+                    output.class = Some(SlotClass::Singleton);
+                    self.process_singleton(winner, rng, output);
+                    return;
+                }
+                self.report.record_slot(SlotClass::Collision, self.slot_us);
+                output.class = Some(SlotClass::Collision);
+                let spoiled = self.errors.sample_unresolvable(rng)
+                    || self.errors.sample_report_corrupted(rng);
+                let resolved =
+                    self.records
+                        .add_record(self.slot_index - 1, transmitters, !spoiled, None);
+                self.process_resolved(resolved, rng, output);
+            }
+        }
+    }
+
+    /// Signal-level classification: synthesize the superposed waveform,
+    /// energy-detect, demodulate, CRC-check. Capture effects and noise
+    /// misclassifications happen when physics says so.
+    fn run_slot_signal(
+        &mut self,
+        sig: &crate::config::SignalLevelConfig,
+        transmitters: Vec<TagId>,
+        rng: &mut StdRng,
+        output: &mut SlotOutput,
+    ) {
+        let wave = anc::transmit_mixed(&transmitters, &sig.msk, &sig.channel, rng);
+        // Energy detection: the noise floor per complex sample is 2σ²; a
+        // +6 dB margin separates "silence" from any real component (whose
+        // minimum power is attenuation_lo² ≥ 0.25 by default).
+        let noise_floor = 2.0 * sig.channel.noise_std().powi(2);
+        let power = rfid_signal::complex::mean_power(&wave);
+        if power <= 4.0 * noise_floor + f64::EPSILON {
+            self.report.record_slot(SlotClass::Empty, self.slot_us);
+            output.class = Some(SlotClass::Empty);
+            debug_assert!(transmitters.is_empty() || sig.channel.noise_std() > 0.0);
+            return;
+        }
+
+        match anc::decode_singleton(&wave, &sig.msk) {
+            Some(id) if transmitters.contains(&id) => {
+                // Clean singleton, or a collision captured by its dominant
+                // component — either way the reader reads one valid ID and
+                // the other transmitters (if any) go unrecorded.
+                self.report.record_slot(SlotClass::Singleton, self.slot_us);
+                output.class = Some(SlotClass::Singleton);
+                self.process_singleton(id, rng, output);
+            }
+            Some(_) | None => {
+                // Undecodable mixture (or a CRC-colliding ghost ID, which
+                // the 2^-16 CRC makes vanishingly rare; the reader must not
+                // ack an ID nobody sent, so ghosts classify as collisions).
+                self.report.record_slot(SlotClass::Collision, self.slot_us);
+                output.class = Some(SlotClass::Collision);
+                let resolved = self.records.add_record(
+                    self.slot_index - 1,
+                    transmitters,
+                    true,
+                    Some(wave),
+                );
+                self.process_resolved(resolved, rng, output);
+            }
+        }
+    }
+
+    /// Handles a decoded singleton: learn, cascade, acknowledge.
+    fn process_singleton(&mut self, tag: TagId, rng: &mut StdRng, output: &mut SlotOutput) {
+        self.report.record_identified(tag);
+        let resolved = self.records.learn(tag);
+        if !self.errors.sample_ack_lost(rng) {
+            self.remove_active(tag);
+        }
+        self.process_resolved(resolved, rng, output);
+    }
+
+    /// Handles IDs recovered from collision records: count them, append to
+    /// the slot output (for ack-payload accounting), acknowledge.
+    fn process_resolved(
+        &mut self,
+        resolved: Vec<Resolved>,
+        rng: &mut StdRng,
+        output: &mut SlotOutput,
+    ) {
+        for r in resolved {
+            self.report.record_resolved_from_collision(r.tag);
+            if !self.errors.sample_ack_lost(rng) {
+                self.remove_active(r.tag);
+            }
+            output.resolved.push(r);
+        }
+    }
+
+    /// Finishes the run: charges the termination detection cost (the
+    /// reader observes `empty_streak` consecutive empty slots, then issues
+    /// one `p = 1` probe slot that also comes back empty, §IV-A) and
+    /// returns the report.
+    pub fn finish(mut self, empty_streak: u32) -> InventoryReport {
+        debug_assert!(self.active.is_empty());
+        for _ in 0..=empty_streak {
+            self.report.record_slot(SlotClass::Empty, self.slot_us);
+            if self.trace {
+                self.report.record_trace_event(TraceEvent {
+                    slot: self.slot_index,
+                    class: SlotClass::Empty,
+                    transmitters: 0,
+                    learned: 0,
+                });
+            }
+            self.slot_index += 1;
+        }
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SignalLevelConfig;
+    use rfid_sim::seeded_rng;
+    use rfid_types::population;
+
+    fn engine<'a>(tags: &[TagId], fidelity: &'a Fidelity) -> Engine<'a> {
+        Engine::new(
+            "test",
+            tags,
+            2,
+            Membership::Sampled,
+            fidelity,
+            &SimConfig::default(),
+        )
+    }
+
+    #[test]
+    fn p_zero_slot_is_empty() {
+        let tags = population::uniform(&mut seeded_rng(1), 10);
+        let fidelity = Fidelity::SlotLevel;
+        let mut e = engine(&tags, &fidelity);
+        let out = e.run_slot(0.0, &mut seeded_rng(2)).unwrap();
+        assert_eq!(out.class, Some(SlotClass::Empty));
+        assert_eq!(e.remaining(), 10);
+    }
+
+    #[test]
+    fn p_one_single_tag_is_singleton() {
+        let tags = population::uniform(&mut seeded_rng(1), 1);
+        let fidelity = Fidelity::SlotLevel;
+        let mut e = engine(&tags, &fidelity);
+        let out = e.run_slot(1.0, &mut seeded_rng(2)).unwrap();
+        assert_eq!(out.class, Some(SlotClass::Singleton));
+        assert_eq!(e.remaining(), 0);
+        assert_eq!(e.report.identified, 1);
+    }
+
+    #[test]
+    fn p_one_two_tags_collide_then_resolve_via_probe() {
+        let tags = population::uniform(&mut seeded_rng(1), 2);
+        let fidelity = Fidelity::SlotLevel;
+        let mut e = engine(&tags, &fidelity);
+        let mut rng = seeded_rng(2);
+        let out = e.run_slot(1.0, &mut rng).unwrap();
+        assert_eq!(out.class, Some(SlotClass::Collision));
+        assert_eq!(e.remaining(), 2);
+        // Run at p = 0.5 until one tag hits a singleton; the 2-collision
+        // record then resolves the other immediately.
+        for _ in 0..200 {
+            let out = e.run_slot(0.5, &mut rng).unwrap();
+            if e.remaining() == 0 {
+                assert_eq!(out.resolved.len(), 1);
+                break;
+            }
+        }
+        assert_eq!(e.report.identified, 2);
+        assert_eq!(e.report.resolved_from_collisions, 1);
+    }
+
+    #[test]
+    fn hash_membership_equivalent_rate() {
+        let tags = population::uniform(&mut seeded_rng(3), 2_000);
+        let fidelity = Fidelity::SlotLevel;
+        let mut e = Engine::new(
+            "t",
+            &tags,
+            2,
+            Membership::Hash,
+            &fidelity,
+            &SimConfig::default(),
+        );
+        let mut rng = seeded_rng(4);
+        // Expected transmitters per slot at p = 1/2000 is 1.
+        let mut singletons = 0u32;
+        for _ in 0..600 {
+            let out = e.run_slot(1.0 / 2_000.0, &mut rng).unwrap();
+            if out.class == Some(SlotClass::Singleton) {
+                singletons += 1;
+            }
+        }
+        // Poisson(≈1): P(singleton) ≈ 0.368 → ~220 of 600, allow wide band.
+        assert!(
+            (150..=300).contains(&singletons),
+            "singletons {singletons}"
+        );
+    }
+
+    #[test]
+    fn signal_level_empty_detection_with_noise() {
+        let tags: Vec<TagId> = Vec::new();
+        let fidelity = Fidelity::SignalLevel(SignalLevelConfig::default());
+        let mut e = engine(&tags, &fidelity);
+        let out = e.run_slot(1.0, &mut seeded_rng(5)).unwrap();
+        assert_eq!(out.class, Some(SlotClass::Empty));
+    }
+
+    #[test]
+    fn signal_level_singleton_reads() {
+        let tags = population::uniform(&mut seeded_rng(6), 1);
+        let fidelity = Fidelity::SignalLevel(SignalLevelConfig::default());
+        let mut e = engine(&tags, &fidelity);
+        let out = e.run_slot(1.0, &mut seeded_rng(7)).unwrap();
+        assert_eq!(out.class, Some(SlotClass::Singleton));
+        assert_eq!(e.report.identified, 1);
+    }
+
+    #[test]
+    fn finish_charges_termination_slots() {
+        let tags: Vec<TagId> = Vec::new();
+        let fidelity = Fidelity::SlotLevel;
+        let e = engine(&tags, &fidelity);
+        let report = e.finish(5);
+        assert_eq!(report.slots.empty, 6); // streak + probe
+    }
+
+    #[test]
+    fn max_slots_enforced() {
+        let tags = population::uniform(&mut seeded_rng(8), 4);
+        let fidelity = Fidelity::SlotLevel;
+        let config = SimConfig::default().with_max_slots(3);
+        let mut e = Engine::new("t", &tags, 2, Membership::Sampled, &fidelity, &config);
+        let mut rng = seeded_rng(9);
+        for _ in 0..3 {
+            e.run_slot(0.0, &mut rng).unwrap();
+        }
+        assert!(matches!(
+            e.run_slot(0.0, &mut rng),
+            Err(SimError::ExceededMaxSlots { .. })
+        ));
+    }
+}

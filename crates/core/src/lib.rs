@@ -1,0 +1,61 @@
+//! **The paper's contribution**: collision-aware RFID tag identification
+//! with analog network coding (ANC).
+//!
+//! Classic anti-collision protocols discard collision slots, which caps
+//! their reading throughput at `1/(eT)`. The protocols here *record* each
+//! collision slot's mixed signal and, once all but one of its constituent
+//! IDs are known, subtract the known signals and recover the last ID —
+//! making a `k ≤ λ`-collision slot "almost as useful as a non-collision
+//! slot" and lifting the throughput by 51–71 % (paper Table I).
+//!
+//! Two protocols are provided:
+//!
+//! * [`Scat`] — the Slotted Collision-Aware Tag identification protocol
+//!   (§IV): a per-slot advertisement `⟨i, p_i⟩`, hash-gated transmissions
+//!   `H(ID|i) ≤ ⌊p_i·2^l⌋`, and cascading collision-record resolution. It
+//!   needs the population size from a pre-step estimator and broadcasts
+//!   full IDs to acknowledge resolved tags.
+//! * [`Fcat`] — the Framed Collision-Aware Tag identification protocol
+//!   (§V): frames amortize the advertisement, resolved records are
+//!   acknowledged by 23-bit **slot index** instead of 96-bit ID, and the
+//!   remaining-tag count is re-estimated every frame from the collision
+//!   count (Eq. 12) — no pre-step needed.
+//!
+//! Both run at two fidelity levels (see [`Fidelity`]): the paper's
+//! slot-level abstraction (a `k`-collision is resolvable iff `k ≤ λ`) and
+//! a full signal-level mode that synthesizes MSK waveforms through a fading
+//! channel and runs the actual ANC subtract-and-decode chain from
+//! [`rfid_signal`].
+//!
+//! # Example
+//!
+//! ```
+//! use rfid_anc::{Fcat, FcatConfig};
+//! use rfid_sim::{run_inventory, SimConfig};
+//! use rfid_types::population;
+//!
+//! let tags = population::uniform(&mut rfid_sim::seeded_rng(7), 2_000);
+//! let fcat = Fcat::new(FcatConfig::default()); // λ = 2, ω = √2, f = 30
+//! let report = run_inventory(&fcat, &tags, &SimConfig::default())?;
+//! assert_eq!(report.identified, 2_000);
+//! // A large share of IDs was pulled out of collision slots (Table III).
+//! assert!(report.resolved_from_collisions > 600);
+//! # Ok::<(), rfid_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod device;
+mod engine;
+mod fcat;
+mod records;
+mod scat;
+mod session;
+
+pub use config::{Fidelity, InitialPopulation, Membership, SignalLevelConfig};
+pub use fcat::{AckMode, EstimatorInput, Fcat, FcatConfig};
+pub use records::{CollisionRecordStore, RecordStats};
+pub use scat::{Scat, ScatConfig};
+pub use session::FcatSession;

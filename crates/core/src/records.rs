@@ -1,0 +1,450 @@
+//! Collision-record bookkeeping and cascading resolution (§IV-B and the
+//! reader pseudocode of §IV-D).
+//!
+//! Every collision slot deposits a *collision record* — the slot index and
+//! (conceptually) the recorded mixed signal. Whenever the reader learns a
+//! new ID — from a singleton slot or from resolving another record — it
+//! checks every outstanding record that ID participated in; a record whose
+//! unknown-participant count drops to one yields the last ID by signal
+//! subtraction, and that ID is fed back into the cascade (the `while S ≠ ∅`
+//! worklist of the pseudocode).
+
+use rfid_signal::complex::Complex;
+use rfid_signal::{anc, MskConfig};
+use rfid_types::TagId;
+use std::collections::{HashMap, HashSet};
+
+/// A newly resolved ID together with the slot index of the record it came
+/// from (FCAT acknowledges resolved tags by this index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolved {
+    /// The recovered tag ID.
+    pub tag: TagId,
+    /// Slot index of the collision record that yielded it.
+    pub slot: u64,
+}
+
+#[derive(Debug)]
+struct Record {
+    slot: u64,
+    participants: Vec<TagId>,
+    /// Slot-level: `k ≤ λ` and not spoiled. Signal-level: not corrupted.
+    usable: bool,
+    /// Recorded mixed signal (signal-level fidelity only).
+    signal: Option<Vec<Complex>>,
+    consumed: bool,
+}
+
+/// Aggregate statistics over a store's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecordStats {
+    /// Records created.
+    pub created: u64,
+    /// Records resolved into an ID.
+    pub resolved: u64,
+    /// Records that became fully known without yielding a new ID
+    /// (every participant was learned elsewhere first).
+    pub exhausted: u64,
+    /// Signal-level resolution attempts that failed CRC (noise defeats).
+    pub failed_attempts: u64,
+}
+
+/// The reader's set of outstanding collision records plus its set of known
+/// IDs, with cascade resolution.
+///
+/// # Example
+///
+/// ```
+/// use rfid_anc::CollisionRecordStore;
+/// use rfid_types::TagId;
+///
+/// let mut store = CollisionRecordStore::slot_level(2);
+/// let (a, b) = (TagId::from_payload(1), TagId::from_payload(2));
+/// store.add_record(5, vec![a, b], true, None);
+/// // Learning `a` (say, from a later singleton) resolves the record to `b`.
+/// let resolved = store.learn(a);
+/// assert_eq!(resolved.len(), 1);
+/// assert_eq!(resolved[0].tag, b);
+/// assert_eq!(resolved[0].slot, 5);
+/// ```
+#[derive(Debug)]
+pub struct CollisionRecordStore {
+    records: Vec<Record>,
+    by_tag: HashMap<TagId, Vec<usize>>,
+    known: HashSet<TagId>,
+    lambda: u32,
+    /// MSK configuration for signal-level resolution; `None` = slot level.
+    msk: Option<MskConfig>,
+    stats: RecordStats,
+}
+
+impl CollisionRecordStore {
+    /// Creates a slot-level store: a `k`-collision record is resolvable
+    /// iff `k ≤ lambda` (the paper's simulation model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 2`.
+    #[must_use]
+    pub fn slot_level(lambda: u32) -> Self {
+        assert!(lambda >= 2, "lambda must be >= 2, got {lambda}");
+        CollisionRecordStore {
+            records: Vec::new(),
+            by_tag: HashMap::new(),
+            known: HashSet::new(),
+            lambda,
+            msk: None,
+            stats: RecordStats::default(),
+        }
+    }
+
+    /// Creates a signal-level store: resolution runs the real ANC
+    /// subtract-and-decode chain on recorded waveforms, so physics decides
+    /// resolvability.
+    #[must_use]
+    pub fn signal_level(msk: MskConfig) -> Self {
+        CollisionRecordStore {
+            records: Vec::new(),
+            by_tag: HashMap::new(),
+            known: HashSet::new(),
+            lambda: u32::MAX,
+            msk: Some(msk),
+            stats: RecordStats::default(),
+        }
+    }
+
+    /// Whether the reader already knows `tag`.
+    #[must_use]
+    pub fn is_known(&self, tag: TagId) -> bool {
+        self.known.contains(&tag)
+    }
+
+    /// Number of IDs the reader has learned.
+    #[must_use]
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> RecordStats {
+        self.stats
+    }
+
+    /// Number of records still outstanding (not consumed).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.records.iter().filter(|r| !r.consumed).count()
+    }
+
+    /// Releases the memory held by consumed records (their participant
+    /// lists and recorded signals). Index structures stay valid; useful in
+    /// long signal-level runs where each record holds a full waveform.
+    pub fn prune_consumed(&mut self) {
+        for record in &mut self.records {
+            if record.consumed {
+                record.participants = Vec::new();
+                record.signal = None;
+            }
+        }
+    }
+
+    /// Deposits a new collision record and returns any IDs resolved as an
+    /// immediate consequence (participants the reader already knew count
+    /// as known right away — pseudocode line 12's membership check runs
+    /// against every known ID).
+    ///
+    /// * `usable` — slot-level: pass `!spoiled` (the λ check happens here);
+    ///   signal-level: pass `false` only for receptions ruined beyond use.
+    /// * `signal` — the recorded waveform (signal-level only).
+    pub fn add_record(
+        &mut self,
+        slot: u64,
+        participants: Vec<TagId>,
+        usable: bool,
+        signal: Option<Vec<Complex>>,
+    ) -> Vec<Resolved> {
+        debug_assert!(!participants.is_empty(), "a record needs participants");
+        self.stats.created += 1;
+        let k = participants.len() as u32;
+        let usable = usable && (self.msk.is_some() || k <= self.lambda);
+        let idx = self.records.len();
+        for &tag in &participants {
+            self.by_tag.entry(tag).or_default().push(idx);
+        }
+        self.records.push(Record {
+            slot,
+            participants,
+            usable,
+            signal,
+            consumed: false,
+        });
+
+        // Participants the reader already knows count as known right away;
+        // the record may be immediately resolvable (or already exhausted).
+        let mut resolved = Vec::new();
+        if let Some(first) = self.try_resolve(idx) {
+            self.known.insert(first.tag);
+            resolved.push(first);
+            let mut cascade = self.cascade_from(first.tag);
+            resolved.append(&mut cascade);
+        }
+        resolved
+    }
+
+    /// Registers that the reader learned `tag` and runs the resolution
+    /// cascade. Returns the IDs newly learned *through records* (not
+    /// including `tag` itself), in resolution order.
+    ///
+    /// Calling this for an already-known tag is a no-op.
+    pub fn learn(&mut self, tag: TagId) -> Vec<Resolved> {
+        if !self.known.insert(tag) {
+            return Vec::new();
+        }
+        self.cascade_from(tag)
+    }
+
+    /// Revisits the records of every tag on the worklist, resolving any
+    /// that now have exactly one unknown participant. Newly resolved tags
+    /// enter [`Self::known`] immediately — exactly the `while S ≠ ∅` loop
+    /// of the reader pseudocode, where an ID extracted from one record is
+    /// fed back to mark and resolve the others.
+    fn cascade_from(&mut self, tag: TagId) -> Vec<Resolved> {
+        debug_assert!(self.known.contains(&tag));
+        let mut resolved = Vec::new();
+        let mut worklist = vec![tag];
+        while let Some(current) = worklist.pop() {
+            let indices = self.by_tag.get(&current).cloned().unwrap_or_default();
+            for idx in indices {
+                if let Some(r) = self.try_resolve(idx) {
+                    self.known.insert(r.tag);
+                    resolved.push(r);
+                    worklist.push(r.tag);
+                }
+            }
+        }
+        resolved
+    }
+
+    /// Attempts to resolve record `idx`; returns the recovered ID, if any.
+    ///
+    /// The reader's `known` set is authoritative: the record resolves when
+    /// exactly one participant is unknown. A record whose participants are
+    /// all known is consumed as exhausted.
+    fn try_resolve(&mut self, idx: usize) -> Option<Resolved> {
+        let record = &self.records[idx];
+        if record.consumed {
+            return None;
+        }
+        let mut unknowns = record
+            .participants
+            .iter()
+            .copied()
+            .filter(|t| !self.known.contains(t));
+        let first_unknown = unknowns.next();
+        let Some(last) = first_unknown else {
+            // Every participant learned elsewhere; nothing left to extract.
+            self.records[idx].consumed = true;
+            self.stats.exhausted += 1;
+            return None;
+        };
+        if unknowns.next().is_some() {
+            // Two or more unknowns: not resolvable yet.
+            return None;
+        }
+        if !record.usable {
+            return None;
+        }
+        let slot = record.slot;
+        let recovered: Option<TagId> = match (&self.msk, &record.signal) {
+            (Some(msk), Some(signal)) => {
+                // Signal-level: subtract the known components, decode,
+                // CRC — and require the decoded word to be the record's
+                // actual remaining participant. A noise-corrupted residual
+                // can demodulate into a different CRC-valid ghost word
+                // (2^-16 per attempt); acknowledging a tag nobody owns
+                // would corrupt the inventory, so ghosts count as failed
+                // attempts (mirrors the engine's singleton-path guard).
+                let knowns: Vec<TagId> = record
+                    .participants
+                    .iter()
+                    .copied()
+                    .filter(|t| self.known.contains(t))
+                    .collect();
+                anc::resolve(signal, &knowns, msk)
+                    .ok()
+                    .filter(|id| *id == last)
+            }
+            // Slot-level: the λ gate already passed; the last unknown
+            // participant is recovered.
+            _ => Some(last),
+        };
+        let record = &mut self.records[idx];
+        record.consumed = true;
+        // A consumed record can never resolve again; free its payload now
+        // (signal-level records hold a full waveform each).
+        record.participants = Vec::new();
+        record.signal = None;
+        match recovered {
+            Some(tag) => {
+                self.stats.resolved += 1;
+                Some(Resolved { tag, slot })
+            }
+            None => {
+                // Noise defeated the subtraction; the record is spent
+                // (no further knowledge can arrive for it).
+                self.stats.failed_attempts += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_signal::{transmit_mixed, ChannelModel};
+    use rfid_sim::seeded_rng;
+
+    fn tag(n: u128) -> TagId {
+        TagId::from_payload(n)
+    }
+
+    #[test]
+    fn two_collision_resolves_after_singleton() {
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.add_record(1, vec![tag(1), tag(2)], true, None);
+        assert_eq!(store.outstanding(), 1);
+        let resolved = store.learn(tag(1));
+        assert_eq!(resolved, vec![Resolved { tag: tag(2), slot: 1 }]);
+        assert_eq!(store.outstanding(), 0);
+        assert!(store.is_known(tag(2)));
+        assert_eq!(store.stats().resolved, 1);
+    }
+
+    #[test]
+    fn over_lambda_record_never_resolves() {
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.add_record(1, vec![tag(1), tag(2), tag(3)], true, None);
+        assert!(store.learn(tag(1)).is_empty());
+        assert!(store.learn(tag(2)).is_empty());
+        // Even knowing 2 of 3, a 3-collision is beyond λ = 2.
+        assert_eq!(store.stats().resolved, 0);
+    }
+
+    #[test]
+    fn lambda_three_resolves_triple() {
+        let mut store = CollisionRecordStore::slot_level(3);
+        store.add_record(1, vec![tag(1), tag(2), tag(3)], true, None);
+        assert!(store.learn(tag(1)).is_empty());
+        let resolved = store.learn(tag(2));
+        assert_eq!(resolved, vec![Resolved { tag: tag(3), slot: 1 }]);
+    }
+
+    #[test]
+    fn unusable_record_never_resolves() {
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.add_record(1, vec![tag(1), tag(2)], false, None);
+        assert!(store.learn(tag(1)).is_empty());
+        assert_eq!(store.stats().resolved, 0);
+    }
+
+    #[test]
+    fn cascade_through_chain() {
+        // Fig. 1(b)'s mechanism, chained: learning t1 resolves (t1,t2);
+        // knowing t2 resolves (t2,t3); knowing t3 resolves (t3,t4).
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.add_record(1, vec![tag(1), tag(2)], true, None);
+        store.add_record(2, vec![tag(2), tag(3)], true, None);
+        store.add_record(3, vec![tag(3), tag(4)], true, None);
+        let resolved = store.learn(tag(1));
+        let tags: Vec<TagId> = resolved.iter().map(|r| r.tag).collect();
+        assert_eq!(tags, vec![tag(2), tag(3), tag(4)]);
+    }
+
+    #[test]
+    fn add_record_with_known_participant_resolves_immediately() {
+        let mut store = CollisionRecordStore::slot_level(2);
+        assert!(store.learn(tag(1)).is_empty());
+        let resolved = store.add_record(9, vec![tag(1), tag(2)], true, None);
+        assert_eq!(resolved, vec![Resolved { tag: tag(2), slot: 9 }]);
+    }
+
+    #[test]
+    fn fully_known_record_is_exhausted() {
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.learn(tag(1));
+        store.learn(tag(2));
+        let resolved = store.add_record(9, vec![tag(1), tag(2)], true, None);
+        assert!(resolved.is_empty());
+        assert_eq!(store.stats().exhausted, 1);
+        assert_eq!(store.outstanding(), 0);
+    }
+
+    #[test]
+    fn learning_known_tag_is_noop() {
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.add_record(1, vec![tag(1), tag(2)], true, None);
+        store.learn(tag(1));
+        assert!(store.learn(tag(1)).is_empty());
+        assert_eq!(store.known_count(), 2);
+    }
+
+    #[test]
+    fn tag_in_multiple_records() {
+        // One singleton unlocks two records at once.
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.add_record(1, vec![tag(1), tag(2)], true, None);
+        store.add_record(2, vec![tag(1), tag(3)], true, None);
+        let resolved = store.learn(tag(1));
+        let mut tags: Vec<TagId> = resolved.iter().map(|r| r.tag).collect();
+        tags.sort();
+        assert_eq!(tags, vec![tag(2), tag(3)]);
+    }
+
+    #[test]
+    fn prune_consumed_keeps_semantics() {
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.add_record(1, vec![tag(1), tag(2)], true, None);
+        store.add_record(2, vec![tag(3), tag(4)], true, None);
+        store.learn(tag(1)); // resolves record 1
+        store.prune_consumed();
+        assert_eq!(store.outstanding(), 1);
+        // The surviving record still resolves normally.
+        let resolved = store.learn(tag(3));
+        assert_eq!(resolved, vec![Resolved { tag: tag(4), slot: 2 }]);
+    }
+
+    #[test]
+    fn signal_level_resolution_works() {
+        let msk = MskConfig::default();
+        let model = ChannelModel::default().with_noise_std(0.005);
+        let mut rng = seeded_rng(3);
+        let (a, b) = (tag(77), tag(88));
+        let mixed = transmit_mixed(&[a, b], &msk, &model, &mut rng);
+        let mut store = CollisionRecordStore::signal_level(msk);
+        store.add_record(4, vec![a, b], true, Some(mixed));
+        let resolved = store.learn(a);
+        assert_eq!(resolved, vec![Resolved { tag: b, slot: 4 }]);
+    }
+
+    #[test]
+    fn signal_level_noise_failure_counts_attempt() {
+        let msk = MskConfig::default();
+        let model = ChannelModel::default().with_noise_std(0.8); // ~0 dB
+        let mut rng = seeded_rng(5);
+        let (a, b) = (tag(7), tag(8));
+        let mixed = transmit_mixed(&[a, b], &msk, &model, &mut rng);
+        let mut store = CollisionRecordStore::signal_level(msk);
+        store.add_record(4, vec![a, b], true, Some(mixed));
+        let resolved = store.learn(a);
+        assert!(resolved.is_empty());
+        assert_eq!(store.stats().failed_attempts, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be >= 2")]
+    fn lambda_one_panics() {
+        let _ = CollisionRecordStore::slot_level(1);
+    }
+}

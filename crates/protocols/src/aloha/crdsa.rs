@@ -1,0 +1,303 @@
+//! CRDSA — Contention Resolution Diversity Slotted ALOHA (Casini, De
+//! Gaudenzi, Herrero; the paper's reference [22] in §III-C).
+//!
+//! The other published system that extracts information from collision
+//! slots: each terminal transmits its packet **twice** at two
+//! randomly-selected slots of a MAC frame, each replica carrying a pointer
+//! to its twin. The receiver decodes clean singletons, then *cancels* each
+//! decoded packet's twin replica from its slot — possibly uncovering new
+//! singletons — and iterates (successive interference cancellation, a
+//! peeling process).
+//!
+//! Including it gives the evaluation a second collision-resolving baseline
+//! between the classic ALOHA family and FCAT: CRDSA beats `1/(eT)` but
+//! pays a 2× transmission cost per tag and caps out near 0.55 useful
+//! slots/slot, below FCAT's `g(ω*) ≈ 0.59` with λ = 2.
+
+use crate::aloha::InitialEstimate;
+use rand::rngs::StdRng;
+use rfid_sim::{AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
+use rfid_types::{SlotClass, TagId};
+
+/// Configuration of [`Crdsa`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CrdsaConfig {
+    /// Bootstrap for the backlog estimate.
+    pub initial: InitialEstimate,
+    /// Target channel load (backlog / frame size). CRDSA-2's throughput
+    /// peaks near `G ≈ 0.65`.
+    pub target_load: f64,
+    /// Number of replicas per tag per frame (the classic scheme uses 2).
+    pub replicas: u32,
+    /// Smallest frame the reader will schedule.
+    pub min_frame: u32,
+}
+
+impl Default for CrdsaConfig {
+    fn default() -> Self {
+        CrdsaConfig {
+            initial: InitialEstimate::Exact,
+            target_load: 0.65,
+            replicas: 2,
+            min_frame: 8,
+        }
+    }
+}
+
+/// CRDSA with iterative interference cancellation.
+///
+/// # Example
+///
+/// ```
+/// use rfid_protocols::Crdsa;
+/// use rfid_sim::{run_inventory, SimConfig};
+/// use rfid_types::population;
+///
+/// let tags = population::uniform(&mut rfid_sim::seeded_rng(1), 500);
+/// let report = run_inventory(&Crdsa::new(), &tags, &SimConfig::default())?;
+/// assert_eq!(report.identified, 500);
+/// // Some IDs were recovered by cancelling replicas out of collisions.
+/// assert!(report.resolved_from_collisions > 0);
+/// # Ok::<(), rfid_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Crdsa {
+    config: CrdsaConfig,
+}
+
+impl Crdsa {
+    /// Creates CRDSA with the stock configuration (2 replicas, load 0.65).
+    #[must_use]
+    pub fn new() -> Self {
+        Crdsa::with_config(CrdsaConfig::default())
+    }
+
+    /// Creates CRDSA with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas < 2`, `target_load <= 0` or `min_frame == 0`.
+    #[must_use]
+    pub fn with_config(config: CrdsaConfig) -> Self {
+        assert!(config.replicas >= 2, "replicas must be >= 2");
+        assert!(
+            config.target_load > 0.0 && config.target_load.is_finite(),
+            "target_load must be positive"
+        );
+        assert!(config.min_frame > 0, "min_frame must be positive");
+        Crdsa { config }
+    }
+}
+
+impl AntiCollisionProtocol for Crdsa {
+    fn name(&self) -> &str {
+        "CRDSA"
+    }
+
+    fn run(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+    ) -> Result<InventoryReport, SimError> {
+        let mut report = InventoryReport::new(self.name());
+        let mut active: Vec<TagId> = tags.to_vec();
+        let errors = config.errors().clone();
+        let slot_us = config.timing().basic_slot_us();
+        let mut backlog = self.config.initial.resolve(tags.len());
+        let mut slots_used: u64 = 0;
+
+        while !active.is_empty() {
+            let frame = ((backlog.max(1.0) / self.config.target_load).ceil() as u32)
+                .max(self.config.min_frame)
+                .max(self.config.replicas);
+            if slots_used + u64::from(frame) > config.max_slots() {
+                return Err(SimError::ExceededMaxSlots {
+                    max_slots: config.max_slots(),
+                    identified: report.identified,
+                    total: tags.len(),
+                });
+            }
+            slots_used += u64::from(frame);
+
+            // Placement: each tag picks `replicas` distinct slots.
+            let l = frame as usize;
+            let mut occupancy: Vec<Vec<usize>> = vec![Vec::new(); l];
+            let mut placements: Vec<Vec<usize>> = Vec::with_capacity(active.len());
+            for (tag_idx, _) in active.iter().enumerate() {
+                let picks = rand::seq::index::sample(rng, l, self.config.replicas as usize)
+                    .into_vec();
+                for &slot in &picks {
+                    occupancy[slot].push(tag_idx);
+                }
+                placements.push(picks);
+            }
+
+            // Physical slot classes (pre-cancellation) and corruption.
+            let mut corrupted = vec![false; l];
+            for (slot, occ) in occupancy.iter().enumerate() {
+                let class = match occ.len() {
+                    0 => SlotClass::Empty,
+                    1 => SlotClass::Singleton,
+                    _ => SlotClass::Collision,
+                };
+                let class = if !occ.is_empty() && errors.sample_report_corrupted(rng) {
+                    corrupted[slot] = true;
+                    SlotClass::Collision
+                } else {
+                    class
+                };
+                report.record_slot(class, slot_us);
+            }
+
+            // Iterative interference cancellation (peeling).
+            let mut remaining: Vec<usize> = occupancy.iter().map(Vec::len).collect();
+            let mut cancelled = vec![false; active.len()];
+            let mut decoded: Vec<(usize, bool)> = Vec::new(); // (tag, via_cancellation)
+            let mut work: Vec<usize> = (0..l).filter(|&s| remaining[s] == 1).collect();
+            let mut initial_singleton = vec![false; active.len()];
+            for &slot in &work {
+                if occupancy[slot].len() == 1 && !corrupted[slot] {
+                    initial_singleton[occupancy[slot][0]] = true;
+                }
+            }
+            while let Some(slot) = work.pop() {
+                if remaining[slot] != 1 || corrupted[slot] {
+                    continue;
+                }
+                let Some(&tag_idx) = occupancy[slot].iter().find(|&&t| !cancelled[t]) else {
+                    continue;
+                };
+                cancelled[tag_idx] = true;
+                decoded.push((tag_idx, !initial_singleton[tag_idx]));
+                // Remove every replica of the decoded tag.
+                for &replica_slot in &placements[tag_idx] {
+                    remaining[replica_slot] -= 1;
+                    if remaining[replica_slot] == 1 && !corrupted[replica_slot] {
+                        work.push(replica_slot);
+                    }
+                }
+            }
+
+            // Acknowledge decoded tags (one ack burst after the frame).
+            let mut keep = vec![true; active.len()];
+            for (tag_idx, via_cancellation) in decoded {
+                let tag = active[tag_idx];
+                if via_cancellation {
+                    report.record_resolved_from_collision(tag);
+                } else {
+                    report.record_identified(tag);
+                }
+                if !errors.sample_ack_lost(rng) {
+                    keep[tag_idx] = false;
+                }
+            }
+            let mut write = 0;
+            for read in 0..active.len() {
+                if keep[read] {
+                    active[write] = active[read];
+                    write += 1;
+                }
+            }
+            let decoded_count = active.len() - write;
+            active.truncate(write);
+
+            // Backlog: decoded tags leave; a fully stuck frame (loops)
+            // keeps the estimate, which forces a fresh random placement.
+            backlog = (backlog - decoded_count as f64).max(if active.is_empty() {
+                0.0
+            } else {
+                1.0
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::{run_inventory, run_many, seeded_rng, ErrorModel};
+    use rfid_types::population;
+
+    #[test]
+    fn reads_all_tags() {
+        let tags = population::uniform(&mut seeded_rng(1), 1_000);
+        let report = run_inventory(&Crdsa::new(), &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 1_000);
+        assert!(report.resolved_from_collisions > 100);
+    }
+
+    #[test]
+    fn beats_plain_aloha_but_not_fcat_band() {
+        // CRDSA-2 peak ~0.53-0.55 decoded/slot → ~190 tags/s on I-Code
+        // timing; above DFSA's ~131, below FCAT-2's ~197 once its 2×
+        // transmission redundancy and load backoff are paid.
+        let agg = run_many(&Crdsa::new(), 5_000, 5, &SimConfig::default()).unwrap();
+        let aloha = rfid_analysis::bounds::aloha_throughput_bound(SimConfig::default().timing());
+        assert!(
+            agg.throughput.mean > aloha,
+            "CRDSA {} <= ALOHA bound {aloha}",
+            agg.throughput.mean
+        );
+        assert!(
+            agg.throughput.mean < 215.0,
+            "CRDSA {} implausibly high",
+            agg.throughput.mean
+        );
+    }
+
+    #[test]
+    fn empty_and_single_populations() {
+        let report = run_inventory(&Crdsa::new(), &[], &SimConfig::default()).unwrap();
+        assert_eq!(report.slots.total(), 0);
+        let tags = population::uniform(&mut seeded_rng(2), 1);
+        let report = run_inventory(&Crdsa::new(), &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 1);
+    }
+
+    #[test]
+    fn two_tags_same_slots_eventually_resolve() {
+        // Degenerate loops (both tags picking the same two slots) must be
+        // broken by re-randomization in later frames.
+        let tags = population::uniform(&mut seeded_rng(3), 2);
+        let cfg = CrdsaConfig {
+            min_frame: 2,
+            ..CrdsaConfig::default()
+        };
+        let report =
+            run_inventory(&Crdsa::with_config(cfg), &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 2);
+    }
+
+    #[test]
+    fn completes_under_channel_errors() {
+        let tags = population::uniform(&mut seeded_rng(4), 300);
+        let config = SimConfig::default().with_errors(ErrorModel::new(0.15, 0.1, 0.0));
+        let report = run_inventory(&Crdsa::new(), &tags, &config).unwrap();
+        assert_eq!(report.identified, 300);
+    }
+
+    #[test]
+    fn three_replica_variant_works() {
+        let tags = population::uniform(&mut seeded_rng(5), 400);
+        let cfg = CrdsaConfig {
+            replicas: 3,
+            target_load: 0.8,
+            ..CrdsaConfig::default()
+        };
+        let report =
+            run_inventory(&Crdsa::with_config(cfg), &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "replicas must be >= 2")]
+    fn one_replica_panics() {
+        let _ = Crdsa::with_config(CrdsaConfig {
+            replicas: 1,
+            ..CrdsaConfig::default()
+        });
+    }
+}

@@ -1,0 +1,191 @@
+//! Dynamic framed-slotted ALOHA (Cha-Kim [6]) — the strongest ALOHA
+//! baseline in the paper's Table I.
+//!
+//! "The dynamic framed slotted ALOHA (DFSA) introduces frames with dynamic
+//! frame size. It is proved that the maximal reading throughput is achieved
+//! when the frame size is equal to the number of unread tags." The unread
+//! backlog after each frame is estimated from the collision count with
+//! Schoute's factor (`≈ 2.39·c`, the fast estimate of [6]).
+
+use crate::aloha::{frame::run_frame, InitialEstimate};
+use crate::estimate::schoute_backlog;
+use rand::rngs::StdRng;
+use rfid_sim::{AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
+use rfid_types::TagId;
+
+/// Configuration of [`Dfsa`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DfsaConfig {
+    /// Bootstrap for the first frame's size.
+    pub initial: InitialEstimate,
+    /// Hard cap on any frame size (0 disables the cap). DFSA proper is
+    /// uncapped — the paper notes that is impractical, which is EDFSA's
+    /// raison d'être.
+    pub max_frame: u32,
+}
+
+impl Default for DfsaConfig {
+    fn default() -> Self {
+        DfsaConfig {
+            initial: InitialEstimate::Exact,
+            max_frame: 0,
+        }
+    }
+}
+
+/// Dynamic framed-slotted ALOHA.
+///
+/// # Example
+///
+/// ```
+/// use rfid_protocols::Dfsa;
+/// use rfid_sim::{run_inventory, SimConfig};
+/// use rfid_types::population;
+///
+/// let tags = population::uniform(&mut rfid_sim::seeded_rng(1), 500);
+/// let report = run_inventory(&Dfsa::new(), &tags, &SimConfig::default())?;
+/// assert_eq!(report.identified, 500);
+/// # Ok::<(), rfid_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dfsa {
+    config: DfsaConfig,
+}
+
+impl Dfsa {
+    /// Creates DFSA with the default (oracle-bootstrapped, uncapped)
+    /// configuration used for the paper's tables.
+    #[must_use]
+    pub fn new() -> Self {
+        Dfsa::with_config(DfsaConfig::default())
+    }
+
+    /// Creates DFSA with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: DfsaConfig) -> Self {
+        Dfsa { config }
+    }
+
+    fn clamp_frame(&self, desired: f64) -> u32 {
+        let desired = desired.round().max(1.0) as u32;
+        if self.config.max_frame == 0 {
+            desired
+        } else {
+            desired.min(self.config.max_frame)
+        }
+    }
+}
+
+impl AntiCollisionProtocol for Dfsa {
+    fn name(&self) -> &str {
+        "DFSA"
+    }
+
+    fn run(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+    ) -> Result<InventoryReport, SimError> {
+        let mut report = InventoryReport::new(self.name());
+        let mut active: Vec<TagId> = tags.to_vec();
+        let mut frame = self.clamp_frame(self.config.initial.resolve(tags.len()));
+        let mut slots: u64 = 0;
+
+        while !active.is_empty() {
+            if slots + u64::from(frame) > config.max_slots() {
+                return Err(SimError::ExceededMaxSlots {
+                    max_slots: config.max_slots(),
+                    identified: report.identified,
+                    total: tags.len(),
+                });
+            }
+            slots += u64::from(frame);
+            let stats = run_frame(&mut active, frame, config, rng, &mut report);
+            // Next frame sized to the estimated unread backlog. A frame
+            // with zero collisions but surviving tags (ack loss, or a
+            // wildly small bootstrap that produced only empties) restarts
+            // from the surviving count the reader cannot see — use a
+            // minimal probe frame and let the estimate rebuild.
+            let backlog = schoute_backlog(stats.collision);
+            frame = self.clamp_frame(if backlog > 0.0 { backlog } else { 1.0 });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::{run_inventory, run_many, seeded_rng, ErrorModel};
+    use rfid_types::population;
+
+    #[test]
+    fn reads_all_tags() {
+        let tags = population::uniform(&mut seeded_rng(1), 1_000);
+        let report = run_inventory(&Dfsa::new(), &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 1_000);
+    }
+
+    #[test]
+    fn throughput_matches_paper_band() {
+        // Paper Table I: DFSA ranges 129.1–132.8 tags/s.
+        let agg = run_many(&Dfsa::new(), 5_000, 5, &SimConfig::default()).unwrap();
+        assert!(
+            (125.0..135.0).contains(&agg.throughput.mean),
+            "throughput {}",
+            agg.throughput.mean
+        );
+    }
+
+    #[test]
+    fn slot_shape_matches_paper_table2() {
+        // Paper Table II at N = 10 000: empty ≈ 10 076, singleton = 10 000,
+        // collision ≈ 7 208, total ≈ 27 284 (≈ e·N).
+        let agg = run_many(&Dfsa::new(), 10_000, 3, &SimConfig::default()).unwrap();
+        assert!((agg.singleton_slots.mean - 10_000.0).abs() < 1.0);
+        assert!(
+            (agg.empty_slots.mean - 10_076.0).abs() < 600.0,
+            "empty {}",
+            agg.empty_slots.mean
+        );
+        assert!(
+            (agg.collision_slots.mean - 7_208.0).abs() < 400.0,
+            "collision {}",
+            agg.collision_slots.mean
+        );
+        assert!(
+            (agg.total_slots.mean - 27_284.0).abs() < 900.0,
+            "total {}",
+            agg.total_slots.mean
+        );
+    }
+
+    #[test]
+    fn capped_variant_still_completes() {
+        let tags = population::uniform(&mut seeded_rng(2), 2_000);
+        let proto = Dfsa::with_config(DfsaConfig {
+            initial: InitialEstimate::Fixed(128),
+            max_frame: 256,
+        });
+        let report = run_inventory(&proto, &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 2_000);
+    }
+
+    #[test]
+    fn completes_under_channel_errors() {
+        let tags = population::uniform(&mut seeded_rng(3), 400);
+        let config = SimConfig::default().with_errors(ErrorModel::new(0.15, 0.05, 0.0));
+        let report = run_inventory(&Dfsa::new(), &tags, &config).unwrap();
+        assert_eq!(report.identified, 400);
+    }
+
+    #[test]
+    fn single_tag() {
+        let tags = population::uniform(&mut seeded_rng(4), 1);
+        let report = run_inventory(&Dfsa::new(), &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 1);
+        assert_eq!(report.slots.total(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Basic framed-slotted ALOHA with a fixed frame size (§VII: "slots are
+//! grouped into frames with the same fixed frame size. Each unread tag
+//! picks up a random slot within each frame to report").
+
+use crate::aloha::frame::run_frame;
+use rand::rngs::StdRng;
+use rfid_sim::{AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
+use rfid_types::TagId;
+
+/// Fixed-frame-size slotted ALOHA.
+///
+/// Works well only when the frame size is near the population size; the
+/// paper cites exactly this brittleness as the motivation for DFSA ("it is
+/// possible that the number of tags far exceeds the number of slots in a
+/// frame so that the frame is full of collision"). Runs whose population
+/// dwarfs the frame will hit [`SimError::ExceededMaxSlots`] — that *is* the
+/// documented failure mode.
+#[derive(Debug, Clone)]
+pub struct FramedSlottedAloha {
+    frame_size: u32,
+    name: String,
+}
+
+impl FramedSlottedAloha {
+    /// Creates the protocol with the given fixed frame size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_size == 0`.
+    #[must_use]
+    pub fn new(frame_size: u32) -> Self {
+        assert!(frame_size > 0, "frame_size must be positive");
+        FramedSlottedAloha {
+            frame_size,
+            name: format!("FSA-{frame_size}"),
+        }
+    }
+
+    /// The fixed frame size.
+    #[must_use]
+    pub fn frame_size(&self) -> u32 {
+        self.frame_size
+    }
+}
+
+impl AntiCollisionProtocol for FramedSlottedAloha {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+    ) -> Result<InventoryReport, SimError> {
+        let mut report = InventoryReport::new(self.name());
+        let mut active: Vec<TagId> = tags.to_vec();
+        let mut slots: u64 = 0;
+        while !active.is_empty() {
+            if slots + u64::from(self.frame_size) > config.max_slots() {
+                return Err(SimError::ExceededMaxSlots {
+                    max_slots: config.max_slots(),
+                    identified: report.identified,
+                    total: tags.len(),
+                });
+            }
+            slots += u64::from(self.frame_size);
+            run_frame(&mut active, self.frame_size, config, rng, &mut report);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::{run_inventory, seeded_rng};
+    use rfid_types::population;
+
+    #[test]
+    fn reads_all_when_frame_matches_population() {
+        let tags = population::uniform(&mut seeded_rng(1), 128);
+        let proto = FramedSlottedAloha::new(128);
+        let report = run_inventory(&proto, &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 128);
+        assert_eq!(report.slots.total() % 128, 0);
+    }
+
+    #[test]
+    fn overloaded_frame_fails_to_terminate() {
+        // 5000 tags against a 16-slot frame: every slot collides, forever.
+        let tags = population::uniform(&mut seeded_rng(2), 5_000);
+        let proto = FramedSlottedAloha::new(16);
+        let config = SimConfig::default().with_max_slots(10_000);
+        let err = run_inventory(&proto, &tags, &config).unwrap_err();
+        assert!(matches!(err, SimError::ExceededMaxSlots { .. }));
+    }
+
+    #[test]
+    fn empty_population_finishes_immediately() {
+        let proto = FramedSlottedAloha::new(8);
+        let report = run_inventory(&proto, &[], &SimConfig::default()).unwrap();
+        assert_eq!(report.slots.total(), 0);
+    }
+
+    #[test]
+    fn name_includes_frame_size() {
+        assert_eq!(FramedSlottedAloha::new(64).name(), "FSA-64");
+        assert_eq!(FramedSlottedAloha::new(64).frame_size(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame_size must be positive")]
+    fn zero_frame_panics() {
+        let _ = FramedSlottedAloha::new(0);
+    }
+}

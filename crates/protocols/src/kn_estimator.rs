@@ -1,0 +1,385 @@
+//! Kodialam-Nandagopal estimation schemes (MobiCom'06; the paper's
+//! reference \[24\], cited both as SCAT's pre-step — "Its value can be
+//! estimated to an arbitrary accuracy \[24\]" — and as the inspiration for
+//! FCAT's embedded estimator in §V-C).
+//!
+//! The reader runs short *estimation frames*: every tag joins a frame with
+//! persistence probability `p` and, if it joins, picks exactly **one** of
+//! the `f` slots uniformly (unlike FCAT, where a tag fires in every slot
+//! independently — the difference §V-C points out). With load
+//! `ρ = p·n/f`, slot occupancies are asymptotically Poisson:
+//!
+//! ```text
+//! empty fraction      t₀(ρ) = e^{−ρ}
+//! singleton fraction  t₁(ρ) = ρ·e^{−ρ}
+//! collision fraction  t_c(ρ) = 1 − (1+ρ)·e^{−ρ}
+//! ```
+//!
+//! * **Zero Estimator (ZE)** inverts `t₀`: `n̂ = (f/p)·ln(f/n₀)`.
+//! * **Collision Estimator (CE)** inverts the monotone `t_c` numerically.
+//! * **Unified (UPE-style)** combines both frame measurements weighted by
+//!   their asymptotic variances, adapts `p` toward the informative load
+//!   region, and repeats frames until a target coefficient of variation is
+//!   met — the "arbitrary accuracy" dial.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rfid_sim::sampling::sample_binomial;
+use rfid_sim::SimConfig;
+
+/// Which statistic(s) the estimator inverts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum KnMethod {
+    /// Zero (empty-count) estimator.
+    Zero,
+    /// Collision-count estimator.
+    Collision,
+    /// Variance-weighted combination of both.
+    #[default]
+    Unified,
+}
+
+/// One frame's observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnFrame {
+    /// Empty slots.
+    pub empty: u32,
+    /// Singleton slots.
+    pub singleton: u32,
+    /// Collision slots.
+    pub collision: u32,
+}
+
+/// Outcome of a full estimation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KnOutcome {
+    /// The population estimate.
+    pub estimate: f64,
+    /// Estimation frames used.
+    pub frames: u32,
+    /// Total estimation slots used.
+    pub slots_used: u64,
+    /// Air time consumed (µs); estimation slots are short energy-detect
+    /// bursts, charged at one guard plus one ack length.
+    pub elapsed_us: f64,
+}
+
+/// Zero Estimator: inverts `E[n₀] = f·e^{−pn/f}`.
+///
+/// Clamps the degenerate all-empty / none-empty frames to half-slot
+/// resolution so the caller always gets a finite value.
+///
+/// # Panics
+///
+/// Panics if `frame_size == 0`, `empties > frame_size`, or `p ∉ (0, 1]`.
+#[must_use]
+pub fn zero_estimate(empties: u32, frame_size: u32, p: f64) -> f64 {
+    assert!(frame_size > 0, "frame_size must be positive");
+    assert!(empties <= frame_size, "empties exceed frame size");
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0,1]");
+    let f = f64::from(frame_size);
+    let n0 = f64::from(empties).clamp(0.5, f - 0.5).min(f);
+    (f / p) * (f / n0).ln()
+}
+
+/// Collision Estimator: inverts `E[n_c] = f·(1 − (1+ρ)e^{−ρ})` by bisection
+/// on the monotone collision fraction.
+///
+/// # Panics
+///
+/// Panics if `frame_size == 0`, `collisions > frame_size`, or `p ∉ (0, 1]`.
+#[must_use]
+pub fn collision_estimate(collisions: u32, frame_size: u32, p: f64) -> f64 {
+    assert!(frame_size > 0, "frame_size must be positive");
+    assert!(collisions <= frame_size, "collisions exceed frame size");
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0,1]");
+    let f = f64::from(frame_size);
+    let fraction = (f64::from(collisions).clamp(0.0, f - 0.5) / f).min(1.0 - 1e-12);
+    let rho = invert_collision_fraction(fraction);
+    rho * f / p
+}
+
+/// Solves `1 − (1+ρ)e^{−ρ} = fraction` for `ρ ≥ 0`.
+fn invert_collision_fraction(fraction: f64) -> f64 {
+    if fraction <= 0.0 {
+        return 0.0;
+    }
+    let t_c = |rho: f64| 1.0 - (1.0 + rho) * (-rho).exp();
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while t_c(hi) < fraction {
+        hi *= 2.0;
+        if hi > 1e6 {
+            return hi;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_c(mid) < fraction {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Asymptotic variance factors of the two estimators at load `ρ`
+/// (δ-method over Poisson slot occupancies): lower is better. Used as
+/// inverse weights by the unified combination.
+#[must_use]
+pub fn estimator_variances(rho: f64, frame_size: u32) -> (f64, f64) {
+    let f = f64::from(frame_size);
+    let q0 = (-rho).exp();
+    // ZE: n̂ ∝ ln(f/n₀); V(n₀) ≈ f·q₀(1−q₀); dρ/dn₀ = −1/(f·q₀).
+    let var_zero = (1.0 - q0) / (f * q0);
+    // CE: V(n_c) ≈ f·t_c(1−t_c); dt_c/dρ = ρ·e^{−ρ}.
+    let t_c = 1.0 - (1.0 + rho) * q0;
+    let slope = (rho * q0).max(1e-9);
+    let var_coll = t_c * (1.0 - t_c) / (f * slope * slope);
+    (var_zero, var_coll)
+}
+
+/// The iterated estimator.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KnEstimator {
+    frame_size: u32,
+    method: KnMethod,
+    target_cv: f64,
+    max_frames: u32,
+}
+
+impl KnEstimator {
+    /// Creates an estimator.
+    ///
+    /// `target_cv` is the stop criterion: estimated coefficient of
+    /// variation of the running average (e.g. 0.05 for ±5 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_size == 0`, `target_cv <= 0`, or `max_frames == 0`.
+    #[must_use]
+    pub fn new(frame_size: u32, method: KnMethod, target_cv: f64, max_frames: u32) -> Self {
+        assert!(frame_size > 0, "frame_size must be positive");
+        assert!(target_cv > 0.0, "target_cv must be positive");
+        assert!(max_frames > 0, "max_frames must be positive");
+        KnEstimator {
+            frame_size,
+            method,
+            target_cv,
+            max_frames,
+        }
+    }
+
+    /// Simulates one estimation frame against a hidden population.
+    #[must_use]
+    pub fn simulate_frame(&self, actual: usize, p: f64, rng: &mut StdRng) -> KnFrame {
+        let f = self.frame_size as usize;
+        let joining = sample_binomial(actual, p, rng);
+        let mut counts = vec![0u32; f];
+        for _ in 0..joining {
+            counts[rng.gen_range(0..f)] += 1;
+        }
+        let mut frame = KnFrame {
+            empty: 0,
+            singleton: 0,
+            collision: 0,
+        };
+        for c in counts {
+            match c {
+                0 => frame.empty += 1,
+                1 => frame.singleton += 1,
+                _ => frame.collision += 1,
+            }
+        }
+        frame
+    }
+
+    /// One-frame point estimate under the configured method.
+    #[must_use]
+    pub fn frame_estimate(&self, frame: &KnFrame, p: f64) -> f64 {
+        let f = self.frame_size;
+        match self.method {
+            KnMethod::Zero => zero_estimate(frame.empty, f, p),
+            KnMethod::Collision => collision_estimate(frame.collision, f, p),
+            KnMethod::Unified => {
+                let ze = zero_estimate(frame.empty, f, p);
+                let ce = collision_estimate(frame.collision, f, p);
+                let rho = (p * 0.5 * (ze + ce) / f64::from(f)).max(1e-6);
+                let (vz, vc) = estimator_variances(rho, f);
+                (ze / vz + ce / vc) / (1.0 / vz + 1.0 / vc)
+            }
+        }
+    }
+
+    /// Runs estimation frames until the target accuracy (or the frame cap)
+    /// is reached, adapting the persistence probability toward the
+    /// informative load region `ρ ≈ 1.6` after each frame.
+    #[must_use]
+    pub fn estimate(&self, actual: usize, config: &SimConfig, rng: &mut StdRng) -> KnOutcome {
+        // Estimation slots carry only energy information.
+        let slot_us = config.timing().guard_us() + config.timing().ack_us();
+        let f = f64::from(self.frame_size);
+        const TARGET_RHO: f64 = 1.6;
+
+        let mut p: f64 = 1.0;
+        let mut estimates: Vec<f64> = Vec::new();
+        let mut frames = 0u32;
+        while frames < self.max_frames {
+            frames += 1;
+            let frame = self.simulate_frame(actual, p, rng);
+            if frame.empty == 0 {
+                // Saturated: halve aggressively and do not trust the frame.
+                p = (p / 8.0).max(1e-9);
+                continue;
+            }
+            let estimate = self.frame_estimate(&frame, p);
+            estimates.push(estimate);
+
+            // Running statistics → stop when the mean's CV is small.
+            let n = estimates.len() as f64;
+            let mean = estimates.iter().sum::<f64>() / n;
+            if estimates.len() >= 2 {
+                let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (n - 1.0);
+                let cv_of_mean = (var / n).sqrt() / mean.max(1e-9);
+                if cv_of_mean < self.target_cv {
+                    break;
+                }
+            }
+            // Steer the load toward the informative region.
+            p = (TARGET_RHO * f / mean.max(1.0)).min(1.0);
+        }
+
+        let estimate = if estimates.is_empty() {
+            // Every frame saturated even at minimal p: enormous population.
+            f / p
+        } else {
+            estimates.iter().sum::<f64>() / estimates.len() as f64
+        };
+        let slots_used = u64::from(frames) * u64::from(self.frame_size);
+        KnOutcome {
+            estimate,
+            frames,
+            slots_used,
+            elapsed_us: slots_used as f64 * slot_us,
+        }
+    }
+}
+
+impl Default for KnEstimator {
+    /// 64-slot frames, unified method, ±5 % target, 64-frame cap.
+    fn default() -> Self {
+        KnEstimator::new(64, KnMethod::Unified, 0.05, 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::seeded_rng;
+
+    #[test]
+    fn inversion_functions_are_consistent() {
+        // t_c(ρ) then invert must return ρ.
+        for rho in [0.1, 0.5, 1.0, 1.6, 3.0, 6.0] {
+            let fraction = 1.0 - (1.0 + rho) * (-rho as f64).exp();
+            let back = invert_collision_fraction(fraction);
+            assert!((back - rho).abs() < 1e-9, "rho {rho} -> {back}");
+        }
+        assert_eq!(invert_collision_fraction(0.0), 0.0);
+    }
+
+    #[test]
+    fn point_estimators_unbiased_at_expectation() {
+        // Feed expected counts; both estimators should return ≈ n.
+        let (n, f, p) = (2_000.0f64, 64u32, 0.04f64);
+        let rho = p * n / f64::from(f);
+        let expected_empty = (f64::from(f) * (-rho).exp()).round() as u32;
+        let expected_coll =
+            (f64::from(f) * (1.0 - (1.0 + rho) * (-rho).exp())).round() as u32;
+        let ze = zero_estimate(expected_empty, f, p);
+        let ce = collision_estimate(expected_coll, f, p);
+        assert!((ze - n).abs() / n < 0.10, "ZE {ze}");
+        assert!((ce - n).abs() / n < 0.10, "CE {ce}");
+    }
+
+    #[test]
+    fn unified_reaches_target_accuracy() {
+        let estimator = KnEstimator::default();
+        let config = SimConfig::default();
+        for &n in &[500usize, 5_000, 50_000] {
+            let mut errors = Vec::new();
+            for seed in 0..6 {
+                let mut rng = seeded_rng(1_000 + seed);
+                let out = estimator.estimate(n, &config, &mut rng);
+                errors.push((out.estimate - n as f64).abs() / n as f64);
+                assert!(out.frames <= 64);
+                assert!(out.slots_used == u64::from(out.frames) * 64);
+            }
+            let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+            assert!(mean_err < 0.10, "n {n}: mean error {mean_err}");
+        }
+    }
+
+    #[test]
+    fn methods_all_converge() {
+        let config = SimConfig::default();
+        for method in [KnMethod::Zero, KnMethod::Collision, KnMethod::Unified] {
+            let estimator = KnEstimator::new(64, method, 0.05, 64);
+            let mut rng = seeded_rng(7);
+            let out = estimator.estimate(3_000, &config, &mut rng);
+            let rel = (out.estimate - 3_000.0).abs() / 3_000.0;
+            assert!(rel < 0.2, "{method:?}: estimate {} rel {rel}", out.estimate);
+        }
+    }
+
+    #[test]
+    fn tiny_population() {
+        let estimator = KnEstimator::default();
+        let mut rng = seeded_rng(9);
+        let out = estimator.estimate(3, &SimConfig::default(), &mut rng);
+        assert!(out.estimate < 30.0, "estimate {}", out.estimate);
+    }
+
+    #[test]
+    fn variance_weights_favor_collision_at_high_load() {
+        // At high load ZE's variance blows up (q₀ → 0); CE stays usable.
+        let (vz_hi, vc_hi) = estimator_variances(4.0, 64);
+        assert!(vz_hi > vc_hi, "ZE {vz_hi} vs CE {vc_hi} at rho=4");
+        // At low load ZE is the better statistic.
+        let (vz_lo, vc_lo) = estimator_variances(0.2, 64);
+        assert!(vz_lo < vc_lo, "ZE {vz_lo} vs CE {vc_lo} at rho=0.2");
+    }
+
+    #[test]
+    fn tighter_target_costs_more_frames() {
+        let config = SimConfig::default();
+        let loose = KnEstimator::new(64, KnMethod::Unified, 0.2, 256);
+        let tight = KnEstimator::new(64, KnMethod::Unified, 0.02, 256);
+        let mut frames_loose = 0u32;
+        let mut frames_tight = 0u32;
+        for seed in 0..5 {
+            frames_loose += loose
+                .estimate(10_000, &config, &mut seeded_rng(seed))
+                .frames;
+            frames_tight += tight
+                .estimate(10_000, &config, &mut seeded_rng(seed))
+                .frames;
+        }
+        assert!(
+            frames_tight > frames_loose,
+            "tight {frames_tight} !> loose {frames_loose}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target_cv must be positive")]
+    fn bad_target_panics() {
+        let _ = KnEstimator::new(64, KnMethod::Unified, 0.0, 8);
+    }
+}

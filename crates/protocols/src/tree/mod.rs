@@ -1,0 +1,12 @@
+//! Tree-based baselines (§VII, second class): the reading process is a
+//! recursive splitting of the colliding set, bounded by `1/(2.88T)`.
+
+mod aqs_session;
+mod query;
+mod session;
+mod splitting;
+
+pub use aqs_session::AqsSession;
+pub use query::{Aqs, QueryTree};
+pub use session::AbsSession;
+pub use splitting::Abs;

@@ -1,0 +1,220 @@
+//! Adaptive Binary Splitting (Myung-Lee [12]) — counter-based random
+//! binary tree splitting.
+//!
+//! §VII: "each tag has a counter initialized to 0. Upon receiving a query,
+//! each tag that has a counter value 0 will respond. Once collision
+//! happens ... each colliding tag draws a random binary number and adds it
+//! to its counter. ... all other tags that do not transmit also increase
+//! their counters by one; otherwise, they decrease their counters by one."
+//!
+//! Those counter dynamics are exactly a depth-first traversal of a random
+//! binary tree, so the implementation keeps the tags grouped by counter
+//! value on an explicit stack: popping the front group is the "decrement",
+//! pushing split halves is the "increment". The maximal throughput of this
+//! class is `1/(2.88T)` (Capetanakis [27]), and the paper's Table II slot
+//! mix for ABS (≈ 0.44·N empty, N singleton, ≈ 1.44·N collision) emerges
+//! from these dynamics.
+//!
+//! ABS proper adds *progress preservation* across successive inventory
+//! rounds (it starts a new round from the previous round's leaf groups).
+//! A first/cold round — which is what the paper's single-inventory
+//! experiments measure — starts with every tag at counter 0.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rfid_sim::{AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
+use rfid_types::{SlotClass, TagId};
+use std::collections::VecDeque;
+
+/// Adaptive Binary Splitting (cold-start round).
+///
+/// # Example
+///
+/// ```
+/// use rfid_protocols::Abs;
+/// use rfid_sim::{run_inventory, SimConfig};
+/// use rfid_types::population;
+///
+/// let tags = population::uniform(&mut rfid_sim::seeded_rng(1), 300);
+/// let report = run_inventory(&Abs::new(), &tags, &SimConfig::default())?;
+/// assert_eq!(report.identified, 300);
+/// # Ok::<(), rfid_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Abs;
+
+impl Abs {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        Abs
+    }
+}
+
+/// Runs the counter-based splitting dynamics from an initial counter-group
+/// stack until every group is drained, invoking `on_identified` for each
+/// tag the reader successfully acknowledges (in identification order).
+///
+/// Shared by one-shot [`Abs`] (initial stack = one group holding all tags)
+/// and the warm-start `AbsSession` (initial stack = the previous round's
+/// counter assignment) so the two cannot drift apart.
+pub(crate) fn run_splitting(
+    name: &str,
+    mut stack: VecDeque<Vec<TagId>>,
+    total_tags: usize,
+    config: &SimConfig,
+    rng: &mut StdRng,
+    mut on_identified: impl FnMut(TagId),
+) -> Result<InventoryReport, SimError> {
+    let mut report = InventoryReport::new(name);
+    let slot_us = config.timing().basic_slot_us();
+    let errors = config.errors().clone();
+    let mut slots: u64 = 0;
+
+    while let Some(group) = stack.pop_front() {
+        if slots >= config.max_slots() {
+            return Err(SimError::ExceededMaxSlots {
+                max_slots: config.max_slots(),
+                identified: report.identified,
+                total: total_tags,
+            });
+        }
+        slots += 1;
+
+        let corrupted = group.len() == 1 && errors.sample_report_corrupted(rng);
+        match group.len() {
+            0 => report.record_slot(SlotClass::Empty, slot_us),
+            1 if !corrupted => {
+                report.record_slot(SlotClass::Singleton, slot_us);
+                let tag = group[0];
+                if report.record_identified(tag) {
+                    on_identified(tag);
+                }
+                if errors.sample_ack_lost(rng) {
+                    // Unacknowledged tag stays at counter 0: it merges
+                    // into the next group to transmit.
+                    match stack.front_mut() {
+                        Some(front) => front.push(tag),
+                        None => stack.push_front(vec![tag]),
+                    }
+                }
+            }
+            _ => {
+                // Collision (or a corrupted singleton the reader cannot
+                // tell apart): every involved tag draws a random bit.
+                report.record_slot(SlotClass::Collision, slot_us);
+                let mut zeros = Vec::new();
+                let mut ones = Vec::new();
+                for tag in group {
+                    if rng.gen::<bool>() {
+                        ones.push(tag);
+                    } else {
+                        zeros.push(tag);
+                    }
+                }
+                stack.push_front(ones);
+                stack.push_front(zeros);
+            }
+        }
+    }
+    Ok(report)
+}
+
+impl AntiCollisionProtocol for Abs {
+    fn name(&self) -> &str {
+        "ABS"
+    }
+
+    fn run(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+    ) -> Result<InventoryReport, SimError> {
+        if tags.is_empty() {
+            return Ok(InventoryReport::new(self.name()));
+        }
+        // Cold start: every tag at counter 0, one root group.
+        let stack = VecDeque::from([tags.to_vec()]);
+        run_splitting(self.name(), stack, tags.len(), config, rng, |_| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::{run_inventory, run_many, seeded_rng, ErrorModel};
+    use rfid_types::population;
+
+    #[test]
+    fn reads_all_tags() {
+        let tags = population::uniform(&mut seeded_rng(1), 500);
+        let report = run_inventory(&Abs::new(), &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 500);
+    }
+
+    #[test]
+    fn empty_population() {
+        let report = run_inventory(&Abs::new(), &[], &SimConfig::default()).unwrap();
+        assert_eq!(report.slots.total(), 0);
+    }
+
+    #[test]
+    fn single_tag_one_slot() {
+        let tags = population::uniform(&mut seeded_rng(2), 1);
+        let report = run_inventory(&Abs::new(), &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.slots.total(), 1);
+        assert_eq!(report.slots.singleton, 1);
+    }
+
+    #[test]
+    fn slot_mix_matches_paper_table2() {
+        // Paper Table II, ABS at N = 10 000: empty 4 410, singleton 10 000,
+        // collision 14 409, total 28 819 (2.88·N).
+        let agg = run_many(&Abs::new(), 10_000, 3, &SimConfig::default()).unwrap();
+        assert!((agg.singleton_slots.mean - 10_000.0).abs() < 1.0);
+        assert!(
+            (agg.empty_slots.mean - 4_410.0).abs() < 300.0,
+            "empty {}",
+            agg.empty_slots.mean
+        );
+        assert!(
+            (agg.collision_slots.mean - 14_409.0).abs() < 400.0,
+            "collision {}",
+            agg.collision_slots.mean
+        );
+    }
+
+    #[test]
+    fn throughput_matches_paper_band() {
+        // Paper Table I: ABS sits at 123.5–124.2 tags/s for every N.
+        let agg = run_many(&Abs::new(), 5_000, 5, &SimConfig::default()).unwrap();
+        assert!(
+            (120.0..127.0).contains(&agg.throughput.mean),
+            "throughput {}",
+            agg.throughput.mean
+        );
+    }
+
+    #[test]
+    fn tree_slot_identity() {
+        // In a binary splitting tree every slot is a node: collisions are
+        // internal nodes with exactly two children, so
+        // empty + singleton = collision + 1.
+        let tags = population::uniform(&mut seeded_rng(3), 777);
+        let report = run_inventory(&Abs::new(), &tags, &SimConfig::default()).unwrap();
+        assert_eq!(
+            report.slots.empty + report.slots.singleton,
+            report.slots.collision + 1
+        );
+    }
+
+    #[test]
+    fn completes_under_channel_errors() {
+        let tags = population::uniform(&mut seeded_rng(4), 300);
+        let config = SimConfig::default().with_errors(ErrorModel::new(0.2, 0.1, 0.0));
+        let report = run_inventory(&Abs::new(), &tags, &config).unwrap();
+        assert_eq!(report.identified, 300);
+        assert!(report.duplicates_discarded > 0);
+    }
+}

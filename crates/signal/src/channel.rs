@@ -1,0 +1,343 @@
+//! Flat-fading channel model between a tag and the reader.
+//!
+//! Per §II-B, each component of a mixed signal arrives with its own channel
+//! attenuation `h` and phase shift `γ`:
+//! `y[n] = h'·A_s·e^{i(θ_s[n]+γ')} + h''·B_s·e^{i(φ_s[n]+γ'')}`.
+//!
+//! Tags are statically located during a reading round (§IV-E), so the
+//! channel is modelled as a per-transmission complex gain (drawn once per
+//! slot) plus additive white Gaussian noise at the reader.
+
+use crate::complex::Complex;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Draws a standard-normal variate via Box-Muller (the offline `rand` 0.8
+/// has no bundled normal distribution).
+#[must_use]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// The realized channel of one tag transmission: amplitude gain, phase
+/// rotation (`h` and `γ` of §II-B), and residual carrier frequency offset.
+///
+/// In the RFID setting the tags are synchronized by the reader's signal
+/// (§II-B: "transmissions in a RFID system can be synchronized by the
+/// reader's signal"), so `freq_offset` defaults to zero — this is exactly
+/// what makes the RFID collision-resolution problem *simpler* than Katti's
+/// Alice-Bob case. A nonzero offset models free-running transmitter
+/// oscillators, under which the relative phase of two components sweeps and
+/// the paper's energy equations become accurate per-slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChannelParams {
+    /// Amplitude attenuation `h > 0`.
+    pub attenuation: f64,
+    /// Phase shift `γ` in radians.
+    pub phase: f64,
+    /// Residual carrier frequency offset in radians per sample.
+    pub freq_offset: f64,
+}
+
+impl ChannelParams {
+    /// The identity channel (no attenuation, no rotation, no offset).
+    #[must_use]
+    pub fn identity() -> Self {
+        ChannelParams {
+            attenuation: 1.0,
+            phase: 0.0,
+            freq_offset: 0.0,
+        }
+    }
+
+    /// The complex gain `h·e^{iγ}` this channel multiplies onto the signal
+    /// at sample 0.
+    #[must_use]
+    pub fn gain(&self) -> Complex {
+        Complex::from_polar(self.attenuation, self.phase)
+    }
+
+    /// Applies this channel to a waveform (no noise): sample `n` is
+    /// multiplied by `h·e^{i(γ + n·freq_offset)}`.
+    #[must_use]
+    pub fn apply(&self, samples: &[Complex]) -> Vec<Complex> {
+        if self.freq_offset == 0.0 {
+            let g = self.gain();
+            samples.iter().map(|&s| s * g).collect()
+        } else {
+            samples
+                .iter()
+                .enumerate()
+                .map(|(n, &s)| {
+                    s * Complex::from_polar(
+                        self.attenuation,
+                        self.phase + n as f64 * self.freq_offset,
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// Statistical model from which per-transmission [`ChannelParams`] and
+/// receiver noise are drawn.
+///
+/// Defaults: attenuation uniform in `[0.5, 1.0]` (tags at varying range,
+/// none vanishing), phase uniform in `[0, 2π)`, and a noise standard
+/// deviation of `0.01` per real dimension — ≈ 37 dB SNR for a unit-power
+/// component, comfortably inside MSK's working region so that the paper's
+/// "2-collision slots are resolvable" holds by default. The `ablation-snr`
+/// experiment sweeps `noise_std` to find where it stops holding.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChannelModel {
+    attenuation_range: (f64, f64),
+    noise_std: f64,
+    max_freq_offset: f64,
+}
+
+impl ChannelModel {
+    /// Creates a model with attenuation drawn uniformly from
+    /// `attenuation_range` and AWGN of standard deviation `noise_std` per
+    /// real dimension. Frequency offset defaults to zero (reader-
+    /// synchronized tags); see [`ChannelModel::with_max_freq_offset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty/non-positive or `noise_std < 0`.
+    #[must_use]
+    pub fn new(attenuation_range: (f64, f64), noise_std: f64) -> Self {
+        let (lo, hi) = attenuation_range;
+        assert!(
+            lo > 0.0 && hi >= lo && hi.is_finite(),
+            "attenuation range must satisfy 0 < lo <= hi"
+        );
+        assert!(
+            noise_std >= 0.0 && noise_std.is_finite(),
+            "noise_std must be >= 0"
+        );
+        ChannelModel {
+            attenuation_range,
+            noise_std,
+            max_freq_offset: 0.0,
+        }
+    }
+
+    /// Returns this model drawing per-transmission frequency offsets
+    /// uniformly from `[-max, +max]` radians per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is negative or non-finite.
+    #[must_use]
+    pub fn with_max_freq_offset(mut self, max: f64) -> Self {
+        assert!(max >= 0.0 && max.is_finite(), "max_freq_offset must be >= 0");
+        self.max_freq_offset = max;
+        self
+    }
+
+    /// A noiseless variant of this model (for exactness tests).
+    #[must_use]
+    pub fn noiseless(mut self) -> Self {
+        self.noise_std = 0.0;
+        self
+    }
+
+    /// Returns this model with a different noise standard deviation.
+    #[must_use]
+    pub fn with_noise_std(mut self, noise_std: f64) -> Self {
+        assert!(noise_std >= 0.0 && noise_std.is_finite());
+        self.noise_std = noise_std;
+        self
+    }
+
+    /// Noise standard deviation per real dimension.
+    #[must_use]
+    pub fn noise_std(&self) -> f64 {
+        self.noise_std
+    }
+
+    /// Attenuation range.
+    #[must_use]
+    pub fn attenuation_range(&self) -> (f64, f64) {
+        self.attenuation_range
+    }
+
+    /// Maximum per-transmission frequency offset magnitude (rad/sample).
+    #[must_use]
+    pub fn max_freq_offset(&self) -> f64 {
+        self.max_freq_offset
+    }
+
+    /// Draws channel parameters for one tag transmission.
+    #[must_use]
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> ChannelParams {
+        let (lo, hi) = self.attenuation_range;
+        let attenuation = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+        let freq_offset = if self.max_freq_offset > 0.0 {
+            rng.gen_range(-self.max_freq_offset..self.max_freq_offset)
+        } else {
+            0.0
+        };
+        ChannelParams {
+            attenuation,
+            phase: rng.gen_range(0.0..(2.0 * PI)),
+            freq_offset,
+        }
+    }
+
+    /// Adds receiver noise in place.
+    pub fn add_noise<R: Rng + ?Sized>(&self, samples: &mut [Complex], rng: &mut R) {
+        if self.noise_std == 0.0 {
+            return;
+        }
+        for s in samples {
+            *s += Complex::new(
+                self.noise_std * standard_normal(rng),
+                self.noise_std * standard_normal(rng),
+            );
+        }
+    }
+
+    /// The mean per-sample SNR (in dB) of a single component of amplitude
+    /// `a` under this model's noise. Noise power per complex sample is
+    /// `2·noise_std²`.
+    #[must_use]
+    pub fn snr_db(&self, amplitude: f64) -> f64 {
+        if self.noise_std == 0.0 {
+            return f64::INFINITY;
+        }
+        let signal = amplitude * amplitude;
+        let noise = 2.0 * self.noise_std * self.noise_std;
+        10.0 * (signal / noise).log10()
+    }
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        ChannelModel::new((0.5, 1.0), 0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_preserves_signal() {
+        let samples = vec![Complex::new(1.0, 2.0), Complex::new(-0.5, 0.25)];
+        assert_eq!(ChannelParams::identity().apply(&samples), samples);
+    }
+
+    #[test]
+    fn gain_magnitude_matches_attenuation() {
+        let p = ChannelParams {
+            attenuation: 0.7,
+            phase: 1.1,
+            freq_offset: 0.0,
+        };
+        assert!((p.gain().norm() - 0.7).abs() < 1e-12);
+        assert!((p.gain().arg() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freq_offset_rotates_progressively() {
+        let p = ChannelParams {
+            attenuation: 1.0,
+            phase: 0.0,
+            freq_offset: 0.1,
+        };
+        let out = p.apply(&[Complex::ONE; 4]);
+        for (n, s) in out.iter().enumerate() {
+            assert!((s.arg() - 0.1 * n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn model_draws_offset_within_bound() {
+        let model = ChannelModel::new((0.5, 1.0), 0.0).with_max_freq_offset(0.02);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut saw_nonzero = false;
+        for _ in 0..200 {
+            let p = model.draw(&mut rng);
+            assert!(p.freq_offset.abs() <= 0.02);
+            saw_nonzero |= p.freq_offset != 0.0;
+        }
+        assert!(saw_nonzero);
+        // Default model draws zero offset (reader-synchronized tags).
+        assert_eq!(ChannelModel::default().draw(&mut rng).freq_offset, 0.0);
+    }
+
+    #[test]
+    fn draw_within_range() {
+        let model = ChannelModel::new((0.25, 0.75), 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let p = model.draw(&mut rng);
+            assert!(p.attenuation >= 0.25 && p.attenuation < 0.75);
+            assert!(p.phase >= 0.0 && p.phase < 2.0 * PI);
+        }
+    }
+
+    #[test]
+    fn degenerate_range_allowed() {
+        let model = ChannelModel::new((0.5, 0.5), 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(model.draw(&mut rng).attenuation, 0.5);
+    }
+
+    #[test]
+    fn noiseless_adds_nothing() {
+        let model = ChannelModel::default().noiseless();
+        let mut samples = vec![Complex::ONE; 16];
+        let mut rng = StdRng::seed_from_u64(1);
+        model.add_noise(&mut samples, &mut rng);
+        assert!(samples.iter().all(|s| (*s - Complex::ONE).norm() == 0.0));
+    }
+
+    #[test]
+    fn noise_statistics() {
+        let model = ChannelModel::default().with_noise_std(0.5);
+        let mut samples = vec![Complex::ZERO; 40_000];
+        let mut rng = StdRng::seed_from_u64(2);
+        model.add_noise(&mut samples, &mut rng);
+        let power = crate::complex::mean_power(&samples);
+        // E|n|² = 2σ² = 0.5
+        assert!((power - 0.5).abs() < 0.02, "noise power {power}");
+        let mean: Complex = samples.iter().copied().sum::<Complex>().scale(1.0 / 40_000.0);
+        assert!(mean.norm() < 0.01, "noise mean {mean:?}");
+    }
+
+    #[test]
+    fn snr_formula() {
+        let model = ChannelModel::default().with_noise_std(0.1);
+        // signal 1, noise 0.02 → 16.99 dB
+        assert!((model.snr_db(1.0) - 16.9897).abs() < 1e-3);
+        assert_eq!(
+            ChannelModel::default().noiseless().snr_db(1.0),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 60_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "attenuation range")]
+    fn bad_range_panics() {
+        let _ = ChannelModel::new((0.0, 1.0), 0.0);
+    }
+}

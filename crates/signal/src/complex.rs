@@ -1,0 +1,319 @@
+//! Minimal complex arithmetic for the baseband DSP layer.
+//!
+//! Implemented in-repo (rather than pulling a numerics crate) to keep the
+//! substrate self-contained; only the handful of operations the MSK/ANC
+//! chain needs are provided.
+
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number in Cartesian form, `re + i·im`, over `f64`.
+///
+/// # Example
+///
+/// ```
+/// use rfid_signal::Complex;
+///
+/// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+/// assert!((z.re - 0.0).abs() < 1e-12);
+/// assert!((z.im - 2.0).abs() < 1e-12);
+/// assert!((z.norm() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Constructs `re + i·im`.
+    #[inline]
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Constructs `r·e^{iθ}`.
+    #[inline]
+    #[must_use]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Constructs the unit phasor `e^{iθ}`.
+    #[inline]
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    #[inline]
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplication by a real scalar.
+    #[inline]
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Returns NaN components when `self` is zero, mirroring `f64` division.
+    #[inline]
+    #[must_use]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ by definition
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Complex {
+        Complex::new(re, 0.0)
+    }
+}
+
+/// Inner product `⟨a, b⟩ = Σ a[n]·conj(b[n])`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn inner_product(a: &[Complex], b: &[Complex]) -> Complex {
+    assert_eq!(a.len(), b.len(), "inner product requires equal lengths");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x * y.conj())
+        .sum()
+}
+
+/// Mean power `Σ|x[n]|² / len`.
+///
+/// Returns 0 for an empty slice.
+#[must_use]
+pub fn mean_power(x: &[Complex]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().map(|s| s.norm_sqr()).sum::<f64>() / x.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).norm() < 1e-10
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert!(close(a + b, Complex::new(4.0, 1.0)));
+        assert!(close(a - b, Complex::new(-2.0, 3.0)));
+        assert!(close(a * b, Complex::new(5.0, 5.0)));
+        assert!(close(-a, Complex::new(-1.0, -2.0)));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(0.3, 0.9);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(3.0, 1.2);
+        assert!((z.norm() - 3.0).abs() < 1e-12);
+        assert!((z.arg() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i_squares_to_minus_one() {
+        assert!(close(Complex::I * Complex::I, -Complex::ONE));
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let theta = k as f64 * PI / 8.0;
+            assert!((Complex::cis(theta).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inner_product_orthogonality() {
+        // e^{i·0}, e^{i·π} over two samples are anti-parallel.
+        let a = vec![Complex::ONE, Complex::ONE];
+        let b = vec![Complex::ONE, -Complex::ONE];
+        assert!(close(inner_product(&a, &b), Complex::ZERO));
+    }
+
+    #[test]
+    fn mean_power_of_unit_signal() {
+        let x = vec![Complex::cis(0.3); 64];
+        assert!((mean_power(&x) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn sum_impl() {
+        let xs = vec![Complex::new(1.0, 1.0); 4];
+        let s: Complex = xs.into_iter().sum();
+        assert!(close(s, Complex::new(4.0, 4.0)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_conj_involution(re in -1e3f64..1e3, im in -1e3f64..1e3) {
+            let z = Complex::new(re, im);
+            prop_assert_eq!(z.conj().conj(), z);
+        }
+
+        #[test]
+        fn prop_norm_multiplicative(
+            a_re in -100f64..100.0, a_im in -100f64..100.0,
+            b_re in -100f64..100.0, b_im in -100f64..100.0,
+        ) {
+            let a = Complex::new(a_re, a_im);
+            let b = Complex::new(b_re, b_im);
+            let lhs = (a * b).norm();
+            let rhs = a.norm() * b.norm();
+            prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs));
+        }
+
+        #[test]
+        fn prop_inv_is_inverse(re in 0.1f64..100.0, im in 0.1f64..100.0) {
+            let z = Complex::new(re, im);
+            let w = z * z.inv();
+            prop_assert!((w - Complex::ONE).norm() < 1e-9);
+        }
+    }
+}

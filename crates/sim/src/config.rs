@@ -1,0 +1,332 @@
+//! Per-run simulation configuration.
+
+use rand::Rng;
+use rfid_types::TimingConfig;
+
+/// Channel-error injection knobs (§IV-E of the paper).
+///
+/// All probabilities are per-event and independent:
+///
+/// * `ack_loss` — a reader acknowledgement fails to reach the tag(s) it
+///   addresses; the tags keep participating and the reader later discards
+///   the duplicate ("the reader may receive an ID more than once and the
+///   duplicates will be discarded").
+/// * `report_corruption` — the signal received in a report segment is
+///   corrupted beyond use: a singleton fails its CRC and a collision
+///   record is ruined (recorded but permanently unresolvable).
+/// * `unresolvable_collision` — a collision record that *would* be
+///   resolvable (k ≤ λ) is spoiled by noise/variation at resolution time
+///   ("if the spontaneous noise is too large, a collision slot may not be
+///   resolvable. The only impact is that the slot is not useful").
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ErrorModel {
+    ack_loss: f64,
+    report_corruption: f64,
+    unresolvable_collision: f64,
+    capture: f64,
+}
+
+impl ErrorModel {
+    /// A perfectly clean channel (the paper's main evaluation setting).
+    #[must_use]
+    pub fn none() -> Self {
+        ErrorModel {
+            ack_loss: 0.0,
+            report_corruption: 0.0,
+            unresolvable_collision: 0.0,
+            capture: 0.0,
+        }
+    }
+
+    /// Creates an error model; every argument is a probability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(ack_loss: f64, report_corruption: f64, unresolvable_collision: f64) -> Self {
+        for (name, p) in [
+            ("ack_loss", ack_loss),
+            ("report_corruption", report_corruption),
+            ("unresolvable_collision", unresolvable_collision),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability, got {p}"
+            );
+        }
+        ErrorModel {
+            ack_loss,
+            report_corruption,
+            unresolvable_collision,
+            capture: 0.0,
+        }
+    }
+
+    /// Returns this model with a *capture* probability: a collision slot
+    /// whose strongest component dominates decodes as that component's
+    /// singleton (the classic RFID capture effect; the signal-level
+    /// fidelity mode exhibits it from physics, this knob models it at slot
+    /// level). Supported by the collision-aware protocol family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capture` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_capture(mut self, capture: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&capture),
+            "capture must be a probability, got {capture}"
+        );
+        self.capture = capture;
+        self
+    }
+
+    /// Probability that a collision slot is captured by one component.
+    #[must_use]
+    pub fn capture(&self) -> f64 {
+        self.capture
+    }
+
+    /// Samples whether a collision slot is captured.
+    #[must_use]
+    pub fn sample_capture<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.capture > 0.0 && rng.gen::<f64>() < self.capture
+    }
+
+    /// Probability that an acknowledgement is lost.
+    #[must_use]
+    pub fn ack_loss(&self) -> f64 {
+        self.ack_loss
+    }
+
+    /// Probability that a report segment is corrupted.
+    #[must_use]
+    pub fn report_corruption(&self) -> f64 {
+        self.report_corruption
+    }
+
+    /// Probability that an otherwise-resolvable collision record is spoiled.
+    #[must_use]
+    pub fn unresolvable_collision(&self) -> f64 {
+        self.unresolvable_collision
+    }
+
+    /// True when no error (or capture) can occur (lets hot loops skip RNG
+    /// draws).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.ack_loss == 0.0
+            && self.report_corruption == 0.0
+            && self.unresolvable_collision == 0.0
+            && self.capture == 0.0
+    }
+
+    /// Samples whether an acknowledgement is lost.
+    #[must_use]
+    pub fn sample_ack_lost<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.ack_loss > 0.0 && rng.gen::<f64>() < self.ack_loss
+    }
+
+    /// Samples whether a report segment is corrupted.
+    #[must_use]
+    pub fn sample_report_corrupted<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.report_corruption > 0.0 && rng.gen::<f64>() < self.report_corruption
+    }
+
+    /// Samples whether a resolvable collision record is spoiled.
+    #[must_use]
+    pub fn sample_unresolvable<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.unresolvable_collision > 0.0 && rng.gen::<f64>() < self.unresolvable_collision
+    }
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        ErrorModel::none()
+    }
+}
+
+/// Configuration of one simulated inventory run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimConfig {
+    seed: u64,
+    timing: TimingConfig,
+    errors: ErrorModel,
+    max_slots: u64,
+    trace: bool,
+}
+
+impl SimConfig {
+    /// Default configuration: seed 0, Philips I-Code timing, clean channel,
+    /// and a 10-million-slot runaway cap.
+    #[must_use]
+    pub fn new() -> Self {
+        SimConfig {
+            seed: 0,
+            timing: TimingConfig::philips_icode(),
+            errors: ErrorModel::none(),
+            max_slots: 10_000_000,
+            trace: false,
+        }
+    }
+
+    /// Returns this configuration with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns this configuration with different air-interface timing.
+    #[must_use]
+    pub fn with_timing(mut self, timing: TimingConfig) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Returns this configuration with a channel-error model.
+    #[must_use]
+    pub fn with_errors(mut self, errors: ErrorModel) -> Self {
+        self.errors = errors;
+        self
+    }
+
+    /// Returns this configuration with a different slot safety cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_slots == 0`.
+    #[must_use]
+    pub fn with_max_slots(mut self, max_slots: u64) -> Self {
+        assert!(max_slots > 0, "max_slots must be positive");
+        self.max_slots = max_slots;
+        self
+    }
+
+    /// The master seed of this run.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Air-interface timing.
+    #[must_use]
+    pub fn timing(&self) -> &TimingConfig {
+        &self.timing
+    }
+
+    /// Channel-error model.
+    #[must_use]
+    pub fn errors(&self) -> &ErrorModel {
+        &self.errors
+    }
+
+    /// Maximum number of slots before a run is aborted as non-terminating.
+    #[must_use]
+    pub fn max_slots(&self) -> u64 {
+        self.max_slots
+    }
+
+    /// Returns this configuration with per-slot tracing enabled.
+    ///
+    /// Protocols that support tracing (the collision-aware family) append
+    /// a [`crate::TraceEvent`] per slot to the report. Costs memory
+    /// proportional to the slot count; off by default.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Whether per-slot tracing is requested.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn clean_model_never_fires() {
+        let m = ErrorModel::none();
+        assert!(m.is_clean());
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            assert!(!m.sample_ack_lost(&mut rng));
+            assert!(!m.sample_report_corrupted(&mut rng));
+            assert!(!m.sample_unresolvable(&mut rng));
+        }
+    }
+
+    #[test]
+    fn error_rates_match_empirically() {
+        let m = ErrorModel::new(0.25, 0.1, 0.5);
+        assert!(!m.is_clean());
+        let mut rng = seeded_rng(2);
+        let n = 40_000;
+        let acks = (0..n).filter(|_| m.sample_ack_lost(&mut rng)).count();
+        let reps = (0..n).filter(|_| m.sample_report_corrupted(&mut rng)).count();
+        let unres = (0..n).filter(|_| m.sample_unresolvable(&mut rng)).count();
+        assert!((acks as f64 / n as f64 - 0.25).abs() < 0.01);
+        assert!((reps as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((unres as f64 / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn capture_probability_sampled() {
+        let m = ErrorModel::none().with_capture(0.4);
+        assert!(!m.is_clean());
+        assert!((m.capture() - 0.4).abs() < f64::EPSILON);
+        let mut rng = seeded_rng(9);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| m.sample_capture(&mut rng)).count();
+        assert!((hits as f64 / n as f64 - 0.4).abs() < 0.02);
+        assert!(!ErrorModel::none().sample_capture(&mut rng));
+    }
+
+    #[test]
+    fn certain_error_always_fires() {
+        let m = ErrorModel::new(1.0, 1.0, 1.0);
+        let mut rng = seeded_rng(3);
+        assert!(m.sample_ack_lost(&mut rng));
+        assert!(m.sample_report_corrupted(&mut rng));
+        assert!(m.sample_unresolvable(&mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn invalid_probability_panics() {
+        let _ = ErrorModel::new(1.5, 0.0, 0.0);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SimConfig::default()
+            .with_seed(9)
+            .with_max_slots(100)
+            .with_errors(ErrorModel::new(0.1, 0.0, 0.0));
+        assert_eq!(c.seed(), 9);
+        assert_eq!(c.max_slots(), 100);
+        assert!((c.errors().ack_loss() - 0.1).abs() < f64::EPSILON);
+        assert_eq!(c.timing(), &TimingConfig::philips_icode());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_slots must be positive")]
+    fn zero_max_slots_panics() {
+        let _ = SimConfig::default().with_max_slots(0);
+    }
+}

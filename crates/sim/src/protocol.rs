@@ -1,0 +1,71 @@
+//! The protocol abstraction.
+
+use crate::{InventoryReport, SimConfig, SimError};
+use rand::rngs::StdRng;
+use rfid_types::TagId;
+
+/// A tag-identification (anti-collision) protocol that can be driven by the
+/// slot-level simulator.
+///
+/// Implementations simulate one complete inventory round: starting from a
+/// population of unread tags, run reader-synchronized slots until every tag
+/// has been identified and acknowledged, recording slot classes, airtime
+/// and identifications into an [`InventoryReport`].
+///
+/// # Contract
+///
+/// * With a clean channel ([`crate::ErrorModel::is_clean`]), the returned
+///   report must identify **every** tag in `tags` exactly once
+///   (`report.identified == tags.len()`); the integration suite enforces
+///   this for every protocol in the workspace.
+/// * All randomness must come from `rng` so runs are reproducible.
+/// * Implementations must respect [`SimConfig::max_slots`] and return
+///   [`SimError::ExceededMaxSlots`] rather than looping forever.
+pub trait AntiCollisionProtocol {
+    /// Short, stable protocol name used in reports and experiment tables
+    /// (e.g. `"FCAT-2"`, `"DFSA"`).
+    fn name(&self) -> &str;
+
+    /// Simulates one inventory round over `tags`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ExceededMaxSlots`] if the run does not terminate.
+    /// * [`SimError::InvalidParameter`] for unusable configurations.
+    fn run(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+    ) -> Result<InventoryReport, SimError>;
+}
+
+impl<P: AntiCollisionProtocol + ?Sized> AntiCollisionProtocol for &P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn run(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+    ) -> Result<InventoryReport, SimError> {
+        (**self).run(tags, config, rng)
+    }
+}
+
+impl<P: AntiCollisionProtocol + ?Sized> AntiCollisionProtocol for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn run(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+    ) -> Result<InventoryReport, SimError> {
+        (**self).run(tags, config, rng)
+    }
+}

@@ -1,0 +1,266 @@
+//! Single-run and multi-run execution harnesses.
+
+use crate::{
+    derive_seed, seeded_rng, AntiCollisionProtocol, InventoryReport, MultiRunReport, SimConfig,
+    SimError,
+};
+use rfid_types::{population, TagId};
+
+/// Runs one seeded inventory and finalizes its report.
+///
+/// The RNG is derived from `config.seed()`; two calls with identical inputs
+/// return identical reports.
+///
+/// # Errors
+///
+/// Propagates the protocol's [`SimError`]s; additionally returns
+/// [`SimError::IncompleteInventory`] if a clean-channel run failed to
+/// identify every tag (a protocol bug the harness refuses to hide).
+pub fn run_inventory<P: AntiCollisionProtocol + ?Sized>(
+    protocol: &P,
+    tags: &[TagId],
+    config: &SimConfig,
+) -> Result<InventoryReport, SimError> {
+    let mut rng = seeded_rng(config.seed());
+    let mut report = protocol.run(tags, config, &mut rng)?;
+    report.finalize();
+    if config.errors().is_clean() && report.identified != tags.len() {
+        return Err(SimError::IncompleteInventory {
+            identified: report.identified,
+            total: tags.len(),
+        });
+    }
+    Ok(report)
+}
+
+/// Runs `runs` repetitions of `protocol` over freshly generated uniform
+/// populations of `n_tags` tags and aggregates the results.
+///
+/// This mirrors the paper's methodology ("the simulation results are the
+/// average outcome of 100 runs"): each repetition gets its own population
+/// and its own RNG stream, both derived from `config.seed()`.
+/// Repetitions execute in parallel on up to `available_parallelism` threads.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any repetition produced.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn run_many<P: AntiCollisionProtocol + Sync + ?Sized>(
+    protocol: &P,
+    n_tags: usize,
+    runs: usize,
+    config: &SimConfig,
+) -> Result<MultiRunReport, SimError> {
+    run_many_with_populations(protocol, runs, config, |rng| {
+        population::uniform(rng, n_tags)
+    })
+    .map(|(report, _)| report)
+}
+
+/// Like [`run_many`] but with a caller-supplied population generator;
+/// additionally returns the per-run reports (without ID sets).
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any repetition produced.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn run_many_with_populations<P, G>(
+    protocol: &P,
+    runs: usize,
+    config: &SimConfig,
+    generate: G,
+) -> Result<(MultiRunReport, Vec<InventoryReport>), SimError>
+where
+    P: AntiCollisionProtocol + Sync + ?Sized,
+    G: Fn(&mut rand::rngs::StdRng) -> Vec<TagId> + Sync,
+{
+    assert!(runs > 0, "runs must be positive");
+
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(runs);
+
+    let results: Vec<Result<(InventoryReport, usize), SimError>> = if threads <= 1 {
+        (0..runs)
+            .map(|i| single_run(protocol, config, &generate, i as u64))
+            .collect()
+    } else {
+        let mut slots: Vec<Option<Result<(InventoryReport, usize), SimError>>> = Vec::new();
+        slots.resize_with(runs, || None);
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let slots_ref = std::sync::Mutex::new(&mut slots);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= runs {
+                        break;
+                    }
+                    let result = single_run(protocol, config, &generate, i as u64);
+                    let mut guard = slots_ref.lock().expect("no poisoned runs");
+                    guard[i] = Some(result);
+                });
+            }
+        })
+        .expect("simulation threads do not panic");
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every run index was executed"))
+            .collect()
+    };
+
+    let mut reports = Vec::with_capacity(runs);
+    let mut population_size = 0usize;
+    for result in results {
+        let (report, population) = result?;
+        population_size = population_size.max(population);
+        reports.push(report.without_ids());
+    }
+    let aggregate =
+        MultiRunReport::from_reports(population_size, &reports).expect("runs is positive");
+    Ok((aggregate, reports))
+}
+
+/// Runs one repetition; returns the report together with the actual
+/// generated population size (which may differ from `identified` under a
+/// lossy channel or a variable-size generator).
+fn single_run<P, G>(
+    protocol: &P,
+    config: &SimConfig,
+    generate: &G,
+    index: u64,
+) -> Result<(InventoryReport, usize), SimError>
+where
+    P: AntiCollisionProtocol + Sync + ?Sized,
+    G: Fn(&mut rand::rngs::StdRng) -> Vec<TagId> + Sync,
+{
+    let pop_seed = derive_seed(config.seed(), index * 2);
+    let run_seed = derive_seed(config.seed(), index * 2 + 1);
+    let tags = generate(&mut seeded_rng(pop_seed));
+    let run_config = config.clone().with_seed(run_seed);
+    run_inventory(protocol, &tags, &run_config).map(|report| (report, tags.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rfid_types::SlotClass;
+
+    /// Reads every tag in its own singleton slot.
+    struct RollCall;
+
+    impl AntiCollisionProtocol for RollCall {
+        fn name(&self) -> &str {
+            "roll-call"
+        }
+
+        fn run(
+            &self,
+            tags: &[TagId],
+            config: &SimConfig,
+            _rng: &mut StdRng,
+        ) -> Result<InventoryReport, SimError> {
+            let mut report = InventoryReport::new(self.name());
+            for &tag in tags {
+                report.record_slot(SlotClass::Singleton, config.timing().basic_slot_us());
+                report.record_identified(tag);
+            }
+            Ok(report)
+        }
+    }
+
+    /// Deliberately skips the last tag.
+    struct Lossy;
+
+    impl AntiCollisionProtocol for Lossy {
+        fn name(&self) -> &str {
+            "lossy"
+        }
+
+        fn run(
+            &self,
+            tags: &[TagId],
+            config: &SimConfig,
+            _rng: &mut StdRng,
+        ) -> Result<InventoryReport, SimError> {
+            let mut report = InventoryReport::new(self.name());
+            for &tag in tags.iter().skip(1) {
+                report.record_slot(SlotClass::Singleton, config.timing().basic_slot_us());
+                report.record_identified(tag);
+            }
+            Ok(report)
+        }
+    }
+
+    #[test]
+    fn run_inventory_finalizes_and_checks_completeness() {
+        let tags = population::uniform(&mut seeded_rng(1), 50);
+        let report = run_inventory(&RollCall, &tags, &SimConfig::default()).unwrap();
+        assert_eq!(report.identified, 50);
+        assert!(report.throughput_tags_per_sec > 0.0);
+
+        let err = run_inventory(&Lossy, &tags, &SimConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::IncompleteInventory {
+                identified: 49,
+                total: 50
+            }
+        );
+    }
+
+    #[test]
+    fn run_many_aggregates() {
+        let (agg, reports) = run_many_with_populations(
+            &RollCall,
+            8,
+            &SimConfig::default().with_seed(3),
+            |rng| population::uniform(rng, 20),
+        )
+        .unwrap();
+        assert_eq!(agg.runs, 8);
+        assert_eq!(reports.len(), 8);
+        assert_eq!(agg.population, 20);
+        assert!((agg.singleton_slots.mean - 20.0).abs() < 1e-12);
+        // Deterministic protocol → throughput identical across runs
+        // (up to floating-point summation order).
+        assert!(agg.throughput.std_dev < 1e-9);
+    }
+
+    #[test]
+    fn run_many_deterministic_across_calls() {
+        let a = run_many(&RollCall, 10, 4, &SimConfig::default().with_seed(5)).unwrap();
+        let b = run_many(&RollCall, 10, 4, &SimConfig::default().with_seed(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_many_propagates_errors() {
+        let err = run_many(&Lossy, 10, 3, &SimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::IncompleteInventory { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "runs must be positive")]
+    fn zero_runs_panics() {
+        let _ = run_many(&RollCall, 10, 0, &SimConfig::default());
+    }
+
+    #[test]
+    fn trait_object_and_reference_impls() {
+        let tags = population::uniform(&mut seeded_rng(1), 5);
+        let boxed: Box<dyn AntiCollisionProtocol + Sync> = Box::new(RollCall);
+        let r1 = run_inventory(&boxed, &tags, &SimConfig::default()).unwrap();
+        let r2 = run_inventory(&&RollCall, &tags, &SimConfig::default()).unwrap();
+        assert_eq!(r1.identified, r2.identified);
+        assert_eq!(boxed.name(), "roll-call");
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared sampling utilities for slot-level protocol simulation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples `k ~ Binomial(n, p)`.
+///
+/// Uses the geometric-gap (waiting-time) method, which costs `O(k)` draws —
+/// ideal here because the protocols keep `n·p` near 1–2, so the expected
+/// number of successes per slot is tiny even when `n` is tens of thousands.
+/// Falls back to direct Bernoulli counting when `p` is large.
+pub fn sample_binomial(n: usize, p: f64, rng: &mut StdRng) -> usize {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.4 {
+        // Gap method degenerates for large p; direct counting is O(n) but
+        // such p only occurs for tiny n (end-game probes).
+        return (0..n).filter(|_| rng.gen::<f64>() < p).count();
+    }
+    let ln_q = (-p).ln_1p(); // ln(1 − p) < 0
+    let mut count = 0usize;
+    let mut position = 0usize;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        // Number of failures before the next success.
+        let gap = (u.ln() / ln_q).floor();
+        if !gap.is_finite() || gap >= (n - position) as f64 {
+            return count;
+        }
+        position += gap as usize + 1;
+        if position > n {
+            return count;
+        }
+        count += 1;
+        if position == n {
+            return count;
+        }
+    }
+}
+
+/// Picks `k` distinct indices uniformly from `0..len`.
+///
+/// # Panics
+///
+/// Panics if `k > len`.
+pub fn pick_distinct_indices(len: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    assert!(k <= len, "cannot pick {k} of {len}");
+    rand::seq::index::sample(rng, len, k).into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 1.0, &mut rng), 10);
+        assert_eq!(sample_binomial(10, -0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 1.5, &mut rng), 10);
+    }
+
+    #[test]
+    fn binomial_mean_and_variance_small_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (n, p) = (10_000usize, 1.414 / 10_000.0);
+        let trials = 20_000;
+        let draws: Vec<usize> = (0..trials).map(|_| sample_binomial(n, p, &mut rng)).collect();
+        let mean = draws.iter().sum::<usize>() as f64 / trials as f64;
+        assert!((mean - 1.414).abs() < 0.03, "mean {mean}");
+        let var = draws
+            .iter()
+            .map(|&k| (k as f64 - mean).powi(2))
+            .sum::<f64>()
+            / trials as f64;
+        // Var = np(1−p) ≈ 1.4138
+        assert!((var - 1.4138).abs() < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn binomial_large_p_path() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 5_000;
+        let draws: Vec<usize> = (0..trials).map(|_| sample_binomial(20, 0.7, &mut rng)).collect();
+        let mean = draws.iter().sum::<usize>() as f64 / trials as f64;
+        assert!((mean - 14.0).abs() < 0.2, "mean {mean}");
+        assert!(draws.iter().all(|&k| k <= 20));
+    }
+
+    #[test]
+    fn binomial_never_exceeds_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2_000 {
+            assert!(sample_binomial(3, 0.39, &mut rng) <= 3);
+        }
+    }
+
+    #[test]
+    fn distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let picks = pick_distinct_indices(50, 7, &mut rng);
+            assert_eq!(picks.len(), 7);
+            let set: std::collections::HashSet<_> = picks.iter().collect();
+            assert_eq!(set.len(), 7);
+            assert!(picks.iter().all(|&i| i < 50));
+        }
+        assert!(pick_distinct_indices(3, 0, &mut rng).is_empty());
+        assert_eq!(pick_distinct_indices(3, 3, &mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,329 @@
+//! EPC-style structured tag payloads.
+//!
+//! The paper's tags are GEN2-class ("the whole ID (which is 96 bits for
+//! GEN2 tags)", §V-A); real GEN2 EPCs are structured — a manager number
+//! identifying the company, an object class identifying the product, and
+//! a serial number. The inventory-auditing workloads the paper motivates
+//! (§I: "administration error, vendor fraud and employee theft") operate
+//! on that structure: fraud detection is "which collected IDs carry a
+//! manager number we do not own?".
+//!
+//! [`Epc`] packs into the 80-bit identifying payload of a [`TagId`]
+//! (the remaining 16 bits of the 96-bit air ID are the CRC):
+//!
+//! ```text
+//! bits 79..56: manager number   (24 bits)
+//! bits 55..36: object class     (20 bits)
+//! bits 35..0 : serial number    (36 bits)
+//! ```
+
+use crate::TagId;
+use core::fmt;
+
+/// Bit width of the manager-number field.
+pub const MANAGER_BITS: u32 = 24;
+/// Bit width of the object-class field.
+pub const CLASS_BITS: u32 = 20;
+/// Bit width of the serial-number field.
+pub const SERIAL_BITS: u32 = 36;
+
+const MANAGER_MAX: u32 = (1 << MANAGER_BITS) - 1;
+const CLASS_MAX: u32 = (1 << CLASS_BITS) - 1;
+const SERIAL_MAX: u64 = (1 << SERIAL_BITS) - 1;
+
+/// A structured EPC identity: manager / object class / serial.
+///
+/// # Example
+///
+/// ```
+/// use rfid_types::epc::Epc;
+///
+/// let epc = Epc::new(0x00CAFE, 0x12345, 42).expect("fields in range");
+/// let tag = epc.to_tag_id();
+/// assert!(tag.crc_is_valid());
+/// assert_eq!(Epc::from_tag_id(tag), epc);
+/// assert_eq!(epc.to_string(), "epc:51966.74565.42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Epc {
+    manager: u32,
+    class: u32,
+    serial: u64,
+}
+
+/// Error for out-of-range EPC fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpcFieldError {
+    field: &'static str,
+    value: u64,
+    max: u64,
+}
+
+impl fmt::Display for EpcFieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} value {} exceeds maximum {}",
+            self.field, self.value, self.max
+        )
+    }
+}
+
+impl std::error::Error for EpcFieldError {}
+
+impl Epc {
+    /// Builds an EPC, validating field widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpcFieldError`] when a field exceeds its width.
+    pub fn new(manager: u32, class: u32, serial: u64) -> Result<Self, EpcFieldError> {
+        if manager > MANAGER_MAX {
+            return Err(EpcFieldError {
+                field: "manager",
+                value: u64::from(manager),
+                max: u64::from(MANAGER_MAX),
+            });
+        }
+        if class > CLASS_MAX {
+            return Err(EpcFieldError {
+                field: "class",
+                value: u64::from(class),
+                max: u64::from(CLASS_MAX),
+            });
+        }
+        if serial > SERIAL_MAX {
+            return Err(EpcFieldError {
+                field: "serial",
+                value: serial,
+                max: SERIAL_MAX,
+            });
+        }
+        Ok(Epc {
+            manager,
+            class,
+            serial,
+        })
+    }
+
+    /// Manager (company) number.
+    #[must_use]
+    pub fn manager(&self) -> u32 {
+        self.manager
+    }
+
+    /// Object-class (product) number.
+    #[must_use]
+    pub fn class(&self) -> u32 {
+        self.class
+    }
+
+    /// Serial number.
+    #[must_use]
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// Packs into the 80-bit tag payload.
+    #[must_use]
+    pub fn to_payload(&self) -> u128 {
+        (u128::from(self.manager) << (CLASS_BITS + SERIAL_BITS))
+            | (u128::from(self.class) << SERIAL_BITS)
+            | u128::from(self.serial)
+    }
+
+    /// Converts to a 96-bit over-the-air tag ID (CRC appended).
+    #[must_use]
+    pub fn to_tag_id(&self) -> TagId {
+        TagId::from_payload(self.to_payload())
+    }
+
+    /// Unpacks the structured fields from a tag ID's payload.
+    #[must_use]
+    pub fn from_tag_id(tag: TagId) -> Self {
+        let payload = tag.payload();
+        Epc {
+            manager: ((payload >> (CLASS_BITS + SERIAL_BITS)) & u128::from(MANAGER_MAX)) as u32,
+            class: ((payload >> SERIAL_BITS) & u128::from(CLASS_MAX)) as u32,
+            serial: (payload & u128::from(SERIAL_MAX)) as u64,
+        }
+    }
+}
+
+impl fmt::Display for Epc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epc:{}.{}.{}", self.manager, self.class, self.serial)
+    }
+}
+
+/// Error returned when parsing an [`Epc`] from its display form fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseEpcError {
+    /// The string does not match `epc:<manager>.<class>.<serial>`.
+    BadSyntax,
+    /// A field parsed but exceeds its bit width.
+    BadField(EpcFieldError),
+}
+
+impl fmt::Display for ParseEpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEpcError::BadSyntax => {
+                write!(f, "expected epc:<manager>.<class>.<serial>")
+            }
+            ParseEpcError::BadField(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseEpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseEpcError::BadField(e) => Some(e),
+            ParseEpcError::BadSyntax => None,
+        }
+    }
+}
+
+impl core::str::FromStr for Epc {
+    type Err = ParseEpcError;
+
+    /// Parses the `epc:<manager>.<class>.<serial>` form produced by
+    /// `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s.strip_prefix("epc:").ok_or(ParseEpcError::BadSyntax)?;
+        let mut parts = rest.splitn(3, '.');
+        let manager = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(ParseEpcError::BadSyntax)?;
+        let class = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(ParseEpcError::BadSyntax)?;
+        let serial = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(ParseEpcError::BadSyntax)?;
+        Epc::new(manager, class, serial).map_err(ParseEpcError::BadField)
+    }
+}
+
+impl From<Epc> for TagId {
+    fn from(epc: Epc) -> TagId {
+        epc.to_tag_id()
+    }
+}
+
+/// Generates a fleet of `n` tags owned by `manager`: `classes` product
+/// lines with consecutive serials round-robined across them — the
+/// structured population a warehouse would actually hold.
+///
+/// # Panics
+///
+/// Panics if any resulting field overflows its width (only possible for
+/// astronomically large `n` or out-of-range `manager`).
+#[must_use]
+pub fn fleet(manager: u32, classes: u32, n: usize) -> Vec<TagId> {
+    assert!(classes > 0, "classes must be positive");
+    (0..n)
+        .map(|i| {
+            let class = (i as u32) % classes;
+            let serial = (i as u64) / u64::from(classes);
+            Epc::new(manager, class, serial)
+                .expect("fleet fields in range")
+                .to_tag_id()
+        })
+        .collect()
+}
+
+/// Audits a collection of read tags against an owned manager number:
+/// returns `(owned, foreign)` — the §I "vendor fraud" check.
+#[must_use]
+pub fn audit_by_manager(tags: &[TagId], owned_manager: u32) -> (Vec<TagId>, Vec<TagId>) {
+    tags.iter()
+        .partition(|&&t| Epc::from_tag_id(t).manager() == owned_manager)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let epc = Epc::new(0xABCDE, 0x12345, 0x9_8765_4321).unwrap();
+        let tag = epc.to_tag_id();
+        assert!(tag.crc_is_valid());
+        assert_eq!(Epc::from_tag_id(tag), epc);
+    }
+
+    #[test]
+    fn field_validation() {
+        assert!(Epc::new(MANAGER_MAX, CLASS_MAX, SERIAL_MAX).is_ok());
+        assert!(Epc::new(MANAGER_MAX + 1, 0, 0).is_err());
+        assert!(Epc::new(0, CLASS_MAX + 1, 0).is_err());
+        assert!(Epc::new(0, 0, SERIAL_MAX + 1).is_err());
+        let err = Epc::new(0, 0, SERIAL_MAX + 1).unwrap_err();
+        assert!(err.to_string().contains("serial"));
+    }
+
+    #[test]
+    fn display_format() {
+        let epc = Epc::new(7, 8, 9).unwrap();
+        assert_eq!(epc.to_string(), "epc:7.8.9");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let epc = Epc::new(7, 8, 9).unwrap();
+        assert_eq!("epc:7.8.9".parse::<Epc>().unwrap(), epc);
+        assert_eq!(epc.to_string().parse::<Epc>().unwrap(), epc);
+        assert_eq!("7.8.9".parse::<Epc>(), Err(ParseEpcError::BadSyntax));
+        assert_eq!("epc:7.8".parse::<Epc>(), Err(ParseEpcError::BadSyntax));
+        assert_eq!("epc:a.b.c".parse::<Epc>(), Err(ParseEpcError::BadSyntax));
+        assert!(matches!(
+            "epc:99999999.0.0".parse::<Epc>(),
+            Err(ParseEpcError::BadField(_))
+        ));
+    }
+
+    #[test]
+    fn fleet_structure() {
+        let tags = fleet(42, 3, 10);
+        assert_eq!(tags.len(), 10);
+        let epcs: Vec<Epc> = tags.iter().map(|&t| Epc::from_tag_id(t)).collect();
+        assert!(epcs.iter().all(|e| e.manager() == 42));
+        assert_eq!(epcs[0].class(), 0);
+        assert_eq!(epcs[1].class(), 1);
+        assert_eq!(epcs[2].class(), 2);
+        assert_eq!(epcs[3].class(), 0);
+        assert_eq!(epcs[3].serial(), 1);
+        // All distinct.
+        let set: std::collections::HashSet<_> = tags.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn audit_partitions() {
+        let mut tags = fleet(1, 2, 6);
+        tags.extend(fleet(2, 1, 3));
+        let (owned, foreign) = audit_by_manager(&tags, 1);
+        assert_eq!(owned.len(), 6);
+        assert_eq!(foreign.len(), 3);
+        assert!(foreign.iter().all(|&t| Epc::from_tag_id(t).manager() == 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            manager in 0u32..=MANAGER_MAX,
+            class in 0u32..=CLASS_MAX,
+            serial in 0u64..=SERIAL_MAX,
+        ) {
+            let epc = Epc::new(manager, class, serial).unwrap();
+            prop_assert_eq!(Epc::from_tag_id(epc.to_tag_id()), epc);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The deterministic slot-membership hash `H(ID|i)` of §IV-A.
+//!
+//! In SCAT the reader advertises an `l`-bit integer `⌊p_i · 2^l⌋` rather than
+//! a real-valued probability. A tag computes a hash `H(ID|i)` with range
+//! `[0, 2^l)` and transmits its ID in slot `i` iff `H(ID|i) ≤ ⌊p_i · 2^l⌋`.
+//!
+//! Making the transmission decision a *deterministic function of (ID, slot)*
+//! — rather than a private coin flip — is load-bearing for collision
+//! resolution (§IV-B): once the reader learns an ID from a singleton slot it
+//! can recompute `H(ID|j)` for every outstanding collision record `j` and
+//! decide whether that tag's signal is a component of the recorded mixture.
+//!
+//! The hash here is a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//! finalizer over a mix of the 96-bit ID and the 64-bit slot index: fast,
+//! stateless, and with excellent avalanche behaviour (verified by the tests
+//! below and by the chi-squared property test in `rfid-sim`).
+
+use crate::TagId;
+
+/// Mixes one 64-bit word with the SplitMix64 finalizer.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Computes the full-width 64-bit hash `H(ID|slot)`.
+///
+/// Both halves of the 96-bit ID and the slot index go through independent
+/// mixing rounds so that IDs differing in any bit, or adjacent slot indices,
+/// decorrelate completely.
+#[inline]
+#[must_use]
+pub fn slot_hash(id: TagId, slot: u64) -> u64 {
+    let raw = id.raw_bits();
+    let lo = raw as u64;
+    let hi = (raw >> 64) as u64;
+    let mut h = splitmix64(lo ^ 0xA076_1D64_78BD_642F);
+    h = splitmix64(h ^ hi);
+    splitmix64(h ^ slot)
+}
+
+/// Reduces [`slot_hash`] to the `l`-bit range `[0, 2^l)` used by the
+/// advertisement encoding.
+///
+/// # Panics
+///
+/// Panics if `l == 0` or `l > 32` (the paper uses small `l`; 16 in our
+/// default configuration, and 32 is already far below the hash width).
+#[inline]
+#[must_use]
+pub fn slot_hash_bits(id: TagId, slot: u64, l: u32) -> u64 {
+    assert!((1..=32).contains(&l), "l must be in 1..=32, got {l}");
+    slot_hash(id, slot) >> (64 - l)
+}
+
+/// Quantizes a report probability `p ∈ [0, 1]` to the advertised `l`-bit
+/// threshold `⌊p · 2^l⌋` (§IV-A).
+///
+/// Values of `p` outside `[0, 1]` are clamped.
+#[inline]
+#[must_use]
+pub fn probability_threshold(p: f64, l: u32) -> u64 {
+    assert!((1..=32).contains(&l), "l must be in 1..=32, got {l}");
+    let p = p.clamp(0.0, 1.0);
+    (p * (1u64 << l) as f64).floor() as u64
+}
+
+/// The membership test itself: does `id` transmit in `slot` when the
+/// advertised threshold is `threshold` (an `l`-bit integer)?
+///
+/// Matches the paper's rule `H(ID|i) ≤ ⌊p_i · 2^l⌋`. Note the paper's `≤`
+/// with a *floor*: `p = 1` yields threshold `2^l`, which every `l`-bit hash
+/// value satisfies, so `p = 1` forces all tags to transmit (used by the
+/// termination probe, §IV-A).
+#[inline]
+#[must_use]
+pub fn transmits(id: TagId, slot: u64, threshold: u64, l: u32) -> bool {
+    slot_hash_bits(id, slot, l) <= threshold
+}
+
+/// The probability the hash test actually realizes for a requested `p`:
+/// `(⌊p·2^l⌋ + 1) / 2^l`, clamped to `[0, 1]` (0 when `p ≤ 0`).
+///
+/// Because the paper's rule is `H(ID|i) ≤ ⌊p·2^l⌋` with an *inclusive*
+/// comparison, the realized probability sits one quantum above the floor.
+/// Simulations that shortcut the hash (drawing transmitter counts from a
+/// binomial) must use this value, not the raw `p`, to stay
+/// distribution-identical with the hash-gated path.
+#[inline]
+#[must_use]
+pub fn effective_probability(p: f64, l: u32) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    (((probability_threshold(p, l) + 1) as f64) / (1u64 << l) as f64).min(1.0)
+}
+
+/// Convenience: membership test directly from a real-valued probability.
+#[inline]
+#[must_use]
+pub fn transmits_with_probability(id: TagId, slot: u64, p: f64, l: u32) -> bool {
+    // p == 0 must mean "never transmits"; the paper's `<=` rule with
+    // threshold 0 would still admit hash value 0, so special-case it.
+    if p <= 0.0 {
+        return false;
+    }
+    transmits(id, slot, probability_threshold(p, l), l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splitmix_known_values() {
+        // First outputs of the reference splitmix64 stream seeded with 0.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let id = TagId::from_payload(123);
+        assert_eq!(slot_hash(id, 5), slot_hash(id, 5));
+        assert_ne!(slot_hash(id, 5), slot_hash(id, 6));
+    }
+
+    #[test]
+    fn different_ids_hash_differently() {
+        let a = TagId::from_payload(1);
+        let b = TagId::from_payload(2);
+        assert_ne!(slot_hash(a, 0), slot_hash(b, 0));
+    }
+
+    #[test]
+    fn high_payload_bits_affect_hash() {
+        // IDs that agree on the low 64 raw bits but differ above them.
+        let a = TagId::from_raw_bits(0x0000_0000_0000_0000_1234_u128);
+        let b = TagId::from_raw_bits((1u128 << 80) | 0x1234_u128);
+        assert_ne!(slot_hash(a, 0), slot_hash(b, 0));
+    }
+
+    #[test]
+    fn probability_one_always_transmits() {
+        let l = 16;
+        for payload in 0..200u128 {
+            let id = TagId::from_payload(payload);
+            assert!(transmits_with_probability(id, 9, 1.0, l));
+        }
+    }
+
+    #[test]
+    fn probability_zero_never_transmits() {
+        let l = 16;
+        for payload in 0..200u128 {
+            let id = TagId::from_payload(payload);
+            assert!(!transmits_with_probability(id, 9, 0.0, l));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_probability() {
+        let l = 16;
+        let p = 0.3;
+        let n = 20_000u128;
+        let hits = (0..n)
+            .filter(|&i| transmits_with_probability(TagId::from_payload(i), 42, p, l))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (rate - p).abs() < 0.02,
+            "empirical rate {rate} too far from {p}"
+        );
+    }
+
+    #[test]
+    fn effective_probability_matches_hash_admission() {
+        let l = 16;
+        // The hash admits threshold+1 of the 2^l values.
+        for p in [1e-5, 0.001, 0.3, 0.999] {
+            let expected = (probability_threshold(p, l) + 1) as f64 / 65536.0;
+            assert!((effective_probability(p, l) - expected).abs() < 1e-15);
+        }
+        assert_eq!(effective_probability(0.0, l), 0.0);
+        assert_eq!(effective_probability(-1.0, l), 0.0);
+        assert_eq!(effective_probability(1.0, l), 1.0);
+        // At tiny p the inclusive comparison matters: p = 2.83e-5 realizes
+        // 2/65536, not 1.85/65536.
+        let p = 1.414 / 50_000.0;
+        assert!((effective_probability(p, l) - 2.0 / 65536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_clamps() {
+        assert_eq!(probability_threshold(-0.5, 8), 0);
+        assert_eq!(probability_threshold(2.0, 8), 256);
+        assert_eq!(probability_threshold(0.5, 8), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "l must be in 1..=32")]
+    fn zero_l_panics() {
+        let _ = slot_hash_bits(TagId::from_payload(0), 0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_in_threshold(
+            payload in any::<u128>(),
+            slot in any::<u64>(),
+            t1 in 0u64..=65_536,
+            t2 in 0u64..=65_536,
+        ) {
+            // If a tag transmits under a low threshold it must also transmit
+            // under any higher threshold (the reader relies on this when it
+            // re-evaluates membership for past slots that used different p).
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let id = TagId::from_payload(payload);
+            if transmits(id, slot, lo, 16) {
+                prop_assert!(transmits(id, slot, hi, 16));
+            }
+        }
+
+        #[test]
+        fn prop_hash_bits_in_range(
+            payload in any::<u128>(),
+            slot in any::<u64>(),
+            l in 1u32..=32,
+        ) {
+            let id = TagId::from_payload(payload);
+            prop_assert!(slot_hash_bits(id, slot, l) < (1u64 << l));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! 96-bit tag identifiers with embedded CRC.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::crc;
+
+/// Total bit width of a tag ID as transmitted over the air (§VI: "We set the
+/// ID length to be 96 bits (including the 16 bits CRC code)").
+pub const TAG_ID_BITS: u32 = 96;
+
+/// Bit width of the identifying payload (everything except the CRC).
+pub const PAYLOAD_BITS: u32 = TAG_ID_BITS - crc::CRC_BITS;
+
+const PAYLOAD_MASK: u128 = (1u128 << PAYLOAD_BITS) - 1;
+const ID_MASK: u128 = (1u128 << TAG_ID_BITS) - 1;
+
+/// A 96-bit RFID tag identifier: an 80-bit payload followed by its 16-bit
+/// CRC-16/CCITT checksum.
+///
+/// The CRC is what lets a reader tell a *singleton* slot apart from a
+/// *collision* slot (§III-B), and is re-checked after every analog-network-
+/// coding subtraction to decide whether a collision record has been resolved
+/// (§IV-B).
+///
+/// `TagId` is a plain value type: `Copy`, ordered, hashable, and cheap to
+/// pass around. Construct one from a payload (the CRC is computed for you)
+/// or from raw air-interface bits (which may carry an invalid CRC — useful
+/// for modelling corrupted receptions).
+///
+/// # Example
+///
+/// ```
+/// use rfid_types::TagId;
+///
+/// let id = TagId::from_payload(42);
+/// assert!(id.crc_is_valid());
+/// assert_eq!(id.payload(), 42);
+///
+/// // A corrupted over-the-air word fails the CRC check.
+/// let corrupted = TagId::from_raw_bits(id.raw_bits() ^ 1 << 40);
+/// assert!(!corrupted.crc_is_valid());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TagId(u128);
+
+impl TagId {
+    /// Builds a tag ID from the low [`PAYLOAD_BITS`] bits of `payload`,
+    /// appending the correct CRC-16.
+    ///
+    /// Bits of `payload` above [`PAYLOAD_BITS`] are ignored.
+    #[must_use]
+    pub fn from_payload(payload: u128) -> Self {
+        let payload = payload & PAYLOAD_MASK;
+        let checksum = crc::crc16_value(payload, PAYLOAD_BITS);
+        TagId((payload << crc::CRC_BITS) | u128::from(checksum))
+    }
+
+    /// Builds a tag ID directly from a 96-bit over-the-air word, *without*
+    /// validating the CRC.
+    ///
+    /// Use this to model received words that may be corrupted; check them
+    /// with [`TagId::crc_is_valid`]. Bits above [`TAG_ID_BITS`] are ignored.
+    #[must_use]
+    pub fn from_raw_bits(bits: u128) -> Self {
+        TagId(bits & ID_MASK)
+    }
+
+    /// Reassembles a tag ID from a demodulated bit vector (MSB first).
+    ///
+    /// Returns `None` when `bits.len() != TAG_ID_BITS`, which the signal
+    /// layer treats the same way as a CRC failure: not a decodable singleton.
+    #[must_use]
+    pub fn from_bit_slice(bits: &[bool]) -> Option<Self> {
+        if bits.len() != TAG_ID_BITS as usize {
+            return None;
+        }
+        let mut value = 0u128;
+        for &bit in bits {
+            value = (value << 1) | u128::from(bit);
+        }
+        Some(TagId(value))
+    }
+
+    /// The full 96-bit word as transmitted (payload plus CRC).
+    #[must_use]
+    pub fn raw_bits(self) -> u128 {
+        self.0
+    }
+
+    /// The 80-bit identifying payload.
+    #[must_use]
+    pub fn payload(self) -> u128 {
+        self.0 >> crc::CRC_BITS
+    }
+
+    /// The 16-bit checksum carried in the ID.
+    #[must_use]
+    pub fn checksum(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// Whether the carried checksum matches the payload.
+    ///
+    /// The reader calls this after demodulating a report segment: a pass
+    /// means a singleton slot; a fail means collision (or channel noise).
+    #[must_use]
+    pub fn crc_is_valid(self) -> bool {
+        crc::crc16_value(self.payload(), PAYLOAD_BITS) == self.checksum()
+    }
+
+    /// The ID as a 96-element MSB-first bit vector, ready for modulation.
+    #[must_use]
+    pub fn to_bits(self) -> Vec<bool> {
+        (0..TAG_ID_BITS)
+            .rev()
+            .map(|i| (self.0 >> i) & 1 == 1)
+            .collect()
+    }
+}
+
+impl fmt::Debug for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TagId({:024x})", self.0)
+    }
+}
+
+impl fmt::Display for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:024x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<TagId> for u128 {
+    fn from(id: TagId) -> u128 {
+        id.raw_bits()
+    }
+}
+
+/// Error returned when parsing a [`TagId`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTagIdError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    BadLength(usize),
+    BadDigit,
+}
+
+impl fmt::Display for ParseTagIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::BadLength(n) => {
+                write!(f, "expected 24 hex digits, got {n}")
+            }
+            ParseErrorKind::BadDigit => write!(f, "invalid hex digit"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTagIdError {}
+
+impl FromStr for TagId {
+    type Err = ParseTagIdError;
+
+    /// Parses the 24-hex-digit form produced by `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 24 {
+            return Err(ParseTagIdError {
+                kind: ParseErrorKind::BadLength(s.len()),
+            });
+        }
+        let value = u128::from_str_radix(s, 16).map_err(|_| ParseTagIdError {
+            kind: ParseErrorKind::BadDigit,
+        })?;
+        Ok(TagId::from_raw_bits(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_payload_is_valid() {
+        for payload in [0u128, 1, 42, PAYLOAD_MASK, 0xDEAD_BEEF] {
+            let id = TagId::from_payload(payload);
+            assert!(id.crc_is_valid());
+            assert_eq!(id.payload(), payload & PAYLOAD_MASK);
+        }
+    }
+
+    #[test]
+    fn payload_overflow_bits_ignored() {
+        let a = TagId::from_payload(0);
+        let b = TagId::from_payload(1u128 << PAYLOAD_BITS);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bit_roundtrip() {
+        let id = TagId::from_payload(0x0123_4567_89AB_CDEF_55);
+        let bits = id.to_bits();
+        assert_eq!(bits.len(), TAG_ID_BITS as usize);
+        assert_eq!(TagId::from_bit_slice(&bits), Some(id));
+    }
+
+    #[test]
+    fn bit_slice_wrong_length_rejected() {
+        assert_eq!(TagId::from_bit_slice(&[true; 95]), None);
+        assert_eq!(TagId::from_bit_slice(&[true; 97]), None);
+        assert_eq!(TagId::from_bit_slice(&[]), None);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let id = TagId::from_payload(0xFEED_FACE_CAFE_F00D_11);
+        let s = id.to_string();
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.parse::<TagId>().unwrap(), id);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("xyz".parse::<TagId>().is_err());
+        assert!("zz00000000000000000000zz".parse::<TagId>().is_err());
+        assert!("0123456789abcdef0123456789abcdef".parse::<TagId>().is_err());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", TagId::from_payload(0)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_payload_always_crc_valid(payload in any::<u128>()) {
+            prop_assert!(TagId::from_payload(payload).crc_is_valid());
+        }
+
+        #[test]
+        fn prop_single_bit_corruption_invalidates(
+            payload in any::<u128>(),
+            bit in 0u32..TAG_ID_BITS,
+        ) {
+            let id = TagId::from_payload(payload);
+            let corrupted = TagId::from_raw_bits(id.raw_bits() ^ (1u128 << bit));
+            prop_assert!(!corrupted.crc_is_valid());
+        }
+
+        #[test]
+        fn prop_bits_roundtrip(payload in any::<u128>()) {
+            let id = TagId::from_payload(payload);
+            prop_assert_eq!(TagId::from_bit_slice(&id.to_bits()), Some(id));
+        }
+
+        #[test]
+        fn prop_display_roundtrip(payload in any::<u128>()) {
+            let id = TagId::from_payload(payload);
+            prop_assert_eq!(id.to_string().parse::<TagId>().unwrap(), id);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Air-interface timing, parameterized on the Philips I-Code numbers used in
+//! §VI of the paper.
+//!
+//! > "The transmission rate is 53 kbit/sec. Hence, it takes 18.88 µs to
+//! > transmit each bit. We set the ID length to be 96 bits (including the 16
+//! > bits CRC code), which takes 1812 µs. The reader's acknowledgement
+//! > consists of 20 bits (including the CRC code), which takes 378 µs. The
+//! > waiting time before the report segment or the acknowledgement segment
+//! > is 302 µs to separate transmissions. Therefore, each slot is about
+//! > 2.8 ms."
+//!
+//! All durations are carried in microseconds as `f64`, which is exact for
+//! the magnitudes involved and keeps downstream arithmetic simple.
+
+/// Timing parameters of the reader–tag air interface.
+///
+/// Construct via [`TimingConfig::philips_icode`] (the paper's setting) or
+/// [`TimingConfig::builder`] for custom rates, then query derived slot
+/// durations.
+///
+/// # Example
+///
+/// ```
+/// let t = rfid_types::TimingConfig::philips_icode();
+/// // The paper's "about 2.8 ms" slot.
+/// let slot = t.basic_slot_us();
+/// assert!((slot - 2793.0).abs() < 2.0, "slot was {slot}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TimingConfig {
+    /// Channel bit rate in bits per second.
+    bit_rate_bps: f64,
+    /// Length of a tag ID in bits, including its CRC.
+    id_bits: u32,
+    /// Length of a reader acknowledgement in bits, including its CRC.
+    ack_bits: u32,
+    /// Guard time inserted before the report segment and before the
+    /// acknowledgement segment, in microseconds.
+    guard_us: f64,
+    /// Bits used to encode a slot/frame index in advertisements and
+    /// index-based acknowledgements (23 bits per §V-A allows 8M slots).
+    index_bits: u32,
+    /// Bits used to encode the quantized report probability `⌊p · 2^l⌋`.
+    probability_bits: u32,
+}
+
+impl TimingConfig {
+    /// The Philips I-Code configuration used throughout the paper's
+    /// evaluation (§VI).
+    #[must_use]
+    pub fn philips_icode() -> Self {
+        TimingConfig {
+            bit_rate_bps: 53_000.0,
+            id_bits: 96,
+            ack_bits: 20,
+            guard_us: 302.0,
+            index_bits: 23,
+            probability_bits: 16,
+        }
+    }
+
+    /// Starts building a custom configuration from the I-Code defaults.
+    #[must_use]
+    pub fn builder() -> TimingConfigBuilder {
+        TimingConfigBuilder {
+            inner: Self::philips_icode(),
+        }
+    }
+
+    /// Channel bit rate in bits per second.
+    #[must_use]
+    pub fn bit_rate_bps(&self) -> f64 {
+        self.bit_rate_bps
+    }
+
+    /// Tag ID length in bits (CRC included).
+    #[must_use]
+    pub fn id_bits(&self) -> u32 {
+        self.id_bits
+    }
+
+    /// Reader acknowledgement length in bits (CRC included).
+    #[must_use]
+    pub fn ack_bits(&self) -> u32 {
+        self.ack_bits
+    }
+
+    /// Guard time before each segment, in microseconds.
+    #[must_use]
+    pub fn guard_us(&self) -> f64 {
+        self.guard_us
+    }
+
+    /// Bits encoding a slot or frame index.
+    #[must_use]
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// Bits encoding the quantized report probability (the paper's `l`).
+    #[must_use]
+    pub fn probability_bits(&self) -> u32 {
+        self.probability_bits
+    }
+
+    /// Microseconds to transmit one bit.
+    #[must_use]
+    pub fn bit_us(&self) -> f64 {
+        1e6 / self.bit_rate_bps
+    }
+
+    /// Microseconds to transmit `bits` bits.
+    #[must_use]
+    pub fn bits_us(&self, bits: u32) -> f64 {
+        f64::from(bits) * self.bit_us()
+    }
+
+    /// Duration of the report segment (one tag ID), ≈ 1812 µs for I-Code.
+    #[must_use]
+    pub fn report_us(&self) -> f64 {
+        self.bits_us(self.id_bits)
+    }
+
+    /// Duration of a basic acknowledgement, ≈ 378 µs for I-Code.
+    #[must_use]
+    pub fn ack_us(&self) -> f64 {
+        self.bits_us(self.ack_bits)
+    }
+
+    /// Duration of the basic slot shared by every slotted protocol:
+    /// guard + report + guard + ack ≈ 2794 µs ≈ the paper's "about 2.8 ms".
+    #[must_use]
+    pub fn basic_slot_us(&self) -> f64 {
+        2.0 * self.guard_us + self.report_us() + self.ack_us()
+    }
+
+    /// Duration of a per-slot advertisement ⟨i, p_i⟩ as used by SCAT
+    /// (index + probability bits + one guard time).
+    #[must_use]
+    pub fn advertisement_us(&self) -> f64 {
+        self.guard_us + self.bits_us(self.index_bits + self.probability_bits)
+    }
+
+    /// Duration of the pre-frame advertisement used by FCAT (§V-B): same
+    /// payload as a SCAT advertisement, paid once per frame.
+    #[must_use]
+    pub fn frame_advertisement_us(&self) -> f64 {
+        self.advertisement_us()
+    }
+
+    /// Extra acknowledgement-segment airtime to announce one resolved
+    /// collision-record *slot index* (FCAT, §V-A/§V-B).
+    #[must_use]
+    pub fn index_ack_us(&self) -> f64 {
+        self.bits_us(self.index_bits)
+    }
+
+    /// Extra acknowledgement-segment airtime to announce one resolved tag
+    /// *ID* (SCAT broadcasts full IDs, §IV-A; this is what the FCAT
+    /// index-based scheme saves).
+    #[must_use]
+    pub fn id_ack_us(&self) -> f64 {
+        self.bits_us(self.id_bits)
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self::philips_icode()
+    }
+}
+
+/// Builder for [`TimingConfig`]; see [`TimingConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct TimingConfigBuilder {
+    inner: TimingConfig,
+}
+
+impl TimingConfigBuilder {
+    /// Sets the channel bit rate in bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is not strictly positive and finite.
+    #[must_use]
+    pub fn bit_rate_bps(mut self, bps: f64) -> Self {
+        assert!(bps.is_finite() && bps > 0.0, "bit rate must be positive");
+        self.inner.bit_rate_bps = bps;
+        self
+    }
+
+    /// Sets the tag ID length in bits (CRC included).
+    #[must_use]
+    pub fn id_bits(mut self, bits: u32) -> Self {
+        assert!(bits > 0, "id_bits must be positive");
+        self.inner.id_bits = bits;
+        self
+    }
+
+    /// Sets the acknowledgement length in bits.
+    #[must_use]
+    pub fn ack_bits(mut self, bits: u32) -> Self {
+        self.inner.ack_bits = bits;
+        self
+    }
+
+    /// Sets the inter-segment guard time in microseconds.
+    #[must_use]
+    pub fn guard_us(mut self, us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "guard time must be >= 0");
+        self.inner.guard_us = us;
+        self
+    }
+
+    /// Sets the slot/frame index width in bits.
+    #[must_use]
+    pub fn index_bits(mut self, bits: u32) -> Self {
+        self.inner.index_bits = bits;
+        self
+    }
+
+    /// Sets the probability quantization width in bits (the paper's `l`).
+    #[must_use]
+    pub fn probability_bits(mut self, bits: u32) -> Self {
+        assert!((1..=32).contains(&bits), "probability_bits must be 1..=32");
+        self.inner.probability_bits = bits;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> TimingConfig {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icode_matches_paper_numbers() {
+        let t = TimingConfig::philips_icode();
+        assert!((t.bit_us() - 18.8679).abs() < 1e-3);
+        // Paper: 96 bits takes 1812 µs (they round to the nearest µs).
+        assert!((t.report_us() - 1811.3).abs() < 1.0, "{}", t.report_us());
+        // Paper: 20 bits takes 378 µs.
+        assert!((t.ack_us() - 377.4).abs() < 1.0, "{}", t.ack_us());
+        // Paper: each slot is about 2.8 ms.
+        assert!((t.basic_slot_us() - 2792.7).abs() < 2.0);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let t = TimingConfig::builder()
+            .bit_rate_bps(106_000.0)
+            .id_bits(64)
+            .ack_bits(16)
+            .guard_us(100.0)
+            .index_bits(16)
+            .probability_bits(8)
+            .build();
+        assert_eq!(t.id_bits(), 64);
+        assert!((t.report_us() - 64.0 * 1e6 / 106_000.0).abs() < 1e-9);
+        assert!((t.basic_slot_us() - (200.0 + t.report_us() + t.ack_us())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_icode() {
+        assert_eq!(TimingConfig::default(), TimingConfig::philips_icode());
+    }
+
+    #[test]
+    fn index_ack_cheaper_than_id_ack() {
+        // The whole point of FCAT's index acknowledgements (§V-A).
+        let t = TimingConfig::philips_icode();
+        assert!(t.index_ack_us() < t.id_ack_us());
+    }
+
+    #[test]
+    #[should_panic(expected = "bit rate must be positive")]
+    fn builder_rejects_zero_rate() {
+        let _ = TimingConfig::builder().bit_rate_bps(0.0);
+    }
+}

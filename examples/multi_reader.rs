@@ -1,0 +1,76 @@
+//! Multi-location inventory (§II-A): a reader walked through a warehouse
+//! too large for a single reading position.
+//!
+//! > "the reader may have to perform the reading process at several
+//! > locations and remove the duplicate IDs when some tags are covered by
+//! > multiple readings."
+//!
+//! Compares sweep cost across grid spacings (coverage vs overlap) and
+//! across protocols at a fixed spacing.
+//!
+//! ```text
+//! cargo run --release --example multi_reader
+//! ```
+
+use anc_rfid::prelude::*;
+use anc_rfid::sim::{multi_site_inventory, Deployment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 120 m × 80 m warehouse with 8 000 tagged items; the active tags
+    // are readable within 25 m.
+    let mut rng = seeded_rng(99);
+    let deployment = Deployment::uniform(&mut rng, 8_000, 120.0, 80.0);
+    let range = 25.0;
+    let config = SimConfig::default().with_seed(7);
+    let fcat = Fcat::new(FcatConfig::default());
+
+    println!("warehouse 120x80 m, 8000 tags, reading range {range} m\n");
+    println!("-- grid spacing sweep (FCAT-2) --");
+    println!(
+        "{:>8} {:>6} {:>8} {:>11} {:>10} {:>12}",
+        "spacing", "stops", "unique", "duplicates", "uncovered", "sweep time"
+    );
+    for spacing in [20.0, 30.0, 40.0, 50.0] {
+        let positions = deployment.grid_positions(spacing);
+        let report =
+            multi_site_inventory(&fcat, &deployment, &positions, range, &config)?;
+        println!(
+            "{:>7}m {:>6} {:>8} {:>11} {:>10} {:>11.1}s",
+            spacing,
+            positions.len(),
+            report.unique_tags,
+            report.cross_site_duplicates,
+            report.uncovered,
+            report.total_elapsed_us / 1e6
+        );
+    }
+
+    println!("\n-- protocol comparison at 30 m spacing --");
+    let positions = deployment.grid_positions(30.0);
+    println!(
+        "{:>8} {:>8} {:>12} {:>18}",
+        "protocol", "unique", "sweep time", "effective tags/s"
+    );
+    let protocols: Vec<Box<dyn anc_rfid::sim::AntiCollisionProtocol + Sync>> = vec![
+        Box::new(Fcat::new(FcatConfig::default())),
+        Box::new(Crdsa::new()),
+        Box::new(Dfsa::new()),
+        Box::new(Abs::new()),
+    ];
+    for protocol in &protocols {
+        let report =
+            multi_site_inventory(protocol.as_ref(), &deployment, &positions, range, &config)?;
+        println!(
+            "{:>8} {:>8} {:>11.1}s {:>18.1}",
+            protocol.name(),
+            report.unique_tags,
+            report.total_elapsed_us / 1e6,
+            report.effective_throughput()
+        );
+    }
+    println!(
+        "\nOverlap duplicates are re-read and discarded; the faster the\n\
+         per-stop protocol, the cheaper that overlap becomes."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Channel-error robustness (§IV-E): how FCAT degrades as collision
+//! records become unresolvable and acknowledgements get lost — and where
+//! the paper's advice to fall back to a plain contention protocol kicks in.
+//!
+//! ```text
+//! cargo run --release --example noisy_channel
+//! ```
+
+use anc_rfid::prelude::*;
+use anc_rfid::sim::ErrorModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 3_000;
+    let runs = 5;
+    println!("{n} tags, {runs} runs per point; Philips I-Code timing\n");
+
+    println!("-- unresolvable-collision probability sweep (spoiled ANC) --");
+    println!(
+        "{:>12} {:>10} {:>10} {:>12}",
+        "P(spoiled)", "FCAT-2", "DFSA", "FCAT wins by"
+    );
+    for p_bad in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let config = SimConfig::default()
+            .with_seed(7)
+            .with_errors(ErrorModel::new(0.0, 0.0, p_bad));
+        let fcat = run_many(&Fcat::new(FcatConfig::default()), n, runs, &config)?;
+        let dfsa = run_many(&Dfsa::new(), n, runs, &config)?;
+        println!(
+            "{:>12.1} {:>10.1} {:>10.1} {:>11.1}%",
+            p_bad,
+            fcat.throughput.mean,
+            dfsa.throughput.mean,
+            100.0 * (fcat.throughput.mean / dfsa.throughput.mean - 1.0)
+        );
+    }
+    println!(
+        "\nEven with every collision record spoiled, FCAT degrades to an\n\
+         ALOHA-like protocol and still completes; its advantage comes back\n\
+         as soon as a usable fraction of records resolves (§IV-E).\n"
+    );
+
+    println!("-- acknowledgement-loss sweep (duplicates discarded) --");
+    println!(
+        "{:>12} {:>10} {:>12}",
+        "P(ack lost)", "FCAT-2", "duplicates"
+    );
+    for ack_loss in [0.0, 0.05, 0.1, 0.2, 0.4] {
+        let config = SimConfig::default()
+            .with_seed(9)
+            .with_errors(ErrorModel::new(ack_loss, 0.0, 0.0));
+        let (agg, reports) = anc_rfid::sim::run_many_with_populations(
+            &Fcat::new(FcatConfig::default()),
+            runs,
+            &config,
+            |rng| population::uniform(rng, n),
+        )?;
+        let dupes: f64 =
+            reports.iter().map(|r| r.duplicates_discarded as f64).sum::<f64>() / runs as f64;
+        println!(
+            "{:>12.2} {:>10.1} {:>12.1}",
+            ack_loss, agg.throughput.mean, dupes
+        );
+    }
+    Ok(())
+}

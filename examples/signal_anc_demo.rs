@@ -1,0 +1,78 @@
+//! Signal-level ANC walkthrough: what actually happens inside a collision
+//! slot (§II-B), step by step on synthetic MSK baseband samples.
+//!
+//! ```text
+//! cargo run --release --example signal_anc_demo
+//! ```
+
+use anc_rfid::signal::{anc, channel::ChannelParams, Complex, MskConfig, MskModulator};
+use anc_rfid::types::TagId;
+
+fn main() {
+    let cfg = MskConfig::default();
+    let modulator = MskModulator::new(cfg.clone());
+
+    // Two tags transmit their 96-bit IDs simultaneously.
+    let t1 = TagId::from_payload(0x00AA_1122_3344_5566_77);
+    let t2 = TagId::from_payload(0x00BB_8899_AABB_CCDD_EE);
+    println!("tag 1 ID : {t1}");
+    println!("tag 2 ID : {t2}\n");
+
+    // Each waveform arrives through its own channel: attenuation h and
+    // phase shift γ (the h'·e^{iγ'} / h''·e^{iγ''} of the paper's Eq. 1).
+    // Near-equal powers here; a dominant component would instead be
+    // captured and decoded directly (the classic RFID capture effect).
+    let ch1 = ChannelParams { attenuation: 0.76, phase: 0.7, freq_offset: 0.0 };
+    let ch2 = ChannelParams { attenuation: 0.74, phase: 2.4, freq_offset: 0.0 };
+    let w1 = ch1.apply(&modulator.reference(&t1.to_bits()));
+    let w2 = ch2.apply(&modulator.reference(&t2.to_bits()));
+    let mut mixed: Vec<Complex> = w1.iter().zip(&w2).map(|(&a, &b)| a + b).collect();
+    // Receiver noise (≈ 37 dB SNR — the default channel model).
+    let model = anc_rfid::signal::ChannelModel::default();
+    let mut rng = anc_rfid::sim::seeded_rng(1);
+    model.add_noise(&mut mixed, &mut rng);
+    println!("mixed signal: {} complex baseband samples", mixed.len());
+
+    // Step 1 — the reader cannot decode the mixture directly: CRC fails.
+    match anc::decode_singleton(&mixed, &cfg) {
+        None => println!("direct decode  : CRC fails -> collision slot, record stored"),
+        Some(id) => println!("direct decode  : captured {id} (strong-component capture)"),
+    }
+
+    // Step 2 — the energy equations estimate the two component amplitudes
+    // (μ = A² + B², σ = A² + B² + 4AB/π).
+    if let Some(est) = anc::estimate_two_amplitudes(&mixed) {
+        println!(
+            "energy stats   : mu = {:.3}, sigma = {:.3} -> A ~= {:.2}, B ~= {:.2} (true 0.76 / 0.74)",
+            est.mu, est.sigma, est.stronger, est.weaker
+        );
+    }
+
+    // Step 3 — later, tag 1 is read alone in a singleton slot. Knowing its
+    // bits, the reader reconstructs its waveform, least-squares fits the
+    // unknown channel gain, subtracts, and decodes what remains.
+    match anc::resolve(&mixed, &[t1], &cfg) {
+        Ok(recovered) => {
+            println!("ANC resolution : subtracted tag 1 -> recovered {recovered}");
+            assert_eq!(recovered, t2);
+            println!("               : matches tag 2, CRC verified");
+        }
+        Err(e) => println!("ANC resolution failed: {e}"),
+    }
+
+    // Step 4 — the same machinery scales to deeper mixtures (future ANC,
+    // the paper's λ > 2): a 4-collision resolved after 3 IDs are known.
+    // Note the IDs are random: near-identical IDs give near-collinear
+    // waveforms, which genuinely resist subtraction (ill-conditioned fit).
+    let mut rng = anc_rfid::sim::seeded_rng(3);
+    let ids = anc_rfid::types::population::uniform(&mut rng, 4);
+    let model = anc_rfid::signal::ChannelModel::default();
+    let mixed4 = anc::transmit_mixed(&ids, &cfg, &model, &mut rng);
+    match anc::resolve(&mixed4, &ids[..3], &cfg) {
+        Ok(recovered) => {
+            assert_eq!(recovered, ids[3]);
+            println!("\n4-collision    : knowing 3 IDs recovers the 4th -> {recovered}");
+        }
+        Err(e) => println!("\n4-collision resolution failed: {e}"),
+    }
+}

@@ -1,0 +1,105 @@
+//! Failure-injection suite (§IV-E): protocols must survive ack loss,
+//! report corruption and unresolvable collisions — alone and combined —
+//! and still deliver a complete inventory.
+
+use anc_rfid::prelude::*;
+use anc_rfid::sim::{AntiCollisionProtocol, ErrorModel};
+
+fn all_protocols() -> Vec<Box<dyn AntiCollisionProtocol + Sync>> {
+    vec![
+        Box::new(Fcat::new(FcatConfig::default())),
+        Box::new(Fcat::new(FcatConfig::default().with_lambda(4))),
+        Box::new(MessageLevelFcat::new(FcatConfig::default())),
+        Box::new(Scat::new(ScatConfig::default())),
+        Box::new(Dfsa::new()),
+        Box::new(Edfsa::new()),
+        Box::new(Crdsa::new()),
+        Box::new(anc_rfid::protocols::Gen2Q::new()),
+        Box::new(Abs::new()),
+        Box::new(Aqs::new()),
+        Box::new(QueryTree::new()),
+        Box::new(SlottedAloha::new()),
+    ]
+}
+
+fn run_with(errors: ErrorModel, n: usize, seed: u64) {
+    let tags = population::uniform(&mut seeded_rng(seed), n);
+    let config = SimConfig::default().with_seed(seed).with_errors(errors);
+    for protocol in all_protocols() {
+        let report = run_inventory(protocol.as_ref(), &tags, &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+        assert_eq!(report.identified, n, "{}", protocol.name());
+    }
+}
+
+#[test]
+fn survives_ack_loss() {
+    run_with(ErrorModel::new(0.25, 0.0, 0.0), 300, 11);
+}
+
+#[test]
+fn survives_report_corruption() {
+    run_with(ErrorModel::new(0.0, 0.15, 0.0), 300, 12);
+}
+
+#[test]
+fn survives_unresolvable_collisions() {
+    run_with(ErrorModel::new(0.0, 0.0, 0.5), 300, 13);
+}
+
+#[test]
+fn survives_combined_errors() {
+    run_with(ErrorModel::new(0.15, 0.1, 0.25), 300, 14);
+}
+
+#[test]
+fn ack_loss_produces_discarded_duplicates() {
+    let tags = population::uniform(&mut seeded_rng(15), 500);
+    let config = SimConfig::default()
+        .with_seed(15)
+        .with_errors(ErrorModel::new(0.3, 0.0, 0.0));
+    let report =
+        run_inventory(&Fcat::new(FcatConfig::default()), &tags, &config).expect("completes");
+    assert_eq!(report.identified, 500);
+    assert!(
+        report.duplicates_discarded > 20,
+        "expected many duplicates, got {}",
+        report.duplicates_discarded
+    );
+}
+
+#[test]
+fn corruption_slows_but_does_not_break_fcat() {
+    let n = 1_000;
+    let clean = run_many(
+        &Fcat::new(FcatConfig::default()),
+        n,
+        4,
+        &SimConfig::default().with_seed(16),
+    )
+    .expect("clean");
+    let dirty = run_many(
+        &Fcat::new(FcatConfig::default()),
+        n,
+        4,
+        &SimConfig::default()
+            .with_seed(16)
+            .with_errors(ErrorModel::new(0.1, 0.1, 0.25)),
+    )
+    .expect("dirty");
+    assert!(dirty.throughput.mean < clean.throughput.mean);
+    assert!(dirty.throughput.mean > 0.4 * clean.throughput.mean);
+}
+
+#[test]
+fn fully_spoiled_fcat_still_beats_nothing_and_terminates() {
+    // Worst case of §IV-E: no collision record ever resolves.
+    let tags = population::uniform(&mut seeded_rng(17), 800);
+    let config = SimConfig::default()
+        .with_seed(17)
+        .with_errors(ErrorModel::new(0.0, 0.0, 1.0));
+    let report =
+        run_inventory(&Fcat::new(FcatConfig::default()), &tags, &config).expect("completes");
+    assert_eq!(report.identified, 800);
+    assert_eq!(report.resolved_from_collisions, 0);
+}

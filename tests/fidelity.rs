@@ -1,0 +1,168 @@
+//! Fidelity cross-checks: the slot-level abstraction (paper's simulation
+//! model) must agree with the faithful hash-gated protocol and, at high
+//! SNR, with the full signal-level DSP chain.
+
+use anc_rfid::anc::{Fidelity, Membership, SignalLevelConfig};
+use anc_rfid::prelude::*;
+use anc_rfid::signal::{ChannelModel, MskConfig};
+
+#[test]
+fn sampled_and_hash_membership_agree_statistically() {
+    let config = SimConfig::default().with_seed(21);
+    let n = 2_000;
+    let runs = 6;
+    let sampled = run_many(&Fcat::new(FcatConfig::default()), n, runs, &config).expect("runs");
+    let hashed = run_many(
+        &Fcat::new(FcatConfig::default().with_membership(Membership::Hash)),
+        n,
+        runs,
+        &config,
+    )
+    .expect("runs");
+    let rel_tp =
+        (sampled.throughput.mean - hashed.throughput.mean).abs() / sampled.throughput.mean;
+    assert!(rel_tp < 0.04, "throughput mismatch {rel_tp}");
+    let rel_slots =
+        (sampled.total_slots.mean - hashed.total_slots.mean).abs() / sampled.total_slots.mean;
+    assert!(rel_slots < 0.06, "slot-count mismatch {rel_slots}");
+}
+
+#[test]
+fn signal_level_brackets_slot_level_at_high_snr() {
+    // At 37 dB SNR the DSP chain resolves essentially every 2-collision —
+    // so signal-level FCAT must be at least as fast as the slot-level
+    // λ = 2 abstraction. It is in fact *faster*, for two physical reasons
+    // the abstraction deliberately omits: (a) joint least-squares
+    // subtraction peels k-collisions for any k once k−1 IDs are known
+    // (the paper's "future ANC" regime), and (b) capture turns unbalanced
+    // collisions into free singletons. Bracket it: above slot-λ2, below
+    // the one-ID-per-slot physical ceiling.
+    let n = 400;
+    let runs = 4;
+    let config = SimConfig::default().with_seed(31);
+    let slot = run_many(&Fcat::new(FcatConfig::default()), n, runs, &config).expect("runs");
+    let signal_cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(
+        SignalLevelConfig {
+            msk: MskConfig::default(),
+            channel: ChannelModel::new((0.7, 1.0), 0.01),
+        },
+    ));
+    let signal = run_many(&Fcat::new(signal_cfg), n, runs, &config).expect("runs");
+    assert_eq!(signal.population, n);
+    assert!(
+        signal.throughput.mean > slot.throughput.mean,
+        "signal {} !> slot {}",
+        signal.throughput.mean,
+        slot.throughput.mean
+    );
+    let ceiling = 1e6 / config.timing().basic_slot_us(); // 1 ID per slot
+    assert!(
+        signal.throughput.mean < ceiling,
+        "signal {} above physical ceiling {ceiling}",
+        signal.throughput.mean
+    );
+    // And it pulls a large share of IDs out of collision records.
+    assert!(signal.resolved_from_collisions.mean > 0.2 * n as f64);
+}
+
+#[test]
+fn signal_level_low_snr_degrades() {
+    // Noise at ~11 dB per component: many resolutions fail, throughput
+    // drops well below the clean-channel level but inventory completes.
+    let n = 200;
+    let config = SimConfig::default().with_seed(41);
+    let noisy_cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(
+        SignalLevelConfig {
+            msk: MskConfig::default(),
+            channel: ChannelModel::new((0.7, 1.0), 0.2),
+        },
+    ));
+    let clean_cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(
+        SignalLevelConfig {
+            msk: MskConfig::default(),
+            channel: ChannelModel::new((0.7, 1.0), 0.01),
+        },
+    ));
+    let noisy = run_many(&Fcat::new(noisy_cfg), n, 3, &config).expect("runs");
+    let clean = run_many(&Fcat::new(clean_cfg), n, 3, &config).expect("runs");
+    assert!(
+        noisy.throughput.mean < clean.throughput.mean,
+        "noisy {} !< clean {}",
+        noisy.throughput.mean,
+        clean.throughput.mean
+    );
+    // Noise burns more slots for the same population.
+    assert!(noisy.total_slots.mean > clean.total_slots.mean);
+}
+
+#[test]
+fn message_level_fcat_differential_against_engine() {
+    // With a clean channel both executions are deterministic functions of
+    // the same hash tests, the same quantized probabilities, and the same
+    // estimator updates — so the aggregate engine (Membership::Hash) and
+    // the message-level reader/tag state machines must collect the same
+    // set and differ in slot counts only by the termination tail (the
+    // engine stops on ground truth; the device reader must observe an
+    // all-empty frame plus an empty probe).
+    use anc_rfid::anc::device::MessageLevelFcat;
+    use anc_rfid::anc::InitialPopulation;
+
+    for seed in [1u64, 7, 99] {
+        let tags = population::uniform(&mut seeded_rng(seed), 500);
+        let config = SimConfig::default().with_seed(seed);
+        let base = FcatConfig::default().with_initial(InitialPopulation::Guess(512));
+        let engine_report = run_inventory(
+            &Fcat::new(base.clone().with_membership(Membership::Hash)),
+            &tags,
+            &config,
+        )
+        .expect("engine run");
+        let device_report =
+            run_inventory(&MessageLevelFcat::new(base), &tags, &config).expect("device run");
+
+        assert_eq!(engine_report.identified, 500);
+        assert_eq!(device_report.identified, 500);
+        assert_eq!(engine_report.ids, device_report.ids, "seed {seed}");
+        let diff = (device_report.slots.total() as i64 - engine_report.slots.total() as i64)
+            .unsigned_abs();
+        // Tail allowance: the rest of the final frame, one empty frame,
+        // and the probe slot.
+        assert!(
+            diff <= 2 * 30 + 1,
+            "seed {seed}: slot totals diverge by {diff} (engine {}, device {})",
+            engine_report.slots.total(),
+            device_report.slots.total()
+        );
+        // The productive prefix must agree: identical singleton counts and
+        // near-identical collision counts.
+        assert_eq!(
+            engine_report.slots.singleton, device_report.slots.singleton,
+            "seed {seed}"
+        );
+        assert!(
+            (engine_report.slots.collision as i64 - device_report.slots.collision as i64).abs()
+                <= 2,
+            "seed {seed}: collisions {} vs {}",
+            engine_report.slots.collision,
+            device_report.slots.collision
+        );
+    }
+}
+
+#[test]
+fn scat_and_fcat_agree_on_what_they_read() {
+    // Same seed, same tags: both collision-aware protocols read the whole
+    // population; FCAT is faster thanks to amortized advertisements.
+    let tags = population::uniform(&mut seeded_rng(51), 3_000);
+    let config = SimConfig::default().with_seed(3);
+    let scat = run_inventory(&Scat::new(ScatConfig::default()), &tags, &config).expect("scat");
+    let fcat = run_inventory(&Fcat::new(FcatConfig::default()), &tags, &config).expect("fcat");
+    assert_eq!(scat.identified, 3_000);
+    assert_eq!(fcat.identified, 3_000);
+    assert!(
+        fcat.throughput_tags_per_sec > scat.throughput_tags_per_sec,
+        "fcat {} !> scat {}",
+        fcat.throughput_tags_per_sec,
+        scat.throughput_tags_per_sec
+    );
+}

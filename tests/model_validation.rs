@@ -1,0 +1,80 @@
+//! The closed-form FCAT performance model must predict the simulator
+//! across λ and frame size — the strongest whole-system consistency check
+//! we have (analysis, protocol, and timing all have to line up).
+
+use anc_rfid::analysis::throughput::{fcat_model, fcat_model_exact};
+use anc_rfid::analysis::optimal_omega;
+use anc_rfid::prelude::*;
+
+#[test]
+fn model_predicts_simulation_across_lambda_and_frame() {
+    let timing = TimingConfig::philips_icode();
+    let n = 4_000;
+    for lambda in 2..=4u32 {
+        for frame in [10u32, 30, 100] {
+            let model = fcat_model(&timing, lambda, optimal_omega(lambda), frame);
+            let cfg = FcatConfig::default()
+                .with_lambda(lambda)
+                .with_frame_size(frame);
+            let agg = run_many(&Fcat::new(cfg), n, 4, &SimConfig::default().with_seed(2))
+                .expect("runs");
+            let rel = (agg.throughput.mean - model.throughput_tags_per_sec).abs()
+                / model.throughput_tags_per_sec;
+            // The model excludes two O(f) effects the simulation pays:
+            // estimator convergence lag (fewer updates per run at large f)
+            // and the termination cost (one all-empty frame plus probe).
+            // Both grow with f; at f = 100 over N = 4 000 they are worth
+            // ~9 %. Allow 10 %.
+            assert!(
+                rel < 0.10,
+                "λ={lambda} f={frame}: model {:.1}, measured {:.1}, rel {rel:.3}",
+                model.throughput_tags_per_sec,
+                agg.throughput.mean
+            );
+            let resolved_fraction = agg.resolved_from_collisions.mean / n as f64;
+            assert!(
+                (resolved_fraction - model.resolved_fraction).abs() < 0.04,
+                "λ={lambda} f={frame}: resolved {} vs model {}",
+                resolved_fraction,
+                model.resolved_fraction
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_model_tracks_small_populations_better() {
+    let timing = TimingConfig::philips_icode();
+    let n = 200u64;
+    let omega = optimal_omega(2);
+    let poisson = fcat_model(&timing, 2, omega, 30);
+    let exact = fcat_model_exact(&timing, n, 2, omega, 30);
+    let agg = run_many(
+        &Fcat::new(FcatConfig::default()),
+        n as usize,
+        8,
+        &SimConfig::default().with_seed(5),
+    )
+    .expect("runs");
+    let err_exact = (agg.throughput.mean - exact.throughput_tags_per_sec).abs();
+    let err_poisson = (agg.throughput.mean - poisson.throughput_tags_per_sec).abs();
+    // At N = 200, protocol overheads (estimator warm-up, termination) are
+    // a visible fraction; both models overestimate, but the finite-N model
+    // must not be worse.
+    assert!(
+        err_exact <= err_poisson + 1.0,
+        "exact err {err_exact:.1} vs poisson err {err_poisson:.1} (measured {:.1})",
+        agg.throughput.mean
+    );
+}
+
+#[test]
+fn scat_signal_level_completes() {
+    use anc_rfid::anc::{Fidelity, SignalLevelConfig};
+    let tags = population::uniform(&mut seeded_rng(13), 120);
+    let cfg = ScatConfig::default().with_fidelity(Fidelity::SignalLevel(
+        SignalLevelConfig::default(),
+    ));
+    let report = run_inventory(&Scat::new(cfg), &tags, &SimConfig::default()).expect("run");
+    assert_eq!(report.identified, 120);
+}

@@ -1,0 +1,177 @@
+//! End-to-end checks that the simulation reproduces the *shape* of the
+//! paper's headline results (who wins, by roughly what factor) at reduced
+//! run counts. EXPERIMENTS.md records the full-scale numbers.
+
+use anc_rfid::prelude::*;
+
+const RUNS: usize = 5;
+
+fn throughput(protocol: &(impl anc_rfid::sim::AntiCollisionProtocol + Sync), n: usize) -> f64 {
+    run_many(protocol, n, RUNS, &SimConfig::default().with_seed(1234))
+        .expect("runs succeed")
+        .throughput
+        .mean
+}
+
+fn fcat(lambda: u32) -> Fcat {
+    Fcat::new(FcatConfig::default().with_lambda(lambda))
+}
+
+#[test]
+fn table1_headline_improvement_band() {
+    // Paper abstract: 51.1%–70.6% over the best existing protocols.
+    let n = 10_000;
+    let fcat2 = throughput(&fcat(2), n);
+    let dfsa = throughput(&Dfsa::new(), n);
+    let edfsa = throughput(&Edfsa::new(), n);
+    let abs = throughput(&Abs::new(), n);
+    let aqs = throughput(&Aqs::new(), n);
+    for (name, base, (lo, hi)) in [
+        ("DFSA", dfsa, (0.45, 0.62)),   // paper: 51.1–55.6 %
+        ("EDFSA", edfsa, (0.48, 0.80)), // paper: 54.8–70.6 %
+        ("ABS", abs, (0.52, 0.70)),     // paper: 59.6–62.9 %
+        ("AQS", aqs, (0.55, 0.75)),     // paper: 64.1–67.7 %
+    ] {
+        let gain = fcat2 / base - 1.0;
+        assert!(
+            (lo..hi).contains(&gain),
+            "FCAT-2 vs {name}: gain {gain:.3} outside [{lo}, {hi}) (fcat {fcat2:.1}, base {base:.1})"
+        );
+    }
+}
+
+#[test]
+fn table1_throughput_levels() {
+    // Paper Table I at N = 10 000: FCAT-2 201.3, FCAT-3 241.8, FCAT-4
+    // 265.1, DFSA 131.4, ABS 123.9, AQS 121.2 tags/s. Allow a ±6 % band
+    // (protocol-internal constants differ slightly from the authors').
+    let n = 10_000;
+    for (protocol, expected) in [
+        (&fcat(2) as &(dyn anc_rfid::sim::AntiCollisionProtocol + Sync), 201.3),
+        (&fcat(3), 241.8),
+        (&fcat(4), 265.1),
+        (&Dfsa::new(), 131.4),
+        (&Abs::new(), 123.9),
+        (&Aqs::new(), 121.2),
+    ] {
+        let measured = run_many(&protocol, n, RUNS, &SimConfig::default().with_seed(9))
+            .expect("runs")
+            .throughput
+            .mean;
+        let rel = (measured - expected).abs() / expected;
+        assert!(
+            rel < 0.06,
+            "{}: measured {measured:.1}, paper {expected}, rel {rel:.3}",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn table2_slot_breakdown_shape() {
+    // Paper Table II at N = 10 000 (FCAT-2): empty 4 189, singleton 5 861,
+    // collision 7 016, total 17 066. Check within ±8 %.
+    let agg = run_many(&fcat(2), 10_000, RUNS, &SimConfig::default().with_seed(5)).expect("runs");
+    for (label, measured, expected) in [
+        ("empty", agg.empty_slots.mean, 4_189.0),
+        ("singleton", agg.singleton_slots.mean, 5_861.0),
+        ("collision", agg.collision_slots.mean, 7_016.0),
+        ("total", agg.total_slots.mean, 17_066.0),
+    ] {
+        let rel = (measured - expected).abs() / expected;
+        assert!(
+            rel < 0.08,
+            "{label}: measured {measured:.0}, paper {expected}, rel {rel:.3}"
+        );
+    }
+    // FCAT-4 trades empties for (useful) collisions relative to FCAT-2.
+    let agg4 = run_many(&fcat(4), 10_000, RUNS, &SimConfig::default().with_seed(5)).expect("runs");
+    assert!(agg4.empty_slots.mean < agg.empty_slots.mean);
+    assert!(agg4.collision_slots.mean > agg.collision_slots.mean);
+    assert!(agg4.total_slots.mean < agg.total_slots.mean);
+}
+
+#[test]
+fn table3_resolved_fractions() {
+    // Paper Table III: ~40 % of IDs resolved from collisions for FCAT-2,
+    // ~57 % for FCAT-3, ~68 % for FCAT-4 (at N = 10 000: 4 139 / 5 945 /
+    // 7 065).
+    let n = 10_000;
+    for (lambda, expected_fraction) in [(2u32, 0.414), (3, 0.594), (4, 0.706)] {
+        let agg = run_many(&fcat(lambda), n, RUNS, &SimConfig::default().with_seed(3))
+            .expect("runs");
+        let fraction = agg.resolved_from_collisions.mean / n as f64;
+        assert!(
+            (fraction - expected_fraction).abs() < 0.05,
+            "lambda {lambda}: fraction {fraction:.3}, paper {expected_fraction}"
+        );
+    }
+}
+
+#[test]
+fn fig5_omega_sweep_peaks_at_computed_optimum() {
+    // Throughput at the computed ω* beats clearly-off values on both sides
+    // (the Fig. 5 hump shape).
+    let n = 5_000;
+    let tp = |omega: f64| {
+        let cfg = FcatConfig::default().with_omega(omega);
+        run_many(&Fcat::new(cfg), n, RUNS, &SimConfig::default().with_seed(8))
+            .expect("runs")
+            .throughput
+            .mean
+    };
+    let at_optimum = tp(1.414);
+    assert!(at_optimum > tp(0.4), "left flank");
+    assert!(at_optimum > tp(2.8), "right flank");
+}
+
+#[test]
+fn fig6_frame_size_stabilizes_by_ten() {
+    // Fig. 6: throughput stabilizes for f >= 10.
+    let n = 5_000;
+    let tp = |f: u32| {
+        let cfg = FcatConfig::default().with_frame_size(f);
+        run_many(&Fcat::new(cfg), n, RUNS, &SimConfig::default().with_seed(4))
+            .expect("runs")
+            .throughput
+            .mean
+    };
+    let t10 = tp(10);
+    let t30 = tp(30);
+    let t100 = tp(100);
+    assert!((t30 - t10).abs() / t30 < 0.05, "t10 {t10} vs t30 {t30}");
+    assert!((t100 - t30).abs() / t30 < 0.05, "t100 {t100} vs t30 {t30}");
+}
+
+#[test]
+fn diminishing_returns_in_lambda() {
+    // §VI-A: the FCAT-3→4 gain is smaller than the FCAT-2→3 gain, and
+    // FCAT-5 "performs only slightly better than FCAT-4" (paper: 270.9 vs
+    // 265.1 at N = 10 000).
+    let n = 10_000;
+    let t2 = throughput(&fcat(2), n);
+    let t3 = throughput(&fcat(3), n);
+    let t4 = throughput(&fcat(4), n);
+    let t5 = throughput(&fcat(5), n);
+    assert!(t3 - t2 > t4 - t3, "t2 {t2}, t3 {t3}, t4 {t4}");
+    assert!(t5 > t4, "t5 {t5} !> t4 {t4}");
+    assert!(
+        t4 - t3 > t5 - t4,
+        "margin must keep shrinking: t3 {t3}, t4 {t4}, t5 {t5}"
+    );
+}
+
+#[test]
+fn slot_count_never_exceeds_twice_population() {
+    // §V-A: "In our simulations, the number of slots required never
+    // exceeds 2N" (justifying 23-bit slot indices).
+    for (lambda, n) in [(2u32, 10_000usize), (3, 10_000), (4, 10_000), (2, 1_000)] {
+        let agg = run_many(&fcat(lambda), n, RUNS, &SimConfig::default().with_seed(6))
+            .expect("runs");
+        assert!(
+            agg.total_slots.max < 2.0 * n as f64,
+            "FCAT-{lambda} at N={n}: max slots {}",
+            agg.total_slots.max
+        );
+    }
+}

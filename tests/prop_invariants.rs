@@ -1,0 +1,82 @@
+//! Property-based cross-crate invariants.
+
+use anc_rfid::prelude::*;
+use anc_rfid::sim::ErrorModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FCAT reads everything exactly once for arbitrary small populations,
+    /// λ, frame sizes and seeds.
+    #[test]
+    fn fcat_complete_for_arbitrary_parameters(
+        n in 0usize..120,
+        lambda in 2u32..6,
+        frame in 1u32..80,
+        seed in any::<u64>(),
+    ) {
+        let tags = population::uniform(&mut seeded_rng(seed), n);
+        let cfg = FcatConfig::default()
+            .with_lambda(lambda)
+            .with_frame_size(frame);
+        let config = SimConfig::default().with_seed(seed ^ 0xABCD);
+        let report = run_inventory(&Fcat::new(cfg), &tags, &config).expect("completes");
+        prop_assert_eq!(report.identified, n);
+        prop_assert_eq!(report.duplicates_discarded, 0);
+        prop_assert!(report.resolved_from_collisions <= report.identified as u64);
+    }
+
+    /// Slot accounting always balances: identified singletons plus
+    /// resolutions never exceed useful slots; totals are consistent.
+    #[test]
+    fn fcat_slot_accounting_consistent(
+        n in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let tags = population::uniform(&mut seeded_rng(seed), n);
+        let config = SimConfig::default().with_seed(seed);
+        let report = run_inventory(&Fcat::new(FcatConfig::default()), &tags, &config)
+            .expect("completes");
+        let slots = &report.slots;
+        prop_assert_eq!(slots.total(), slots.empty + slots.singleton + slots.collision);
+        // Each identification needs a singleton slot or a collision record.
+        prop_assert!(report.identified as u64 <= slots.singleton + slots.collision);
+        // Resolved IDs cannot exceed collision slots.
+        prop_assert!(report.resolved_from_collisions <= slots.collision);
+        // Throughput consistent with its definition.
+        let recomputed = report.identified as f64 / (report.elapsed_us / 1e6);
+        prop_assert!((recomputed - report.throughput_tags_per_sec).abs() < 1e-6);
+    }
+
+    /// Under arbitrary error rates (< 1) the inventory still completes.
+    #[test]
+    fn fcat_completes_under_arbitrary_errors(
+        n in 1usize..80,
+        ack in 0.0f64..0.5,
+        corrupt in 0.0f64..0.4,
+        spoil in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let tags = population::uniform(&mut seeded_rng(seed), n);
+        let config = SimConfig::default()
+            .with_seed(seed)
+            .with_errors(ErrorModel::new(ack, corrupt, spoil));
+        let report = run_inventory(&Fcat::new(FcatConfig::default()), &tags, &config)
+            .expect("completes");
+        prop_assert_eq!(report.identified, n);
+    }
+
+    /// DFSA and ABS agree with FCAT on the set of identified tags
+    /// (they all read exactly the population).
+    #[test]
+    fn protocols_identify_identical_sets(n in 1usize..100, seed in any::<u64>()) {
+        let tags = population::uniform(&mut seeded_rng(seed), n);
+        let config = SimConfig::default().with_seed(seed);
+        let f = run_inventory(&Fcat::new(FcatConfig::default()), &tags, &config).expect("fcat");
+        let d = run_inventory(&Dfsa::new(), &tags, &config).expect("dfsa");
+        let a = run_inventory(&Abs::new(), &tags, &config).expect("abs");
+        prop_assert_eq!(&f.ids, &d.ids);
+        prop_assert_eq!(&d.ids, &a.ids);
+    }
+}

@@ -1,0 +1,74 @@
+//! Robustness fuzzing of the signal layer: arbitrary garbage samples and
+//! adversarial mixtures must produce clean errors — never panics, never a
+//! CRC-valid ghost ID that nobody transmitted.
+
+use anc_rfid::signal::{anc, resolve_two_energy, Complex, MskConfig};
+use anc_rfid::types::TagId;
+use proptest::prelude::*;
+
+fn junk_waveform(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec(
+        (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im)),
+        len..=len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary noise never decodes as a valid singleton (CRC guards),
+    /// and never panics.
+    #[test]
+    fn junk_never_decodes(wave in junk_waveform(769)) {
+        let cfg = MskConfig::default();
+        // Random samples demodulate into random bits; a 16-bit CRC lets a
+        // ghost through once per 65 536 tries — with 64 cases this test is
+        // deterministic in practice, and a failure would repro via the
+        // stored seed.
+        prop_assert!(anc::decode_singleton(&wave, &cfg).is_none());
+    }
+
+    /// The resolvers accept arbitrary garbage without panicking and report
+    /// structured errors for wrong lengths.
+    #[test]
+    fn resolvers_fail_cleanly_on_junk(
+        wave in junk_waveform(769),
+        known_payload in any::<u128>(),
+    ) {
+        let cfg = MskConfig::default();
+        let known = TagId::from_payload(known_payload);
+        let _ = anc::resolve(&wave, &[known], &cfg);
+        let _ = resolve_two_energy(&wave, known, &cfg);
+        // Wrong length is a structured error.
+        let short = anc::resolve(&wave[..100], &[known], &cfg);
+        let is_bad_length = matches!(short, Err(anc::AncError::BadLength { .. }));
+        prop_assert!(is_bad_length, "got {short:?}");
+    }
+
+    /// Resolution never invents a participant: whatever comes back from a
+    /// genuine mixture is one of the transmitted IDs.
+    #[test]
+    fn resolution_output_is_a_real_participant(
+        seed in any::<u64>(),
+        k in 2usize..5,
+        noise in 0.0f64..0.3,
+    ) {
+        let cfg = MskConfig::default();
+        let mut rng = anc_rfid::sim::seeded_rng(seed);
+        let ids = anc_rfid::types::population::uniform(&mut rng, k);
+        let model = anc_rfid::signal::ChannelModel::new((0.5, 1.0), noise.max(1e-6));
+        let mixed = anc::transmit_mixed(&ids, &cfg, &model, &mut rng);
+        if let Ok(recovered) = anc::resolve(&mixed, &ids[..k - 1], &cfg) {
+            prop_assert_eq!(recovered, ids[k - 1]);
+        }
+    }
+
+    /// The energy amplitude estimator is total over junk input.
+    #[test]
+    fn energy_estimator_total(wave in junk_waveform(64)) {
+        let est = anc::estimate_two_amplitudes(&wave).expect("non-empty");
+        prop_assert!(est.stronger >= est.weaker);
+        prop_assert!(est.weaker >= 0.0);
+        prop_assert!(est.stronger.is_finite());
+    }
+}
