@@ -73,11 +73,7 @@ mod tests {
     fn bounds_ordering() {
         let t = TimingConfig::philips_icode();
         assert!(tree_throughput_bound(&t) < aloha_throughput_bound(&t));
-        assert!(
-            collision_aware_throughput_bound(&t, 2) < collision_aware_throughput_bound(&t, 3)
-        );
-        assert!(
-            collision_aware_throughput_bound(&t, 3) < collision_aware_throughput_bound(&t, 4)
-        );
+        assert!(collision_aware_throughput_bound(&t, 2) < collision_aware_throughput_bound(&t, 3));
+        assert!(collision_aware_throughput_bound(&t, 3) < collision_aware_throughput_bound(&t, 4));
     }
 }

@@ -69,7 +69,11 @@ pub fn estimate_remaining_from_empties(empties: u32, frame_size: u32, p: f64) ->
     assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
     let f = f64::from(frame_size);
     // n₀ = 0 would put the estimate at infinity; clamp as for collisions.
-    let n0 = if empties == 0 { 0.5 } else { f64::from(empties) };
+    let n0 = if empties == 0 {
+        0.5
+    } else {
+        f64::from(empties)
+    };
     ((n0 / f).ln() / (1.0 - p).ln()).max(0.0)
 }
 
@@ -207,7 +211,7 @@ mod tests {
     #[test]
     fn zero_collisions_small_estimate() {
         let est = estimate_remaining_from_collisions(0, 30, 0.1, 1.414);
-        assert!(est >= 0.0 && est < 30.0, "est {est}");
+        assert!((0.0..30.0).contains(&est), "est {est}");
     }
 
     #[test]

@@ -28,5 +28,5 @@ pub mod omega;
 pub mod throughput;
 
 pub use estimator::{estimate_remaining_from_collisions, normalized_bias, normalized_variance};
-pub use throughput::{fcat_model, FcatModel};
 pub use omega::{optimal_omega, OMEGA_LAMBDA_2, OMEGA_LAMBDA_3, OMEGA_LAMBDA_4};
+pub use throughput::{fcat_model, FcatModel};

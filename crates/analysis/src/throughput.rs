@@ -122,7 +122,11 @@ mod tests {
         let m = fcat_model(&icode(), 2, optimal_omega(2), 30);
         // g(√2, 2) ≈ 0.5869 → ≈ 1.704 slots/tag; paper's Table II has
         // 17 066 slots for 10 000 tags = 1.707. Throughput ≈ paper's 201.
-        assert!((m.slots_per_tag - 1.704).abs() < 0.01, "{}", m.slots_per_tag);
+        assert!(
+            (m.slots_per_tag - 1.704).abs() < 0.01,
+            "{}",
+            m.slots_per_tag
+        );
         assert!(
             (m.throughput_tags_per_sec - 201.0).abs() < 6.0,
             "{}",
@@ -167,9 +171,7 @@ mod tests {
         let limit = fcat_model(&icode(), 2, omega, 30);
         let coarse = fcat_model_exact(&icode(), 50, 2, omega, 30);
         let fine = fcat_model_exact(&icode(), 50_000, 2, omega, 30);
-        let err = |m: &FcatModel| {
-            (m.throughput_tags_per_sec - limit.throughput_tags_per_sec).abs()
-        };
+        let err = |m: &FcatModel| (m.throughput_tags_per_sec - limit.throughput_tags_per_sec).abs();
         assert!(err(&fine) < err(&coarse));
         assert!(err(&fine) < 0.05, "fine err {}", err(&fine));
         // Small populations genuinely differ (the paper's Table I shows

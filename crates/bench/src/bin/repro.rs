@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--runs N] [--seed S] [--out DIR] [--quick] <experiment>...
+//! repro [--runs N] [--seed S] [--out DIR] [--quick] \
+//!       [--trace FILE.jsonl [--trace-tags N]] [<experiment>...]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 fig3 fig4 fig5 fig6
@@ -12,6 +13,13 @@
 //!
 //! Each experiment prints its table and writes `<out>/<name>.csv`
 //! (default `results/`).
+//!
+//! `--trace FILE.jsonl` runs one seeded FCAT-2 inventory (default 500
+//! tags, override with `--trace-tags`), streams every slot / collision-
+//! record / estimator event to the file as JSON lines, prints the
+//! aggregate observability metrics, and verifies the written trace replays
+//! to the report's exact slot-class totals. It can be used alone or
+//! alongside experiments.
 
 use rfid_bench::experiments::{self, ExperimentOptions};
 use rfid_bench::output::Table;
@@ -45,10 +53,15 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!();
-            eprintln!("usage: repro [--runs N] [--seed S] [--out DIR] [--quick] <experiment>...");
+            eprintln!(
+                "usage: repro [--runs N] [--seed S] [--out DIR] [--quick] \
+                 [--trace FILE.jsonl [--trace-tags N]] <experiment>..."
+            );
             eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6");
             eprintln!("             ablation-estimator ablation-snr ablation-noise");
-            eprintln!("             extension-crdsa extension-model extension-rounds extension-signal");
+            eprintln!(
+                "             extension-crdsa extension-model extension-rounds extension-signal"
+            );
             eprintln!("             bounds all");
             ExitCode::FAILURE
         }
@@ -59,6 +72,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut opts = ExperimentOptions::default();
     let mut out_dir = PathBuf::from("results");
     let mut selected: Vec<String> = Vec::new();
+    let mut trace_path: Option<PathBuf> = None;
+    let mut trace_tags: usize = 500;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -83,6 +98,19 @@ fn run(args: &[String]) -> Result<(), String> {
             "--out" => {
                 out_dir = PathBuf::from(iter.next().ok_or("--out needs a value")?);
             }
+            "--trace" => {
+                trace_path = Some(PathBuf::from(iter.next().ok_or("--trace needs a value")?));
+            }
+            "--trace-tags" => {
+                trace_tags = iter
+                    .next()
+                    .ok_or("--trace-tags needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--trace-tags: {e}"))?;
+                if trace_tags == 0 {
+                    return Err("--trace-tags must be positive".into());
+                }
+            }
             "--quick" => opts.quick = true,
             "--list" => {
                 for name in EXPERIMENTS {
@@ -94,11 +122,15 @@ fn run(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if selected.is_empty() {
+    if selected.is_empty() && trace_path.is_none() {
         return Err("no experiment selected".into());
     }
     if selected.iter().any(|s| s == "all") {
         selected = EXPERIMENTS.iter().map(|&s| s.to_owned()).collect();
+    }
+
+    if let Some(path) = &trace_path {
+        run_trace(path, trace_tags, opts.seed)?;
     }
 
     for name in &selected {
@@ -150,5 +182,45 @@ fn run(args: &[String]) -> Result<(), String> {
             path.display()
         );
     }
+    Ok(())
+}
+
+/// Runs the single traced FCAT inventory behind `--trace` and prints the
+/// observability metrics summary plus the replay verification verdict.
+fn run_trace(path: &std::path::Path, n_tags: usize, seed: u64) -> Result<(), String> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    }
+    let started = std::time::Instant::now();
+    let traced = rfid_bench::trace::run_traced_fcat(path, n_tags, seed)?;
+    let report = &traced.report;
+    println!(
+        "traced run: {} over {} tags (seed {seed})",
+        report.protocol, report.population
+    );
+    println!(
+        "  identified {} ({} via collision records), {} slots, {:.1} tags/s",
+        report.identified,
+        report.resolved_from_collisions,
+        report.slots.total(),
+        report.throughput_tags_per_sec
+    );
+    println!("{}", traced.metrics);
+    if !traced.replay_consistent {
+        return Err(format!(
+            "trace replay of {} disagrees with the run report",
+            path.display()
+        ));
+    }
+    println!(
+        "replay check: {} lines reproduce the report's slot-class totals exactly",
+        traced.trace_lines
+    );
+    println!(
+        "[trace: {:.1}s, jsonl -> {}]\n",
+        started.elapsed().as_secs_f64(),
+        path.display()
+    );
     Ok(())
 }

@@ -7,8 +7,10 @@ use rfid_analysis::moments::slot_moments;
 use rfid_analysis::omega::optimal_omega;
 use rfid_anc::{EstimatorInput, Fcat, FcatConfig, Scat, ScatConfig};
 use rfid_protocols::{Abs, Aqs, Dfsa, Edfsa};
-use rfid_sim::{run_many, seeded_rng, AntiCollisionProtocol, ErrorModel, MultiRunReport, SimConfig, SimError};
 use rfid_signal::{anc, ChannelModel, MskConfig};
+use rfid_sim::{
+    run_many, seeded_rng, AntiCollisionProtocol, ErrorModel, MultiRunReport, SimConfig, SimError,
+};
 use rfid_types::TagId;
 
 /// Scale knobs shared by all experiments.
@@ -58,11 +60,7 @@ fn fcat(lambda: u32) -> Fcat {
     Fcat::new(FcatConfig::default().with_lambda(lambda))
 }
 
-fn fcat_run(
-    lambda: u32,
-    n: usize,
-    opts: &ExperimentOptions,
-) -> Result<MultiRunReport, SimError> {
+fn fcat_run(lambda: u32, n: usize, opts: &ExperimentOptions) -> Result<MultiRunReport, SimError> {
     run_many(&fcat(lambda), n, opts.runs, &opts.sim())
 }
 
@@ -89,10 +87,7 @@ pub fn run_table1(opts: &ExperimentOptions) -> Result<Table, SimError> {
     let mut columns: Vec<&str> = vec!["N"];
     let names: Vec<String> = protocols.iter().map(|p| p.name().to_owned()).collect();
     columns.extend(names.iter().map(String::as_str));
-    let mut table = Table::new(
-        "Table I: reading throughput (tags/sec)",
-        &columns,
-    );
+    let mut table = Table::new("Table I: reading throughput (tags/sec)", &columns);
     for n in opts.table1_populations() {
         let mut row = vec![n.to_string()];
         for protocol in &protocols {
@@ -115,16 +110,16 @@ pub fn run_table2(opts: &ExperimentOptions) -> Result<Table, SimError> {
     let mut columns: Vec<&str> = vec!["slots"];
     let names: Vec<String> = protocols.iter().map(|p| p.name().to_owned()).collect();
     columns.extend(names.iter().map(String::as_str));
-    let mut table = Table::new(
-        &format!("Table II: slot-class counts at N = {n}"),
-        &columns,
-    );
+    let mut table = Table::new(&format!("Table II: slot-class counts at N = {n}"), &columns);
     let mut aggs = Vec::new();
     for protocol in &protocols {
         aggs.push(run_many(protocol.as_ref(), n, opts.runs, &opts.sim())?);
     }
     for (label, pick) in [
-        ("empty", &(|a: &MultiRunReport| a.empty_slots.mean) as &dyn Fn(&MultiRunReport) -> f64),
+        (
+            "empty",
+            &(|a: &MultiRunReport| a.empty_slots.mean) as &dyn Fn(&MultiRunReport) -> f64,
+        ),
         ("singleton", &|a| a.singleton_slots.mean),
         ("collision", &|a| a.collision_slots.mean),
         ("total", &|a| a.total_slots.mean),
@@ -182,9 +177,7 @@ pub fn run_table4(opts: &ExperimentOptions) -> Result<Table, SimError> {
         let mut best = (0.0f64, f64::MIN);
         let mut w = 0.6;
         while w <= 3.2 {
-            let cfg = FcatConfig::default()
-                .with_lambda(lambda)
-                .with_omega(w);
+            let cfg = FcatConfig::default().with_lambda(lambda).with_omega(w);
             let agg = run_many(&Fcat::new(cfg), n, opts.runs, &opts.sim())?;
             if agg.throughput.mean > best.1 {
                 best = (w, agg.throughput.mean);
@@ -265,9 +258,7 @@ pub fn run_fig5(opts: &ExperimentOptions) -> Result<Table, SimError> {
     while w <= 3.0 + 1e-9 {
         let mut row = vec![fx(w, 1)];
         for lambda in 2..=4u32 {
-            let cfg = FcatConfig::default()
-                .with_lambda(lambda)
-                .with_omega(w);
+            let cfg = FcatConfig::default().with_lambda(lambda).with_omega(w);
             let agg = run_many(&Fcat::new(cfg), n, opts.runs, &opts.sim())?;
             row.push(f1(agg.throughput.mean));
         }
@@ -296,9 +287,7 @@ pub fn run_fig6(opts: &ExperimentOptions) -> Result<Table, SimError> {
     for &f in frames {
         let mut row = vec![f.to_string()];
         for lambda in 2..=4u32 {
-            let cfg = FcatConfig::default()
-                .with_lambda(lambda)
-                .with_frame_size(f);
+            let cfg = FcatConfig::default().with_lambda(lambda).with_frame_size(f);
             let agg = run_many(&Fcat::new(cfg), n, opts.runs, &opts.sim())?;
             row.push(f1(agg.throughput.mean));
         }
@@ -401,11 +390,11 @@ pub fn run_ablation_noise(opts: &ExperimentOptions) -> Result<Table, SimError> {
         &["P(unresolvable)", "FCAT-2", "DFSA"],
     );
     for &p_bad in &[0.0f64, 0.1, 0.25, 0.5, 0.75, 1.0] {
-        let config = opts
-            .sim()
-            .with_errors(ErrorModel::new(0.0, 0.0, p_bad));
+        let config = opts.sim().with_errors(ErrorModel::new(0.0, 0.0, p_bad));
         let fcat_tp = run_many(&fcat(2), n, opts.runs, &config)?.throughput.mean;
-        let dfsa_tp = run_many(&Dfsa::new(), n, opts.runs, &config)?.throughput.mean;
+        let dfsa_tp = run_many(&Dfsa::new(), n, opts.runs, &config)?
+            .throughput
+            .mean;
         table.push_row(vec![fx(p_bad, 2), f1(fcat_tp), f1(dfsa_tp)]);
     }
     Ok(table)
@@ -433,7 +422,9 @@ pub fn run_extension_crdsa(opts: &ExperimentOptions) -> Result<Table, SimError> 
         let crdsa_tp = run_many(&rfid_protocols::Crdsa::new(), n, opts.runs, &opts.sim())?
             .throughput
             .mean;
-        let dfsa_tp = run_many(&Dfsa::new(), n, opts.runs, &opts.sim())?.throughput.mean;
+        let dfsa_tp = run_many(&Dfsa::new(), n, opts.runs, &opts.sim())?
+            .throughput
+            .mean;
         table.push_row(vec![n.to_string(), f1(fcat_tp), f1(crdsa_tp), f1(dfsa_tp)]);
     }
     Ok(table)
@@ -496,12 +487,7 @@ pub fn run_extension_rounds(opts: &ExperimentOptions) -> Result<Table, SimError>
             "DFSA stateless",
         ],
     );
-    let churns: &[(f64, usize)] = &[
-        (0.0, 0),
-        (0.02, n / 50),
-        (0.10, n / 10),
-        (0.30, n * 3 / 10),
-    ];
+    let churns: &[(f64, usize)] = &[(0.0, 0), (0.02, n / 50), (0.10, n / 10), (0.30, n * 3 / 10)];
     for &(dep, arr) in churns {
         let churn = ChurnModel::new(dep, arr);
         let mut row = vec![format!("{:.0}% +{arr}", dep * 100.0)];
@@ -542,12 +528,10 @@ pub fn run_extension_signal(opts: &ExperimentOptions) -> Result<Table, SimError>
     let runs = opts.runs.min(5);
     for &n in populations {
         let slot = run_many(&fcat(2), n, runs, &opts.sim())?;
-        let cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(
-            SignalLevelConfig {
-                msk: MskConfig::default(),
-                channel: ChannelModel::new((0.7, 1.0), 0.01),
-            },
-        ));
+        let cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(SignalLevelConfig {
+            msk: MskConfig::default(),
+            channel: ChannelModel::new((0.7, 1.0), 0.01),
+        }));
         let signal = run_many(&Fcat::new(cfg), n, runs, &opts.sim())?;
         table.push_row(vec![
             n.to_string(),
@@ -633,8 +617,14 @@ mod tests {
     #[test]
     fn ablation_snr_degrades_with_noise() {
         let t = run_ablation_snr(&quick());
-        let first_k2: f64 = t.rows.first().unwrap()[2].trim_end_matches('%').parse().unwrap();
-        let last_k2: f64 = t.rows.last().unwrap()[2].trim_end_matches('%').parse().unwrap();
+        let first_k2: f64 = t.rows.first().unwrap()[2]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        let last_k2: f64 = t.rows.last().unwrap()[2]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
         assert!(first_k2 > 90.0, "clean channel resolves: {first_k2}%");
         assert!(last_k2 < 50.0, "heavy noise fails: {last_k2}%");
     }

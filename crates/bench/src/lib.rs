@@ -11,5 +11,6 @@
 
 pub mod experiments;
 pub mod output;
+pub mod trace;
 
 pub use experiments::ExperimentOptions;

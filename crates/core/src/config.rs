@@ -73,7 +73,6 @@ pub enum InitialPopulation {
     },
 }
 
-
 impl InitialPopulation {
     /// Resolves the bootstrap into a starting population estimate,
     /// charging any pre-step air time to `report`. Shared by FCAT, SCAT

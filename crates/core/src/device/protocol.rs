@@ -74,7 +74,9 @@ impl AntiCollisionProtocol for MessageLevelFcat {
         let timing = config.timing();
         let slot_us = timing.basic_slot_us();
 
-        let initial_estimate = cfg.initial().bootstrap(tags.len(), config, rng, &mut report);
+        let initial_estimate = cfg
+            .initial()
+            .bootstrap(tags.len(), config, rng, &mut report);
 
         let resolved_ack_us = match cfg.ack_mode() {
             crate::AckMode::SlotIndex => timing.index_ack_us(),
@@ -122,8 +124,8 @@ impl AntiCollisionProtocol for MessageLevelFcat {
                         usable: false,
                     },
                     _ => {
-                        let spoiled = errors.sample_unresolvable(rng)
-                            || errors.sample_report_corrupted(rng);
+                        let spoiled =
+                            errors.sample_unresolvable(rng) || errors.sample_report_corrupted(rng);
                         SlotObservation::Mixture {
                             participants: transmitters,
                             usable: !spoiled,
@@ -161,9 +163,7 @@ impl AntiCollisionProtocol for MessageLevelFcat {
                 // Acknowledgement segment: per-tag delivery, lossy.
                 if !ack.is_negative() {
                     for device in &mut field {
-                        if device.state() == TagState::Active
-                            && !errors.sample_ack_lost(rng)
-                        {
+                        if device.state() == TagState::Active && !errors.sample_ack_lost(rng) {
                             device.on_ack(&ack);
                         }
                     }

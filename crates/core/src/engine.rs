@@ -10,8 +10,9 @@ use crate::config::{Fidelity, Membership};
 use crate::records::{CollisionRecordStore, Resolved};
 use rand::rngs::StdRng;
 use rand::Rng;
-use rfid_sim::sampling::{pick_distinct_indices, sample_binomial};
+use rfid_obs::{EstimatorEvent, EventSink, RecordEvent, RecordEventKind, SlotEvent};
 use rfid_signal::anc;
+use rfid_sim::sampling::{pick_distinct_indices, sample_binomial};
 use rfid_sim::{ErrorModel, InventoryReport, SimConfig, SimError, TraceEvent};
 use rfid_types::hash::{effective_probability, transmits_with_probability};
 use rfid_types::{SlotClass, TagId};
@@ -27,7 +28,12 @@ pub(crate) struct SlotOutput {
     pub resolved: Vec<Resolved>,
 }
 
-pub(crate) struct Engine<'a> {
+/// The engine is generic over its [`EventSink`]: every emission sits
+/// behind `if S::ENABLED`, a compile-time constant, so running with
+/// [`rfid_obs::NoopSink`] compiles the whole observability path away. The
+/// sink only ever receives copies of state — it cannot touch the RNG or
+/// the world, which is what keeps traced and untraced runs identical.
+pub(crate) struct Engine<'a, S: EventSink> {
     active: Vec<TagId>,
     position: HashMap<TagId, usize>,
     pub records: CollisionRecordStore,
@@ -40,9 +46,10 @@ pub(crate) struct Engine<'a> {
     total_tags: usize,
     pub slot_index: u64,
     pub report: InventoryReport,
+    sink: S,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, S: EventSink> Engine<'a, S> {
     pub fn new(
         name: &str,
         tags: &[TagId],
@@ -50,6 +57,7 @@ impl<'a> Engine<'a> {
         membership: Membership,
         fidelity: &'a Fidelity,
         config: &SimConfig,
+        sink: S,
     ) -> Self {
         let records = match fidelity {
             Fidelity::SlotLevel => CollisionRecordStore::slot_level(lambda),
@@ -73,6 +81,15 @@ impl<'a> Engine<'a> {
             total_tags: tags.len(),
             slot_index: 0,
             report: InventoryReport::new(name),
+            sink,
+        }
+    }
+
+    /// Forwards a population-estimate revision to the sink. Callers should
+    /// guard both the call and the event construction with `if S::ENABLED`.
+    pub fn emit_estimator(&mut self, event: EstimatorEvent) {
+        if S::ENABLED {
+            self.sink.estimator(&event);
         }
     }
 
@@ -133,6 +150,8 @@ impl<'a> Engine<'a> {
         self.slot_index += 1;
         let transmitter_count = transmitters.len() as u32;
         let identified_before = self.report.identified;
+        let resolved_before = self.report.resolved_from_collisions;
+        let stats_before = self.records.stats();
 
         let mut output = SlotOutput::default();
         match self.fidelity {
@@ -150,7 +169,55 @@ impl<'a> Engine<'a> {
                 learned: (self.report.identified - identified_before) as u32,
             });
         }
+        if S::ENABLED {
+            let slot = self.slot_index - 1;
+            // Exhaustions and failed resolution attempts happen deep inside
+            // the cascade; surface them from the store's counter deltas.
+            let stats = self.records.stats();
+            for _ in stats_before.exhausted..stats.exhausted {
+                self.sink.record(&RecordEvent {
+                    slot,
+                    record_slot: slot,
+                    kind: RecordEventKind::Exhausted,
+                });
+            }
+            for _ in stats_before.failed_attempts..stats.failed_attempts {
+                self.sink.record(&RecordEvent {
+                    slot,
+                    record_slot: slot,
+                    kind: RecordEventKind::Failed,
+                });
+            }
+            let learned = (self.report.identified - identified_before) as u32;
+            let learned_resolved = (self.report.resolved_from_collisions - resolved_before) as u32;
+            self.sink.slot(&SlotEvent {
+                slot,
+                class: output.class.unwrap_or(SlotClass::Empty),
+                transmitters: transmitter_count,
+                p,
+                learned_direct: learned - learned_resolved,
+                learned_resolved,
+                records_outstanding: self.records.outstanding() as u64,
+            });
+        }
         Ok(output)
+    }
+
+    /// Emits a [`RecordEventKind::Created`] for the record about to be
+    /// deposited this slot.
+    fn emit_record_created(&mut self, participants: usize, usable: bool) {
+        if S::ENABLED {
+            let slot = self.slot_index - 1;
+            let usable = self.records.usable_at_insert(participants, usable);
+            self.sink.record(&RecordEvent {
+                slot,
+                record_slot: slot,
+                kind: RecordEventKind::Created {
+                    participants: participants as u32,
+                    usable,
+                },
+            });
+        }
     }
 
     /// Slot-level classification: counts decide; λ decides resolvability.
@@ -170,6 +237,7 @@ impl<'a> Engine<'a> {
                     // The reader records an unusable mixed signal.
                     self.report.record_slot(SlotClass::Collision, self.slot_us);
                     output.class = Some(SlotClass::Collision);
+                    self.emit_record_created(transmitters.len(), false);
                     let resolved =
                         self.records
                             .add_record(self.slot_index - 1, transmitters, false, None);
@@ -194,6 +262,7 @@ impl<'a> Engine<'a> {
                 output.class = Some(SlotClass::Collision);
                 let spoiled = self.errors.sample_unresolvable(rng)
                     || self.errors.sample_report_corrupted(rng);
+                self.emit_record_created(transmitters.len(), !spoiled);
                 let resolved =
                     self.records
                         .add_record(self.slot_index - 1, transmitters, !spoiled, None);
@@ -240,12 +309,10 @@ impl<'a> Engine<'a> {
                 // ack an ID nobody sent, so ghosts classify as collisions).
                 self.report.record_slot(SlotClass::Collision, self.slot_us);
                 output.class = Some(SlotClass::Collision);
-                let resolved = self.records.add_record(
-                    self.slot_index - 1,
-                    transmitters,
-                    true,
-                    Some(wave),
-                );
+                self.emit_record_created(transmitters.len(), true);
+                let resolved =
+                    self.records
+                        .add_record(self.slot_index - 1, transmitters, true, Some(wave));
                 self.process_resolved(resolved, rng, output);
             }
         }
@@ -269,7 +336,19 @@ impl<'a> Engine<'a> {
         rng: &mut StdRng,
         output: &mut SlotOutput,
     ) {
-        for r in resolved {
+        for (position, r) in resolved.into_iter().enumerate() {
+            if S::ENABLED {
+                let slot = self.slot_index - 1;
+                self.sink.record(&RecordEvent {
+                    slot,
+                    record_slot: r.slot,
+                    kind: RecordEventKind::Resolved {
+                        tag: r.tag,
+                        cascade_depth: position as u32 + 1,
+                        latency_slots: slot.saturating_sub(r.slot),
+                    },
+                });
+            }
             self.report.record_resolved_from_collision(r.tag);
             if !self.errors.sample_ack_lost(rng) {
                 self.remove_active(r.tag);
@@ -294,6 +373,21 @@ impl<'a> Engine<'a> {
                     learned: 0,
                 });
             }
+            if S::ENABLED {
+                // The termination tail is charged, not simulated; it ends
+                // with the p = 1 probe, so that is the advertised
+                // probability attributed here. Emitting these keeps a
+                // replayed trace's slot-class totals equal to the report's.
+                self.sink.slot(&SlotEvent {
+                    slot: self.slot_index,
+                    class: SlotClass::Empty,
+                    transmitters: 0,
+                    p: 1.0,
+                    learned_direct: 0,
+                    learned_resolved: 0,
+                    records_outstanding: self.records.outstanding() as u64,
+                });
+            }
             self.slot_index += 1;
         }
         self.report
@@ -304,10 +398,11 @@ impl<'a> Engine<'a> {
 mod tests {
     use super::*;
     use crate::config::SignalLevelConfig;
+    use rfid_obs::NoopSink;
     use rfid_sim::seeded_rng;
     use rfid_types::population;
 
-    fn engine<'a>(tags: &[TagId], fidelity: &'a Fidelity) -> Engine<'a> {
+    fn engine<'a>(tags: &[TagId], fidelity: &'a Fidelity) -> Engine<'a, NoopSink> {
         Engine::new(
             "test",
             tags,
@@ -315,6 +410,7 @@ mod tests {
             Membership::Sampled,
             fidelity,
             &SimConfig::default(),
+            NoopSink,
         )
     }
 
@@ -372,6 +468,7 @@ mod tests {
             Membership::Hash,
             &fidelity,
             &SimConfig::default(),
+            NoopSink,
         );
         let mut rng = seeded_rng(4);
         // Expected transmitters per slot at p = 1/2000 is 1.
@@ -383,10 +480,7 @@ mod tests {
             }
         }
         // Poisson(≈1): P(singleton) ≈ 0.368 → ~220 of 600, allow wide band.
-        assert!(
-            (150..=300).contains(&singletons),
-            "singletons {singletons}"
-        );
+        assert!((150..=300).contains(&singletons), "singletons {singletons}");
     }
 
     #[test]
@@ -422,7 +516,15 @@ mod tests {
         let tags = population::uniform(&mut seeded_rng(8), 4);
         let fidelity = Fidelity::SlotLevel;
         let config = SimConfig::default().with_max_slots(3);
-        let mut e = Engine::new("t", &tags, 2, Membership::Sampled, &fidelity, &config);
+        let mut e = Engine::new(
+            "t",
+            &tags,
+            2,
+            Membership::Sampled,
+            &fidelity,
+            &config,
+            NoopSink,
+        );
         let mut rng = seeded_rng(9);
         for _ in 0..3 {
             e.run_slot(0.0, &mut rng).unwrap();

@@ -19,7 +19,8 @@ use rfid_analysis::estimator::{
     estimate_remaining_from_collisions, estimate_remaining_from_empties,
 };
 use rfid_analysis::omega::optimal_omega;
-use rfid_sim::{AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
+use rfid_obs::{EstimatorEvent, EventSink, NoopSink};
+use rfid_sim::{AntiCollisionProtocol, InventoryReport, ObservableProtocol, SimConfig, SimError};
 use rfid_types::{SlotClass, TagId};
 
 /// How resolved collision records are acknowledged over the air.
@@ -211,7 +212,11 @@ pub(crate) fn update_estimate(
     omega: f64,
 ) -> f64 {
     if p >= 1.0 {
-        return if nc > 0 { (previous * 2.0).max(2.0) } else { 0.0 };
+        return if nc > 0 {
+            (previous * 2.0).max(2.0)
+        } else {
+            0.0
+        };
     }
     match input {
         EstimatorInput::Collisions => {
@@ -272,6 +277,18 @@ impl AntiCollisionProtocol for Fcat {
         config: &SimConfig,
         rng: &mut StdRng,
     ) -> Result<InventoryReport, SimError> {
+        self.run_observed(tags, config, rng, &mut NoopSink)
+    }
+}
+
+impl ObservableProtocol for Fcat {
+    fn run_observed<S: EventSink>(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+        sink: &mut S,
+    ) -> Result<InventoryReport, SimError> {
         let cfg = &self.config;
         let mut engine = Engine::new(
             self.name(),
@@ -280,11 +297,15 @@ impl AntiCollisionProtocol for Fcat {
             cfg.membership,
             &cfg.fidelity,
             config,
+            sink,
         );
 
-        let mut estimate = cfg.initial.bootstrap(tags.len(), config, rng, &mut engine.report);
+        let mut estimate = cfg
+            .initial
+            .bootstrap(tags.len(), config, rng, &mut engine.report);
 
         let f = cfg.frame_size;
+        let mut frame: u64 = 0;
         let frame_adv_us = config.timing().frame_advertisement_us();
         let resolved_ack_us = match cfg.ack_mode {
             AckMode::SlotIndex => config.timing().index_ack_us(),
@@ -323,15 +344,24 @@ impl AntiCollisionProtocol for Fcat {
                 EstimatorInput::Oracle => engine.remaining() as f64,
                 input => update_estimate(input, estimate, n0, nc, f, p, cfg.omega),
             };
-            let _ = n1;
+            if S::ENABLED {
+                engine.emit_estimator(EstimatorEvent {
+                    slot: engine.slot_index,
+                    frame,
+                    p,
+                    n0,
+                    n1,
+                    nc,
+                    estimate,
+                });
+            }
+            frame += 1;
         }
 
         // Termination, charged as the reader actually observes it (and as
         // the message-level implementation pays it): one all-empty frame,
         // then a one-slot p = 1 probe — each behind a frame advertisement.
-        engine
-            .report
-            .record_overhead(2.0 * frame_adv_us);
+        engine.report.record_overhead(2.0 * frame_adv_us);
         Ok(engine.finish(f))
     }
 }
@@ -372,9 +402,18 @@ mod tests {
     fn lambda_ordering_matches_paper() {
         // FCAT-4 > FCAT-3 > FCAT-2 in throughput (Table I).
         let config = SimConfig::default();
-        let t2 = run_many(&fcat(2), 3_000, 4, &config).unwrap().throughput.mean;
-        let t3 = run_many(&fcat(3), 3_000, 4, &config).unwrap().throughput.mean;
-        let t4 = run_many(&fcat(4), 3_000, 4, &config).unwrap().throughput.mean;
+        let t2 = run_many(&fcat(2), 3_000, 4, &config)
+            .unwrap()
+            .throughput
+            .mean;
+        let t3 = run_many(&fcat(3), 3_000, 4, &config)
+            .unwrap()
+            .throughput
+            .mean;
+        let t4 = run_many(&fcat(4), 3_000, 4, &config)
+            .unwrap()
+            .throughput
+            .mean;
         assert!(t3 > t2, "t3 {t3} <= t2 {t2}");
         assert!(t4 > t3, "t4 {t4} <= t3 {t3}");
     }
@@ -383,7 +422,10 @@ mod tests {
     fn improvement_over_dfsa_in_paper_range() {
         // Paper: 51.1–55.6 % improvement of FCAT-2 over DFSA.
         let config = SimConfig::default();
-        let fcat_tp = run_many(&fcat(2), 5_000, 5, &config).unwrap().throughput.mean;
+        let fcat_tp = run_many(&fcat(2), 5_000, 5, &config)
+            .unwrap()
+            .throughput
+            .mean;
         let dfsa_tp = run_many(&rfid_protocols::Dfsa::new(), 5_000, 5, &config)
             .unwrap()
             .throughput
@@ -432,9 +474,14 @@ mod tests {
         let sampled = run_many(&fcat(2), 2_000, 4, &config).unwrap();
         let hash_cfg = FcatConfig::default().with_membership(Membership::Hash);
         let hashed = run_many(&Fcat::new(hash_cfg), 2_000, 4, &config).unwrap();
-        let rel = (sampled.throughput.mean - hashed.throughput.mean).abs()
-            / sampled.throughput.mean;
-        assert!(rel < 0.05, "sampled {} hash {}", sampled.throughput.mean, hashed.throughput.mean);
+        let rel =
+            (sampled.throughput.mean - hashed.throughput.mean).abs() / sampled.throughput.mean;
+        assert!(
+            rel < 0.05,
+            "sampled {} hash {}",
+            sampled.throughput.mean,
+            hashed.throughput.mean
+        );
     }
 
     #[test]
@@ -481,7 +528,10 @@ mod tests {
         // instead of 23-bit indices must slow the protocol down, by less
         // than the advertisement redesign does.
         let config = SimConfig::default();
-        let index = run_many(&fcat(2), 5_000, 4, &config).unwrap().throughput.mean;
+        let index = run_many(&fcat(2), 5_000, 4, &config)
+            .unwrap()
+            .throughput
+            .mean;
         let full = run_many(
             &Fcat::new(FcatConfig::default().with_ack_mode(AckMode::FullId)),
             5_000,
@@ -531,8 +581,7 @@ mod tests {
             .unwrap()
             .throughput
             .mean;
-        let config = SimConfig::default()
-            .with_errors(ErrorModel::none().with_capture(0.5));
+        let config = SimConfig::default().with_errors(ErrorModel::none().with_capture(0.5));
         let captured = run_many(&fcat(2), 3_000, 4, &config)
             .unwrap()
             .throughput
@@ -549,9 +598,7 @@ mod tests {
 
     #[test]
     fn config_accessors() {
-        let cfg = FcatConfig::default()
-            .with_frame_size(50)
-            .with_omega(1.9);
+        let cfg = FcatConfig::default().with_frame_size(50).with_omega(1.9);
         assert_eq!(cfg.frame_size(), 50);
         assert!((cfg.omega() - 1.9).abs() < 1e-12);
         assert_eq!(cfg.lambda(), 2);

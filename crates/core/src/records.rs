@@ -75,6 +75,10 @@ pub struct CollisionRecordStore {
     lambda: u32,
     /// MSK configuration for signal-level resolution; `None` = slot level.
     msk: Option<MskConfig>,
+    /// Records not yet consumed, maintained incrementally so
+    /// [`Self::outstanding`] is O(1) (the observability layer reads it
+    /// every slot).
+    outstanding: usize,
     stats: RecordStats,
 }
 
@@ -94,6 +98,7 @@ impl CollisionRecordStore {
             known: HashSet::new(),
             lambda,
             msk: None,
+            outstanding: 0,
             stats: RecordStats::default(),
         }
     }
@@ -109,6 +114,7 @@ impl CollisionRecordStore {
             known: HashSet::new(),
             lambda: u32::MAX,
             msk: Some(msk),
+            outstanding: 0,
             stats: RecordStats::default(),
         }
     }
@@ -131,10 +137,20 @@ impl CollisionRecordStore {
         self.stats
     }
 
-    /// Number of records still outstanding (not consumed).
+    /// Number of records still outstanding (not consumed). O(1).
     #[must_use]
     pub fn outstanding(&self) -> usize {
-        self.records.iter().filter(|r| !r.consumed).count()
+        self.outstanding
+    }
+
+    /// The resolvability gate [`Self::add_record`] will apply to a record
+    /// with `participants` *distinct* participants and the given caller
+    /// `usable` flag: signal-level stores accept any multiplicity, slot-
+    /// level stores require `k ≤ λ`. Exposed so observers can report the
+    /// effective flag without duplicating the rule.
+    #[must_use]
+    pub fn usable_at_insert(&self, participants: usize, usable: bool) -> bool {
+        usable && (self.msk.is_some() || participants as u32 <= self.lambda)
     }
 
     /// Releases the memory held by consumed records (their participant
@@ -157,21 +173,30 @@ impl CollisionRecordStore {
     /// * `usable` — slot-level: pass `!spoiled` (the λ check happens here);
     ///   signal-level: pass `false` only for receptions ruined beyond use.
     /// * `signal` — the recorded waveform (signal-level only).
+    ///
+    /// Duplicate participants are collapsed before any bookkeeping: the
+    /// unknown-count rule, the λ gate and the per-tag index all operate on
+    /// *distinct* IDs, so a caller passing `[a, a]` gets the semantics of
+    /// `[a]` instead of a record that can never resolve (each tag
+    /// contributes one signal component regardless of how the caller
+    /// enumerated it).
     pub fn add_record(
         &mut self,
         slot: u64,
-        participants: Vec<TagId>,
+        mut participants: Vec<TagId>,
         usable: bool,
         signal: Option<Vec<Complex>>,
     ) -> Vec<Resolved> {
         debug_assert!(!participants.is_empty(), "a record needs participants");
+        let mut seen = HashSet::with_capacity(participants.len());
+        participants.retain(|&t| seen.insert(t));
         self.stats.created += 1;
-        let k = participants.len() as u32;
-        let usable = usable && (self.msk.is_some() || k <= self.lambda);
+        let usable = self.usable_at_insert(participants.len(), usable);
         let idx = self.records.len();
         for &tag in &participants {
             self.by_tag.entry(tag).or_default().push(idx);
         }
+        self.outstanding += 1;
         self.records.push(Record {
             slot,
             participants,
@@ -245,6 +270,7 @@ impl CollisionRecordStore {
         let Some(last) = first_unknown else {
             // Every participant learned elsewhere; nothing left to extract.
             self.records[idx].consumed = true;
+            self.outstanding -= 1;
             self.stats.exhausted += 1;
             return None;
         };
@@ -281,6 +307,7 @@ impl CollisionRecordStore {
         };
         let record = &mut self.records[idx];
         record.consumed = true;
+        self.outstanding -= 1;
         // A consumed record can never resolve again; free its payload now
         // (signal-level records hold a full waveform each).
         record.participants = Vec::new();
@@ -316,7 +343,13 @@ mod tests {
         store.add_record(1, vec![tag(1), tag(2)], true, None);
         assert_eq!(store.outstanding(), 1);
         let resolved = store.learn(tag(1));
-        assert_eq!(resolved, vec![Resolved { tag: tag(2), slot: 1 }]);
+        assert_eq!(
+            resolved,
+            vec![Resolved {
+                tag: tag(2),
+                slot: 1
+            }]
+        );
         assert_eq!(store.outstanding(), 0);
         assert!(store.is_known(tag(2)));
         assert_eq!(store.stats().resolved, 1);
@@ -338,7 +371,13 @@ mod tests {
         store.add_record(1, vec![tag(1), tag(2), tag(3)], true, None);
         assert!(store.learn(tag(1)).is_empty());
         let resolved = store.learn(tag(2));
-        assert_eq!(resolved, vec![Resolved { tag: tag(3), slot: 1 }]);
+        assert_eq!(
+            resolved,
+            vec![Resolved {
+                tag: tag(3),
+                slot: 1
+            }]
+        );
     }
 
     #[test]
@@ -367,7 +406,13 @@ mod tests {
         let mut store = CollisionRecordStore::slot_level(2);
         assert!(store.learn(tag(1)).is_empty());
         let resolved = store.add_record(9, vec![tag(1), tag(2)], true, None);
-        assert_eq!(resolved, vec![Resolved { tag: tag(2), slot: 9 }]);
+        assert_eq!(
+            resolved,
+            vec![Resolved {
+                tag: tag(2),
+                slot: 9
+            }]
+        );
     }
 
     #[test]
@@ -412,7 +457,13 @@ mod tests {
         assert_eq!(store.outstanding(), 1);
         // The surviving record still resolves normally.
         let resolved = store.learn(tag(3));
-        assert_eq!(resolved, vec![Resolved { tag: tag(4), slot: 2 }]);
+        assert_eq!(
+            resolved,
+            vec![Resolved {
+                tag: tag(4),
+                slot: 2
+            }]
+        );
     }
 
     #[test]
@@ -446,5 +497,70 @@ mod tests {
     #[should_panic(expected = "lambda must be >= 2")]
     fn lambda_one_panics() {
         let _ = CollisionRecordStore::slot_level(1);
+    }
+
+    #[test]
+    fn duplicate_participants_collapse_to_distinct() {
+        // `[a, a, b]` is two distinct signal components: it must pass the
+        // λ = 2 gate and resolve once `a` is known (before the dedup fix
+        // the repeated unknown made the record permanently unresolvable).
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.add_record(1, vec![tag(1), tag(1), tag(2)], true, None);
+        assert_eq!(store.outstanding(), 1);
+        let resolved = store.learn(tag(1));
+        assert_eq!(
+            resolved,
+            vec![Resolved {
+                tag: tag(2),
+                slot: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn fully_duplicated_participant_acts_as_singleton_record() {
+        let mut store = CollisionRecordStore::slot_level(2);
+        let resolved = store.add_record(3, vec![tag(5), tag(5)], true, None);
+        assert_eq!(
+            resolved,
+            vec![Resolved {
+                tag: tag(5),
+                slot: 3
+            }]
+        );
+        assert_eq!(store.outstanding(), 0);
+        assert!(store.is_known(tag(5)));
+    }
+
+    #[test]
+    fn outstanding_counter_tracks_consumption() {
+        let mut store = CollisionRecordStore::slot_level(2);
+        store.add_record(1, vec![tag(1), tag(2)], true, None);
+        store.add_record(2, vec![tag(3), tag(4)], true, None);
+        store.add_record(3, vec![tag(5), tag(6), tag(7)], true, None); // over λ
+        assert_eq!(store.outstanding(), 3);
+        store.learn(tag(1)); // resolves the (1,2) record
+        assert_eq!(store.outstanding(), 2);
+        store.learn(tag(3)); // resolves the (3,4) record
+        assert_eq!(store.outstanding(), 1);
+        // The over-λ record stays outstanding even when fully known except one.
+        store.learn(tag(5));
+        assert_eq!(store.outstanding(), 1);
+        // Fully known → exhausted on the next touch.
+        store.learn(tag(6));
+        store.learn(tag(7));
+        assert_eq!(store.outstanding(), 0);
+        assert_eq!(store.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn usable_at_insert_matches_gate() {
+        let slot = CollisionRecordStore::slot_level(2);
+        assert!(slot.usable_at_insert(2, true));
+        assert!(!slot.usable_at_insert(3, true));
+        assert!(!slot.usable_at_insert(2, false));
+        let sig = CollisionRecordStore::signal_level(MskConfig::default());
+        assert!(sig.usable_at_insert(7, true));
+        assert!(!sig.usable_at_insert(7, false));
     }
 }

@@ -15,7 +15,8 @@ use crate::config::{Fidelity, InitialPopulation, Membership};
 use crate::engine::Engine;
 use rand::rngs::StdRng;
 use rfid_analysis::omega::optimal_omega;
-use rfid_sim::{AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
+use rfid_obs::{EstimatorEvent, EventSink, NoopSink};
+use rfid_sim::{AntiCollisionProtocol, InventoryReport, ObservableProtocol, SimConfig, SimError};
 use rfid_types::TagId;
 
 /// Configuration of [`Scat`].
@@ -170,6 +171,18 @@ impl AntiCollisionProtocol for Scat {
         config: &SimConfig,
         rng: &mut StdRng,
     ) -> Result<InventoryReport, SimError> {
+        self.run_observed(tags, config, rng, &mut NoopSink)
+    }
+}
+
+impl ObservableProtocol for Scat {
+    fn run_observed<S: EventSink>(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+        sink: &mut S,
+    ) -> Result<InventoryReport, SimError> {
         let cfg = &self.config;
         let mut engine = Engine::new(
             self.name(),
@@ -178,10 +191,28 @@ impl AntiCollisionProtocol for Scat {
             cfg.membership,
             &cfg.fidelity,
             config,
+            sink,
         );
 
         // Population bootstrap.
-        let mut population = cfg.initial.bootstrap(tags.len(), config, rng, &mut engine.report);
+        let mut population = cfg
+            .initial
+            .bootstrap(tags.len(), config, rng, &mut engine.report);
+        // SCAT has no embedded estimator; its revisions are the bootstrap
+        // itself plus the empty-streak halvings below, surfaced so traces
+        // show where the external estimate was corrected.
+        let mut revision: u64 = 0;
+        if S::ENABLED {
+            engine.emit_estimator(EstimatorEvent {
+                slot: engine.slot_index,
+                frame: revision,
+                p: (cfg.omega / population.max(1.0)).min(1.0),
+                n0: 0,
+                n1: 0,
+                nc: 0,
+                estimate: population,
+            });
+        }
 
         let advertisement_us = config.timing().advertisement_us();
         let id_ack_us = config.timing().id_ack_us();
@@ -214,6 +245,18 @@ impl AntiCollisionProtocol for Scat {
                     // exceeds the true population: halve the excess.
                     if empty_run >= 8 {
                         population = known + (population - known) / 2.0;
+                        if S::ENABLED {
+                            revision += 1;
+                            engine.emit_estimator(EstimatorEvent {
+                                slot: engine.slot_index,
+                                frame: revision,
+                                p,
+                                n0: empty_run,
+                                n1: 0,
+                                nc: 0,
+                                estimate: population,
+                            });
+                        }
                         empty_run = 0;
                     }
                 }
@@ -248,8 +291,12 @@ mod tests {
     #[test]
     fn reads_all_tags() {
         let tags = population::uniform(&mut seeded_rng(1), 1_000);
-        let report = run_inventory(&Scat::new(ScatConfig::default()), &tags, &SimConfig::default())
-            .unwrap();
+        let report = run_inventory(
+            &Scat::new(ScatConfig::default()),
+            &tags,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(report.identified, 1_000);
         assert!(report.resolved_from_collisions > 200);
     }
@@ -321,8 +368,12 @@ mod tests {
 
     #[test]
     fn empty_population_only_termination_cost() {
-        let report =
-            run_inventory(&Scat::new(ScatConfig::default()), &[], &SimConfig::default()).unwrap();
+        let report = run_inventory(
+            &Scat::new(ScatConfig::default()),
+            &[],
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(report.identified, 0);
         assert_eq!(report.slots.total() as u32, 5 + 1);
     }

@@ -85,9 +85,8 @@ mod tests {
 
     #[test]
     fn warm_start_tracks_population() {
-        let mut session = FcatSession::new(
-            FcatConfig::default().with_initial(InitialPopulation::Guess(16)),
-        );
+        let mut session =
+            FcatSession::new(FcatConfig::default().with_initial(InitialPopulation::Guess(16)));
         assert_eq!(session.warm_estimate(), None);
         let report = run_rounds(
             &mut session,
@@ -111,9 +110,8 @@ mod tests {
     fn warm_rounds_not_slower_than_cold_guess() {
         // With a bad base guess, the warm rounds must recover the full
         // throughput while the cold round pays convergence frames.
-        let mut session = FcatSession::new(
-            FcatConfig::default().with_initial(InitialPopulation::Guess(16)),
-        );
+        let mut session =
+            FcatSession::new(FcatConfig::default().with_initial(InitialPopulation::Guess(16)));
         let report = run_rounds(
             &mut session,
             3_000,

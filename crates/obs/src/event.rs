@@ -1,0 +1,97 @@
+//! Event types emitted by the protocol engines.
+
+use rfid_types::{SlotClass, TagId};
+
+/// One executed slot, as observed by the simulation engine.
+///
+/// Emitted once per slot, after the slot's outcome (including any cascade
+/// of collision-record resolutions it triggered) has been fully processed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SlotEvent {
+    /// Global slot index (0-based).
+    pub slot: u64,
+    /// Observed slot class (the reader's view: captured collisions count
+    /// as singletons, corrupted singletons as collisions).
+    pub class: SlotClass,
+    /// Ground-truth transmitter count.
+    pub transmitters: u32,
+    /// Report probability advertised for this slot.
+    pub p: f64,
+    /// IDs learned directly (singleton decodes) during this slot.
+    pub learned_direct: u32,
+    /// IDs learned by resolving collision records during this slot.
+    pub learned_resolved: u32,
+    /// Collision records still outstanding after this slot.
+    pub records_outstanding: u64,
+}
+
+/// What happened to a collision record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RecordEventKind {
+    /// A collision slot deposited a new record.
+    Created {
+        /// Ground-truth participant count `k`.
+        participants: u32,
+        /// Whether the record can ever resolve (slot level: `k ≤ λ` and
+        /// not spoiled; signal level: reception not ruined).
+        usable: bool,
+    },
+    /// A record resolved into its last unknown ID.
+    Resolved {
+        /// The recovered tag.
+        tag: TagId,
+        /// 1-based position within the resolution cascade this slot
+        /// triggered (1 = resolved directly by the slot's new knowledge,
+        /// higher = unlocked by an earlier resolution in the same slot).
+        cascade_depth: u32,
+        /// Slots the record waited between deposit and resolution.
+        latency_slots: u64,
+    },
+    /// A record became fully known without yielding a new ID.
+    Exhausted,
+    /// A signal-level resolution attempt failed (noise defeated the
+    /// subtraction); the record is spent.
+    Failed,
+}
+
+/// A collision-record lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RecordEvent {
+    /// Slot index at which the event happened.
+    pub slot: u64,
+    /// Slot index the record was deposited in. For [`RecordEventKind::
+    /// Exhausted`] and [`RecordEventKind::Failed`] (detected via counter
+    /// deltas) this equals `slot`.
+    pub record_slot: u64,
+    /// What happened.
+    pub kind: RecordEventKind,
+}
+
+/// A population-estimate revision.
+///
+/// FCAT emits one per frame (the §V-C estimator inverting the frame's
+/// collision count, Eq. 12). SCAT emits one at bootstrap and at each
+/// empty-streak halving of a stale external estimate; it has no frames, so
+/// `frame` counts revisions and the slot counters carry the empty streak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EstimatorEvent {
+    /// Slot index at which the revision took effect.
+    pub slot: u64,
+    /// Frame ordinal (FCAT) or revision ordinal (SCAT), 0-based.
+    pub frame: u64,
+    /// Report probability the frame ran at.
+    pub p: f64,
+    /// Empty slots observed since the previous revision.
+    pub n0: u32,
+    /// Singleton slots observed since the previous revision.
+    pub n1: u32,
+    /// Collision slots observed since the previous revision (`n_c`,
+    /// the statistic Eq. 12 inverts).
+    pub nc: u32,
+    /// The new remaining-population estimate `N̂`.
+    pub estimate: f64,
+}

@@ -1,0 +1,358 @@
+//! JSONL trace writer and replay parser.
+//!
+//! Each event becomes one self-describing JSON object per line:
+//!
+//! ```text
+//! {"type":"slot","slot":12,"class":"collision","transmitters":3,"p":0.047,"learned_direct":0,"learned_resolved":0,"outstanding":4}
+//! {"type":"record","event":"created","slot":12,"record_slot":12,"participants":3,"usable":false}
+//! {"type":"record","event":"resolved","slot":19,"record_slot":7,"tag":"00000000000000000002a8c4","cascade_depth":1,"latency_slots":12}
+//! {"type":"estimator","slot":30,"frame":0,"p":0.047,"n0":6,"n1":13,"nc":11,"estimate":512.3}
+//! ```
+//!
+//! The format is hand-rolled (this workspace builds offline, without
+//! serde_json): every field is a number, a bare keyword, or a fixed-alphabet
+//! hex string, so the emitted lines are valid JSON. The [`replay`] parser
+//! reads the same subset back for post-hoc verification — see
+//! [`replay::summarize`].
+
+use crate::event::{EstimatorEvent, RecordEvent, RecordEventKind, SlotEvent};
+use crate::metrics::SlotTotals;
+use crate::EventSink;
+use rfid_types::SlotClass;
+use std::io::{self, BufWriter, Write};
+
+/// Formats an `f64` so the JSON stays finite and parseable: non-finite
+/// values (which no event currently produces) become `null`.
+fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        let mut s = format!("{value}");
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn class_str(class: SlotClass) -> &'static str {
+    match class {
+        SlotClass::Empty => "empty",
+        SlotClass::Singleton => "singleton",
+        SlotClass::Collision => "collision",
+    }
+}
+
+/// An [`EventSink`] that appends one JSON line per event to a writer.
+///
+/// I/O errors are sticky: the first failure stops further writing and is
+/// returned by [`JsonlSink::finish`]. (Sink callbacks cannot return errors —
+/// by design, so the engine's hot path stays infallible.)
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: BufWriter<W>,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer (buffered internally).
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: BufWriter::new(out),
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Lines successfully queued so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the underlying writer, or the first I/O error
+    /// encountered while tracing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write/flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        self.out.flush()?;
+        self.out
+            .into_inner()
+            .map_err(io::IntoInnerError::into_error)
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(error) = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(error);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn slot(&mut self, event: &SlotEvent) {
+        let line = format!(
+            "{{\"type\":\"slot\",\"slot\":{},\"class\":\"{}\",\"transmitters\":{},\"p\":{},\
+             \"learned_direct\":{},\"learned_resolved\":{},\"outstanding\":{}}}",
+            event.slot,
+            class_str(event.class),
+            event.transmitters,
+            fmt_f64(event.p),
+            event.learned_direct,
+            event.learned_resolved,
+            event.records_outstanding,
+        );
+        self.write_line(&line);
+    }
+
+    fn record(&mut self, event: &RecordEvent) {
+        let line = match event.kind {
+            RecordEventKind::Created {
+                participants,
+                usable,
+            } => format!(
+                "{{\"type\":\"record\",\"event\":\"created\",\"slot\":{},\"record_slot\":{},\
+                 \"participants\":{participants},\"usable\":{usable}}}",
+                event.slot, event.record_slot,
+            ),
+            RecordEventKind::Resolved {
+                tag,
+                cascade_depth,
+                latency_slots,
+            } => format!(
+                "{{\"type\":\"record\",\"event\":\"resolved\",\"slot\":{},\"record_slot\":{},\
+                 \"tag\":\"{tag}\",\"cascade_depth\":{cascade_depth},\
+                 \"latency_slots\":{latency_slots}}}",
+                event.slot, event.record_slot,
+            ),
+            RecordEventKind::Exhausted => format!(
+                "{{\"type\":\"record\",\"event\":\"exhausted\",\"slot\":{},\"record_slot\":{}}}",
+                event.slot, event.record_slot,
+            ),
+            RecordEventKind::Failed => format!(
+                "{{\"type\":\"record\",\"event\":\"failed\",\"slot\":{},\"record_slot\":{}}}",
+                event.slot, event.record_slot,
+            ),
+        };
+        self.write_line(&line);
+    }
+
+    fn estimator(&mut self, event: &EstimatorEvent) {
+        let line = format!(
+            "{{\"type\":\"estimator\",\"slot\":{},\"frame\":{},\"p\":{},\"n0\":{},\"n1\":{},\
+             \"nc\":{},\"estimate\":{}}}",
+            event.slot,
+            event.frame,
+            fmt_f64(event.p),
+            event.n0,
+            event.n1,
+            event.nc,
+            fmt_f64(event.estimate),
+        );
+        self.write_line(&line);
+    }
+}
+
+/// Reading traces back, for post-hoc verification and tooling.
+pub mod replay {
+    use super::SlotTotals;
+    use std::io::{self, BufRead};
+
+    /// Roll-up of one replayed JSONL trace.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct TraceSummary {
+        /// Per-class totals over the trace's slot events.
+        pub slots: SlotTotals,
+        /// IDs learned directly (singleton decodes), summed over slots.
+        pub learned_direct: u64,
+        /// IDs learned via record resolution, summed over slots.
+        pub learned_resolved: u64,
+        /// `record` events with `event == "created"`.
+        pub records_created: u64,
+        /// `record` events with `event == "resolved"`.
+        pub records_resolved: u64,
+        /// `estimator` events.
+        pub estimator_updates: u64,
+        /// Total lines parsed.
+        pub lines: u64,
+    }
+
+    /// Extracts the raw value of `"key":<value>` from a single JSON line
+    /// produced by this module (flat objects, no escaped quotes in values).
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let needle = format!("\"{key}\":");
+        let start = line.find(&needle)? + needle.len();
+        let rest = &line[start..];
+        let end = rest
+            .char_indices()
+            .scan(false, |in_string, (i, c)| {
+                match c {
+                    '"' => *in_string = !*in_string,
+                    ',' | '}' if !*in_string => return Some(Some(i)),
+                    _ => {}
+                }
+                Some(None)
+            })
+            .flatten()
+            .next()?;
+        Some(rest[..end].trim_matches('"'))
+    }
+
+    fn num(line: &str, key: &str) -> u64 {
+        field(line, key)
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+    }
+
+    /// Replays a JSONL trace and rolls it up into a [`TraceSummary`].
+    ///
+    /// Unknown line types are counted in `lines` and otherwise ignored, so
+    /// the format can grow without breaking old readers.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the reader.
+    pub fn summarize<R: BufRead>(reader: R) -> io::Result<TraceSummary> {
+        let mut summary = TraceSummary::default();
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            summary.lines += 1;
+            match field(&line, "type") {
+                Some("slot") => {
+                    match field(&line, "class") {
+                        Some("empty") => summary.slots.empty += 1,
+                        Some("singleton") => summary.slots.singleton += 1,
+                        Some("collision") => summary.slots.collision += 1,
+                        _ => {}
+                    }
+                    summary.learned_direct += num(&line, "learned_direct");
+                    summary.learned_resolved += num(&line, "learned_resolved");
+                }
+                Some("record") => match field(&line, "event") {
+                    Some("created") => summary.records_created += 1,
+                    Some("resolved") => summary.records_resolved += 1,
+                    _ => {}
+                },
+                Some("estimator") => summary.estimator_updates += 1,
+                _ => {}
+            }
+        }
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_types::TagId;
+    use std::io::BufReader;
+
+    fn sample_events(sink: &mut JsonlSink<Vec<u8>>) {
+        sink.slot(&SlotEvent {
+            slot: 0,
+            class: SlotClass::Collision,
+            transmitters: 2,
+            p: 0.25,
+            learned_direct: 0,
+            learned_resolved: 0,
+            records_outstanding: 1,
+        });
+        sink.record(&RecordEvent {
+            slot: 0,
+            record_slot: 0,
+            kind: RecordEventKind::Created {
+                participants: 2,
+                usable: true,
+            },
+        });
+        sink.slot(&SlotEvent {
+            slot: 1,
+            class: SlotClass::Singleton,
+            transmitters: 1,
+            p: 0.25,
+            learned_direct: 1,
+            learned_resolved: 1,
+            records_outstanding: 0,
+        });
+        sink.record(&RecordEvent {
+            slot: 1,
+            record_slot: 0,
+            kind: RecordEventKind::Resolved {
+                tag: TagId::from_payload(42),
+                cascade_depth: 1,
+                latency_slots: 1,
+            },
+        });
+        sink.estimator(&EstimatorEvent {
+            slot: 30,
+            frame: 0,
+            p: 0.25,
+            n0: 10,
+            n1: 15,
+            nc: 5,
+            estimate: 64.5,
+        });
+    }
+
+    #[test]
+    fn writes_valid_lines_and_replays() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sample_events(&mut sink);
+        assert_eq!(sink.lines(), 5);
+        let bytes = sink.finish().expect("in-memory writes succeed");
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(text.lines().count(), 5);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"class\":\"collision\""));
+        assert!(text.contains("\"estimate\":64.5"));
+        let expected_tag = format!("\"tag\":\"{}\"", TagId::from_payload(42));
+        assert!(text.contains(&expected_tag));
+
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.lines, 5);
+        assert_eq!(summary.slots.collision, 1);
+        assert_eq!(summary.slots.singleton, 1);
+        assert_eq!(summary.slots.total(), 2);
+        assert_eq!(summary.learned_direct, 1);
+        assert_eq!(summary.learned_resolved, 1);
+        assert_eq!(summary.records_created, 1);
+        assert_eq!(summary.records_resolved, 1);
+        assert_eq!(summary.estimator_updates, 1);
+    }
+
+    #[test]
+    fn f64_formatting_is_json_safe() {
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(1e-9), "0.000000001");
+    }
+
+    #[test]
+    fn replay_ignores_unknown_and_blank_lines() {
+        let text = "\n{\"type\":\"future-thing\",\"x\":1}\n{\"type\":\"slot\",\"slot\":0,\"class\":\"empty\",\"transmitters\":0,\"p\":1.0,\"learned_direct\":0,\"learned_resolved\":0,\"outstanding\":0}\n";
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.lines, 2);
+        assert_eq!(summary.slots.empty, 1);
+    }
+}

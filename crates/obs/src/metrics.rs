@@ -1,0 +1,487 @@
+//! Aggregate counters and histograms built from the event stream.
+
+use crate::event::{EstimatorEvent, RecordEvent, RecordEventKind, SlotEvent};
+use crate::EventSink;
+use rfid_types::SlotClass;
+use std::fmt;
+
+/// Per-class slot totals (obs-side mirror of the simulator's counters, so
+/// this crate depends only on `rfid-types`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SlotTotals {
+    /// Slots with no transmission.
+    pub empty: u64,
+    /// Slots with exactly one transmission.
+    pub singleton: u64,
+    /// Slots with two or more transmissions.
+    pub collision: u64,
+}
+
+impl SlotTotals {
+    /// Total slots observed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.empty + self.singleton + self.collision
+    }
+
+    /// Increments the counter for `class`.
+    pub fn record(&mut self, class: SlotClass) {
+        match class {
+            SlotClass::Empty => self.empty += 1,
+            SlotClass::Singleton => self.singleton += 1,
+            SlotClass::Collision => self.collision += 1,
+        }
+    }
+}
+
+/// Number of power-of-two latency buckets (bucket `i` holds values in
+/// `[2^i, 2^(i+1))`; values above the last bucket land in the overflow).
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// A power-of-two histogram of slot-count latencies.
+///
+/// Bucket 0 holds latency 0–1, bucket `i` holds `[2^i, 2^{i+1})`, and one
+/// overflow bucket catches everything `≥ 2^LATENCY_BUCKETS`. The exact sum
+/// and count are kept alongside, so [`LatencyHistogram::mean`] is exact and
+/// only the quantiles are bucket-resolution approximations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS + 1],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            ((u64::BITS - 1 - value.leading_zeros()) as usize).min(LATENCY_BUCKETS)
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the observations (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum observed value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1),
+    /// i.e. an approximation with power-of-two resolution.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 {
+                    1
+                } else if i >= LATENCY_BUCKETS {
+                    self.max
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Adds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Aggregate observability metrics for one or more runs.
+///
+/// Built by [`MetricsSink`]; merge per-run metrics with [`Metrics::merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Metrics {
+    /// Runs merged into this value (1 for a single run).
+    pub runs: u64,
+    /// Per-class slot totals.
+    pub slots: SlotTotals,
+    /// Ground-truth transmissions summed over all slots.
+    pub transmissions: u64,
+    /// IDs learned directly from singleton decodes.
+    pub identified_direct: u64,
+    /// IDs learned by resolving collision records.
+    pub identified_resolved: u64,
+    /// Collision records deposited.
+    pub records_created: u64,
+    /// Deposited records that could never resolve (spoiled or `k > λ`).
+    pub records_unusable: u64,
+    /// Records resolved into an ID.
+    pub records_resolved: u64,
+    /// Records that became fully known without yielding a new ID.
+    pub records_exhausted: u64,
+    /// Signal-level resolution attempts defeated by noise.
+    pub records_failed: u64,
+    /// Highest simultaneous count of outstanding records.
+    pub max_outstanding: u64,
+    /// Deepest resolution cascade observed in a single slot.
+    pub max_cascade_depth: u32,
+    /// Deposit-to-resolution latency of resolved records, in slots.
+    pub resolution_latency: LatencyHistogram,
+    /// Estimator revisions observed.
+    pub estimator_updates: u64,
+    /// The last estimate `N̂` each run ended with, summed over runs
+    /// (divide by [`Metrics::runs`] for the mean).
+    pub final_estimate_sum: f64,
+}
+
+impl Metrics {
+    /// Mean of the final population estimates across merged runs.
+    #[must_use]
+    pub fn final_estimate_mean(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.final_estimate_sum / self.runs as f64
+        }
+    }
+
+    /// Share of created records that resolved into an ID.
+    #[must_use]
+    pub fn resolution_rate(&self) -> f64 {
+        if self.records_created == 0 {
+            0.0
+        } else {
+            self.records_resolved as f64 / self.records_created as f64
+        }
+    }
+
+    /// Folds another run's (or aggregate's) metrics into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.runs += other.runs;
+        self.slots.empty += other.slots.empty;
+        self.slots.singleton += other.slots.singleton;
+        self.slots.collision += other.slots.collision;
+        self.transmissions += other.transmissions;
+        self.identified_direct += other.identified_direct;
+        self.identified_resolved += other.identified_resolved;
+        self.records_created += other.records_created;
+        self.records_unusable += other.records_unusable;
+        self.records_resolved += other.records_resolved;
+        self.records_exhausted += other.records_exhausted;
+        self.records_failed += other.records_failed;
+        self.max_outstanding = self.max_outstanding.max(other.max_outstanding);
+        self.max_cascade_depth = self.max_cascade_depth.max(other.max_cascade_depth);
+        self.resolution_latency.merge(&other.resolution_latency);
+        self.estimator_updates += other.estimator_updates;
+        self.final_estimate_sum += other.final_estimate_sum;
+    }
+
+    /// Renders a human-readable summary table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lat = &self.resolution_latency;
+        writeln!(f, "metric                          value")?;
+        writeln!(f, "------------------------------  ------------")?;
+        writeln!(f, "runs                            {:>12}", self.runs)?;
+        writeln!(
+            f,
+            "slots total                     {:>12}",
+            self.slots.total()
+        )?;
+        writeln!(
+            f,
+            "  empty                         {:>12}",
+            self.slots.empty
+        )?;
+        writeln!(
+            f,
+            "  singleton                     {:>12}",
+            self.slots.singleton
+        )?;
+        writeln!(
+            f,
+            "  collision                     {:>12}",
+            self.slots.collision
+        )?;
+        writeln!(
+            f,
+            "transmissions                   {:>12}",
+            self.transmissions
+        )?;
+        writeln!(
+            f,
+            "identified direct               {:>12}",
+            self.identified_direct
+        )?;
+        writeln!(
+            f,
+            "identified via records          {:>12}",
+            self.identified_resolved
+        )?;
+        writeln!(
+            f,
+            "records created                 {:>12}",
+            self.records_created
+        )?;
+        writeln!(
+            f,
+            "  unusable at creation          {:>12}",
+            self.records_unusable
+        )?;
+        writeln!(
+            f,
+            "  resolved                      {:>12}",
+            self.records_resolved
+        )?;
+        writeln!(
+            f,
+            "  exhausted                     {:>12}",
+            self.records_exhausted
+        )?;
+        writeln!(
+            f,
+            "  failed (noise)                {:>12}",
+            self.records_failed
+        )?;
+        writeln!(
+            f,
+            "resolution rate                 {:>11.1}%",
+            100.0 * self.resolution_rate()
+        )?;
+        writeln!(
+            f,
+            "max records outstanding         {:>12}",
+            self.max_outstanding
+        )?;
+        writeln!(
+            f,
+            "max cascade depth               {:>12}",
+            self.max_cascade_depth
+        )?;
+        writeln!(
+            f,
+            "resolution latency (slots)      mean {:.1}, p50 ≤ {}, p99 ≤ {}, max {}",
+            lat.mean(),
+            lat.quantile(0.5),
+            lat.quantile(0.99),
+            lat.max()
+        )?;
+        writeln!(
+            f,
+            "estimator revisions             {:>12}",
+            self.estimator_updates
+        )?;
+        write!(
+            f,
+            "final estimate (mean)           {:>12.1}",
+            self.final_estimate_mean()
+        )
+    }
+}
+
+/// An [`EventSink`] that folds the event stream into [`Metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    metrics: Metrics,
+    final_estimate: f64,
+}
+
+impl MetricsSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    /// Finishes the run and returns its metrics (with `runs = 1`).
+    #[must_use]
+    pub fn into_metrics(self) -> Metrics {
+        let mut metrics = self.metrics;
+        metrics.runs = 1;
+        metrics.final_estimate_sum = self.final_estimate;
+        metrics
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn slot(&mut self, event: &SlotEvent) {
+        let m = &mut self.metrics;
+        m.slots.record(event.class);
+        m.transmissions += u64::from(event.transmitters);
+        m.identified_direct += u64::from(event.learned_direct);
+        m.identified_resolved += u64::from(event.learned_resolved);
+        m.max_outstanding = m.max_outstanding.max(event.records_outstanding);
+    }
+
+    fn record(&mut self, event: &RecordEvent) {
+        let m = &mut self.metrics;
+        match event.kind {
+            RecordEventKind::Created { usable, .. } => {
+                m.records_created += 1;
+                if !usable {
+                    m.records_unusable += 1;
+                }
+            }
+            RecordEventKind::Resolved {
+                cascade_depth,
+                latency_slots,
+                ..
+            } => {
+                m.records_resolved += 1;
+                m.max_cascade_depth = m.max_cascade_depth.max(cascade_depth);
+                m.resolution_latency.record(latency_slots);
+            }
+            RecordEventKind::Exhausted => m.records_exhausted += 1,
+            RecordEventKind::Failed => m.records_failed += 1,
+        }
+    }
+
+    fn estimator(&mut self, event: &EstimatorEvent) {
+        self.metrics.estimator_updates += 1;
+        self.final_estimate = event.estimate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_types::TagId;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = LatencyHistogram::default();
+        for v in [0u64, 1, 2, 3, 4, 100, 70_000, 1 << 20] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 1 << 20);
+        let mean = (1 + 2 + 3 + 4 + 100 + 70_000 + (1 << 20)) as f64 / 8.0;
+        assert!((h.mean() - mean).abs() < 1e-9);
+        // p50 of 8 values → 4th smallest (3) lives in bucket [2,4).
+        assert!(h.quantile(0.5) >= 3);
+        assert_eq!(h.quantile(1.0), 1 << 20);
+        assert_eq!(LatencyHistogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = LatencyHistogram::default();
+        a.record(5);
+        let mut b = LatencyHistogram::default();
+        b.record(7);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 9);
+        assert!((a.mean() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sink_accumulates_and_merges() {
+        let mut sink = MetricsSink::new();
+        sink.slot(&SlotEvent {
+            slot: 0,
+            class: SlotClass::Collision,
+            transmitters: 2,
+            p: 0.5,
+            learned_direct: 0,
+            learned_resolved: 0,
+            records_outstanding: 1,
+        });
+        sink.record(&RecordEvent {
+            slot: 0,
+            record_slot: 0,
+            kind: RecordEventKind::Created {
+                participants: 2,
+                usable: true,
+            },
+        });
+        sink.record(&RecordEvent {
+            slot: 4,
+            record_slot: 0,
+            kind: RecordEventKind::Resolved {
+                tag: TagId::from_payload(9),
+                cascade_depth: 2,
+                latency_slots: 4,
+            },
+        });
+        sink.estimator(&EstimatorEvent {
+            slot: 30,
+            frame: 0,
+            p: 0.1,
+            n0: 5,
+            n1: 20,
+            nc: 5,
+            estimate: 123.0,
+        });
+        let m = sink.into_metrics();
+        assert_eq!(m.runs, 1);
+        assert_eq!(m.slots.collision, 1);
+        assert_eq!(m.records_created, 1);
+        assert_eq!(m.records_resolved, 1);
+        assert_eq!(m.max_cascade_depth, 2);
+        assert_eq!(m.resolution_latency.count(), 1);
+        assert_eq!(m.estimator_updates, 1);
+        assert!((m.final_estimate_mean() - 123.0).abs() < 1e-12);
+        assert!((m.resolution_rate() - 1.0).abs() < 1e-12);
+
+        let mut merged = m;
+        merged.merge(&m);
+        assert_eq!(merged.runs, 2);
+        assert_eq!(merged.records_created, 2);
+        assert!((merged.final_estimate_mean() - 123.0).abs() < 1e-12);
+        let table = merged.render_table();
+        assert!(table.contains("records created"));
+        assert!(table.contains("resolution latency"));
+    }
+}

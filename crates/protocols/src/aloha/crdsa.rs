@@ -126,8 +126,8 @@ impl AntiCollisionProtocol for Crdsa {
             let mut occupancy: Vec<Vec<usize>> = vec![Vec::new(); l];
             let mut placements: Vec<Vec<usize>> = Vec::with_capacity(active.len());
             for (tag_idx, _) in active.iter().enumerate() {
-                let picks = rand::seq::index::sample(rng, l, self.config.replicas as usize)
-                    .into_vec();
+                let picks =
+                    rand::seq::index::sample(rng, l, self.config.replicas as usize).into_vec();
                 for &slot in &picks {
                     occupancy[slot].push(tag_idx);
                 }
@@ -205,11 +205,8 @@ impl AntiCollisionProtocol for Crdsa {
 
             // Backlog: decoded tags leave; a fully stuck frame (loops)
             // keeps the estimate, which forces a fresh random placement.
-            backlog = (backlog - decoded_count as f64).max(if active.is_empty() {
-                0.0
-            } else {
-                1.0
-            });
+            backlog =
+                (backlog - decoded_count as f64).max(if active.is_empty() { 0.0 } else { 1.0 });
         }
         Ok(report)
     }
@@ -266,8 +263,7 @@ mod tests {
             min_frame: 2,
             ..CrdsaConfig::default()
         };
-        let report =
-            run_inventory(&Crdsa::with_config(cfg), &tags, &SimConfig::default()).unwrap();
+        let report = run_inventory(&Crdsa::with_config(cfg), &tags, &SimConfig::default()).unwrap();
         assert_eq!(report.identified, 2);
     }
 
@@ -287,8 +283,7 @@ mod tests {
             target_load: 0.8,
             ..CrdsaConfig::default()
         };
-        let report =
-            run_inventory(&Crdsa::with_config(cfg), &tags, &SimConfig::default()).unwrap();
+        let report = run_inventory(&Crdsa::with_config(cfg), &tags, &SimConfig::default()).unwrap();
         assert_eq!(report.identified, 400);
     }
 

@@ -64,13 +64,7 @@ impl Edfsa {
     /// The EDFSA frame-size ladder for unrestricted (single-group) reading.
     fn frame_for_backlog(&self, backlog: f64) -> u32 {
         let n = backlog.max(1.0);
-        let ladder: &[(f64, u32)] = &[
-            (11.0, 8),
-            (19.0, 16),
-            (40.0, 32),
-            (81.0, 64),
-            (176.0, 128),
-        ];
+        let ladder: &[(f64, u32)] = &[(11.0, 8), (19.0, 16), (40.0, 32), (81.0, 64), (176.0, 128)];
         for &(limit, frame) in ladder {
             if n <= limit {
                 return frame.min(self.config.max_frame.max(1));
@@ -138,8 +132,8 @@ impl AntiCollisionProtocol for Edfsa {
             // collisions; other groups' share assumed unchanged.
             let group_residue = schoute_backlog(stats.collision);
             if groups > 1 {
-                backlog = (backlog * (groups as f64 - 1.0) / groups as f64 + group_residue)
-                    .max(1.0);
+                backlog =
+                    (backlog * (groups as f64 - 1.0) / groups as f64 + group_residue).max(1.0);
             } else {
                 backlog = group_residue.max(if stats.collision == 0 { 0.0 } else { 1.0 });
             }

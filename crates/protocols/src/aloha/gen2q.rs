@@ -79,7 +79,10 @@ impl Gen2Q {
             (0.0..=15.0).contains(&config.initial_q) && config.max_q <= 15.0,
             "Q exponents must be within [0, 15]"
         );
-        assert!(config.initial_q <= config.max_q, "initial_q must be <= max_q");
+        assert!(
+            config.initial_q <= config.max_q,
+            "initial_q must be <= max_q"
+        );
         Gen2Q { config }
     }
 }
@@ -203,8 +206,7 @@ mod tests {
     #[test]
     fn throughput_within_aloha_family_band() {
         let agg = run_many(&Gen2Q::new(), 2_000, 5, &SimConfig::default()).unwrap();
-        let bound =
-            rfid_analysis::bounds::aloha_throughput_bound(SimConfig::default().timing());
+        let bound = rfid_analysis::bounds::aloha_throughput_bound(SimConfig::default().timing());
         assert!(
             agg.throughput.mean <= bound * 1.02,
             "Gen2-Q {} above ALOHA ceiling {bound}",

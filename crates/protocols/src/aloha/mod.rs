@@ -45,7 +45,6 @@ impl InitialEstimate {
     }
 }
 
-
 pub(crate) mod frame {
     //! Shared frame execution for the framed ALOHA variants.
 

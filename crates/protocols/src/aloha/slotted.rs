@@ -3,8 +3,8 @@
 //! with this probability").
 
 use crate::aloha::InitialEstimate;
-use rfid_sim::sampling::{pick_distinct_indices, sample_binomial};
 use rand::rngs::StdRng;
+use rfid_sim::sampling::{pick_distinct_indices, sample_binomial};
 use rfid_sim::{AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
 use rfid_types::{SlotClass, TagId};
 
@@ -144,8 +144,7 @@ mod tests {
     fn throughput_near_aloha_bound() {
         // Optimal slotted ALOHA ≈ 1/(e·T) ≈ 131 tags/s on I-Code timing.
         let agg = run_many(&SlottedAloha::new(), 2_000, 5, &SimConfig::default()).unwrap();
-        let bound =
-            rfid_analysis::bounds::aloha_throughput_bound(SimConfig::default().timing());
+        let bound = rfid_analysis::bounds::aloha_throughput_bound(SimConfig::default().timing());
         assert!(
             agg.throughput.mean > 0.9 * bound && agg.throughput.mean <= bound * 1.02,
             "throughput {} vs bound {bound}",

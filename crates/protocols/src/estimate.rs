@@ -9,9 +9,9 @@
 //!   accuracy in a pre-step of SCAT"). FCAT exists precisely to amortize
 //!   this cost away, and the `ablation-estimator` experiment quantifies it.
 
-use rfid_sim::sampling::sample_binomial;
 use rand::rngs::StdRng;
 use rfid_analysis::estimator::estimate_remaining_from_empties;
+use rfid_sim::sampling::sample_binomial;
 use rfid_sim::SimConfig;
 
 /// Schoute's backlog factor: expected tags per collided slot at optimal

@@ -286,8 +286,8 @@ mod tests {
     #[test]
     fn inversion_functions_are_consistent() {
         // t_c(ρ) then invert must return ρ.
-        for rho in [0.1, 0.5, 1.0, 1.6, 3.0, 6.0] {
-            let fraction = 1.0 - (1.0 + rho) * (-rho as f64).exp();
+        for rho in [0.1f64, 0.5, 1.0, 1.6, 3.0, 6.0] {
+            let fraction = 1.0 - (1.0 + rho) * (-rho).exp();
             let back = invert_collision_fraction(fraction);
             assert!((back - rho).abs() < 1e-9, "rho {rho} -> {back}");
         }
@@ -300,8 +300,7 @@ mod tests {
         let (n, f, p) = (2_000.0f64, 64u32, 0.04f64);
         let rho = p * n / f64::from(f);
         let expected_empty = (f64::from(f) * (-rho).exp()).round() as u32;
-        let expected_coll =
-            (f64::from(f) * (1.0 - (1.0 + rho) * (-rho).exp())).round() as u32;
+        let expected_coll = (f64::from(f) * (1.0 - (1.0 + rho) * (-rho).exp())).round() as u32;
         let ze = zero_estimate(expected_empty, f, p);
         let ce = collision_estimate(expected_coll, f, p);
         assert!((ze - n).abs() / n < 0.10, "ZE {ze}");

@@ -65,14 +65,7 @@ impl MultiRoundSession for AqsSession {
             std::mem::take(&mut self.leaves)
         };
         let mut leaves = Vec::new();
-        let report = run_query_tree(
-            self.name(),
-            &initial,
-            tags,
-            config,
-            rng,
-            Some(&mut leaves),
-        )?;
+        let report = run_query_tree(self.name(), &initial, tags, config, rng, Some(&mut leaves))?;
         if tags.is_empty() {
             // Keep the old partition; an empty round teaches nothing.
             self.leaves = initial;

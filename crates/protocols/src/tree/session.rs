@@ -159,7 +159,10 @@ mod tests {
         )
         .unwrap();
         let second = &report.per_round[1].slots;
-        assert!(second.empty > 50, "departed slots show as empties: {second:?}");
+        assert!(
+            second.empty > 50,
+            "departed slots show as empties: {second:?}"
+        );
         assert_eq!(second.collision, 0);
     }
 

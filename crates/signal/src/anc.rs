@@ -148,9 +148,7 @@ pub fn decode_singleton(samples: &[Complex], cfg: &MskConfig) -> Option<TagId> {
 ///   or noise defeated the demodulator. The caller treats this as "record
 ///   not yet resolvable" and retries after learning more IDs.
 pub fn resolve(mixed: &[Complex], known: &[TagId], cfg: &MskConfig) -> Result<TagId, AncError> {
-    if cfg
-        .bits_for_samples(mixed.len()) != Some(rfid_types::TAG_ID_BITS as usize)
-    {
+    if cfg.bits_for_samples(mixed.len()) != Some(rfid_types::TAG_ID_BITS as usize) {
         return Err(AncError::BadLength {
             samples: mixed.len(),
         });
@@ -347,7 +345,10 @@ mod tests {
         let ids: Vec<TagId> = (0..3).map(|i| TagId::from_payload(90 + i)).collect();
         let mixed = transmit_mixed(&ids, &cfg(), &quiet_model(), &mut rng);
         // Knowing 1 of 3 leaves a 2-mixture residual → CRC mismatch.
-        assert_eq!(resolve(&mixed, &ids[..1], &cfg()), Err(AncError::CrcMismatch));
+        assert_eq!(
+            resolve(&mixed, &ids[..1], &cfg()),
+            Err(AncError::CrcMismatch)
+        );
     }
 
     #[test]
@@ -452,7 +453,11 @@ mod tests {
         let wave = modulator.modulate(&bits, 1.0, 0.4);
         let est = estimate_two_amplitudes(&wave).unwrap();
         assert!(est.weaker < 0.35, "weaker {}", est.weaker);
-        assert!((est.stronger - 1.0).abs() < 0.2, "stronger {}", est.stronger);
+        assert!(
+            (est.stronger - 1.0).abs() < 0.2,
+            "stronger {}",
+            est.stronger
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ impl ChannelModel {
     /// Panics if `max` is negative or non-finite.
     #[must_use]
     pub fn with_max_freq_offset(mut self, max: f64) -> Self {
-        assert!(max >= 0.0 && max.is_finite(), "max_freq_offset must be >= 0");
+        assert!(
+            max >= 0.0 && max.is_finite(),
+            "max_freq_offset must be >= 0"
+        );
         self.max_freq_offset = max;
         self
     }
@@ -309,7 +312,11 @@ mod tests {
         let power = crate::complex::mean_power(&samples);
         // E|n|² = 2σ² = 0.5
         assert!((power - 0.5).abs() < 0.02, "noise power {power}");
-        let mean: Complex = samples.iter().copied().sum::<Complex>().scale(1.0 / 40_000.0);
+        let mean: Complex = samples
+            .iter()
+            .copied()
+            .sum::<Complex>()
+            .scale(1.0 / 40_000.0);
         assert!(mean.norm() < 0.01, "noise mean {mean:?}");
     }
 

@@ -204,10 +204,7 @@ impl From<f64> for Complex {
 #[must_use]
 pub fn inner_product(a: &[Complex], b: &[Complex]) -> Complex {
     assert_eq!(a.len(), b.len(), "inner product requires equal lengths");
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| x * y.conj())
-        .sum()
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y.conj()).sum()
 }
 
 /// Mean power `Σ|x[n]|² / len`.

@@ -49,9 +49,7 @@ pub fn resolve_two_energy(
     known: TagId,
     cfg: &MskConfig,
 ) -> Result<TagId, AncError> {
-    if cfg
-        .bits_for_samples(mixed.len()) != Some(rfid_types::TAG_ID_BITS as usize)
-    {
+    if cfg.bits_for_samples(mixed.len()) != Some(rfid_types::TAG_ID_BITS as usize) {
         return Err(AncError::BadLength {
             samples: mixed.len(),
         });
@@ -195,8 +193,8 @@ mod tests {
         let trials = 20;
         for t in 0..trials {
             let ids = rfid_types::population::uniform(&mut rng, 2);
-            let pa = rng.gen_range(0.0..6.28);
-            let pb = rng.gen_range(0.0..6.28);
+            let pa = rng.gen_range(0.0..std::f64::consts::TAU);
+            let pb = rng.gen_range(0.0..std::f64::consts::TAU);
             let mixed = build_mixture((ids[0], 1.0, pa), (ids[1], 0.6, pb), 0.005, &mut rng);
             if resolve_two_energy(&mixed, ids[0], &cfg) == Ok(ids[1]) {
                 ok += 1;
@@ -258,8 +256,8 @@ mod tests {
         let trials = 30;
         for _ in 0..trials {
             let ids = rfid_types::population::uniform(&mut rng, 2);
-            let pa = rng.gen_range(0.0..6.28);
-            let pb = rng.gen_range(0.0..6.28);
+            let pa = rng.gen_range(0.0..std::f64::consts::TAU);
+            let pb = rng.gen_range(0.0..std::f64::consts::TAU);
             let mixed = build_mixture((ids[0], 0.9, pa), (ids[1], 0.7, pb), 0.15, &mut rng);
             if crate::anc::resolve(&mixed, &[ids[0]], &cfg) == Ok(ids[1]) {
                 ls_ok += 1;

@@ -64,7 +64,7 @@ pub mod linalg;
 pub mod msk;
 
 pub use anc::{resolve, transmit_mixed, AncError, EnergyEstimate};
-pub use energy_resolve::resolve_two_energy;
 pub use channel::{ChannelModel, ChannelParams};
 pub use complex::Complex;
+pub use energy_resolve::resolve_two_energy;
 pub use msk::{MskConfig, MskDemodulator, MskModulator};

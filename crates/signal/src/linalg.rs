@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn solve_2x2_complex() {
         // A = [[1, i], [i, 1]], x = [1, 2i] → b = [1 + 2i·i, i + 2i] = [-1, 3i]
-        let a = vec![vec![Complex::ONE, Complex::I], vec![Complex::I, Complex::ONE]];
+        let a = vec![
+            vec![Complex::ONE, Complex::I],
+            vec![Complex::I, Complex::ONE],
+        ];
         let b = vec![c(-1.0, 0.0), c(0.0, 3.0)];
         let x = solve(&a, &b).unwrap();
         assert!((x[0] - Complex::ONE).norm() < 1e-10);
@@ -195,7 +198,10 @@ mod tests {
     #[test]
     fn solve_requires_pivoting() {
         // Leading zero pivot forces a row swap.
-        let a = vec![vec![Complex::ZERO, Complex::ONE], vec![Complex::ONE, Complex::ZERO]];
+        let a = vec![
+            vec![Complex::ZERO, Complex::ONE],
+            vec![Complex::ONE, Complex::ZERO],
+        ];
         let b = vec![c(5.0, 0.0), c(7.0, 0.0)];
         let x = solve(&a, &b).unwrap();
         assert!((x[0] - c(7.0, 0.0)).norm() < 1e-12);
@@ -232,14 +238,12 @@ mod tests {
     fn least_squares_recovers_exact_mixture() {
         // Two random-ish orthogonal-ish basis signals, exact mixture.
         let s1: Vec<Complex> = (0..64).map(|n| Complex::cis(0.3 * n as f64)).collect();
-        let s2: Vec<Complex> = (0..64).map(|n| Complex::cis(-0.7 * n as f64 + 1.0)).collect();
+        let s2: Vec<Complex> = (0..64)
+            .map(|n| Complex::cis(-0.7 * n as f64 + 1.0))
+            .collect();
         let g1 = c(0.8, -0.2);
         let g2 = c(-0.3, 0.5);
-        let y: Vec<Complex> = s1
-            .iter()
-            .zip(&s2)
-            .map(|(&a, &b)| a * g1 + b * g2)
-            .collect();
+        let y: Vec<Complex> = s1.iter().zip(&s2).map(|(&a, &b)| a * g1 + b * g2).collect();
         let gains = least_squares_gains(&[s1, s2], &y).unwrap();
         assert!((gains[0] - g1).norm() < 1e-9);
         assert!((gains[1] - g2).norm() < 1e-9);

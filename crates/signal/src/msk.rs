@@ -271,7 +271,7 @@ mod tests {
         fn prop_roundtrip_any_bits(
             bits in proptest::collection::vec(any::<bool>(), 0..200),
             amplitude in 0.01f64..50.0,
-            theta0 in -6.28f64..6.28,
+            theta0 in -std::f64::consts::TAU..std::f64::consts::TAU,
         ) {
             prop_assert_eq!(roundtrip(&bits, amplitude, theta0), bits);
         }

@@ -278,7 +278,9 @@ mod tests {
         let mut rng = seeded_rng(2);
         let n = 40_000;
         let acks = (0..n).filter(|_| m.sample_ack_lost(&mut rng)).count();
-        let reps = (0..n).filter(|_| m.sample_report_corrupted(&mut rng)).count();
+        let reps = (0..n)
+            .filter(|_| m.sample_report_corrupted(&mut rng))
+            .count();
         let unres = (0..n).filter(|_| m.sample_unresolvable(&mut rng)).count();
         assert!((acks as f64 / n as f64 - 0.25).abs() < 0.01);
         assert!((reps as f64 / n as f64 - 0.1).abs() < 0.01);

@@ -44,7 +44,10 @@ impl fmt::Display for SimError {
                 "exceeded {max_slots} slots with {identified}/{total} tags identified"
             ),
             SimError::IncompleteInventory { identified, total } => {
-                write!(f, "inventory ended with {identified}/{total} tags identified")
+                write!(
+                    f,
+                    "inventory ended with {identified}/{total} tags identified"
+                )
             }
             SimError::InvalidParameter { message } => {
                 write!(f, "invalid parameter: {message}")

@@ -14,7 +14,12 @@
 //!   (Table III), elapsed air time and reading throughput (Table I).
 //! * [`run_inventory`] / [`run_many`] — single seeded runs and the
 //!   multi-run mean±stddev harness (the paper averages 100 runs),
-//!   parallelized with crossbeam scoped threads.
+//!   parallelized with std scoped threads.
+//! * [`ObservableProtocol`] + [`run_inventory_observed`] /
+//!   [`run_many_observed`] — the same runs with a slot-level
+//!   [`rfid_obs::EventSink`] attached (re-exported as [`obs`]); sinks are
+//!   observation-only, so traced and untraced runs return identical
+//!   reports.
 //!
 //! # Example
 //!
@@ -56,18 +61,24 @@
 
 mod config;
 mod error;
+pub mod multisite;
 mod protocol;
 mod report;
 mod rng;
-pub mod multisite;
 pub mod rounds;
-pub mod sampling;
 mod runner;
+pub mod sampling;
 
 pub use config::{ErrorModel, SimConfig};
 pub use error::SimError;
-pub use protocol::AntiCollisionProtocol;
-pub use report::{Aggregate, InventoryReport, MultiRunReport, SlotCounts, TraceEvent};
 pub use multisite::{multi_site_inventory, Deployment, MultiSiteReport, PlacedTag};
+pub use protocol::{AntiCollisionProtocol, ObservableProtocol};
+pub use report::{Aggregate, InventoryReport, MultiRunReport, SlotCounts, TraceEvent};
 pub use rng::{derive_seed, seeded_rng};
-pub use runner::{run_inventory, run_many, run_many_with_populations};
+pub use runner::{
+    run_inventory, run_inventory_observed, run_many, run_many_observed, run_many_with_populations,
+};
+
+/// The observability layer (event types, sinks, metrics, JSONL traces),
+/// re-exported so downstream crates need no direct `rfid-obs` dependency.
+pub use rfid_obs as obs;

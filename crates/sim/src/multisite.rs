@@ -49,7 +49,10 @@ impl Deployment {
     #[must_use]
     pub fn uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, width: f64, height: f64) -> Self {
         assert!(width > 0.0 && width.is_finite(), "width must be positive");
-        assert!(height > 0.0 && height.is_finite(), "height must be positive");
+        assert!(
+            height > 0.0 && height.is_finite(),
+            "height must be positive"
+        );
         let ids = rfid_types::population::uniform(rng, n);
         let tags = ids
             .into_iter()
@@ -85,16 +88,16 @@ impl Deployment {
     /// region (positions at cell centers).
     #[must_use]
     pub fn grid_positions(&self, spacing: f64) -> Vec<(f64, f64)> {
-        assert!(spacing > 0.0 && spacing.is_finite(), "spacing must be positive");
+        assert!(
+            spacing > 0.0 && spacing.is_finite(),
+            "spacing must be positive"
+        );
         let cols = (self.width / spacing).ceil().max(1.0) as usize;
         let rows = (self.height / spacing).ceil().max(1.0) as usize;
         let mut positions = Vec::with_capacity(cols * rows);
         for row in 0..rows {
             for col in 0..cols {
-                positions.push((
-                    (col as f64 + 0.5) * spacing,
-                    (row as f64 + 0.5) * spacing,
-                ));
+                positions.push(((col as f64 + 0.5) * spacing, (row as f64 + 0.5) * spacing));
             }
         }
         positions
@@ -226,9 +229,21 @@ mod tests {
             width: 10.0,
             height: 10.0,
             tags: vec![
-                PlacedTag { id: TagId::from_payload(1), x: 0.0, y: 0.0 },
-                PlacedTag { id: TagId::from_payload(2), x: 3.0, y: 4.0 },
-                PlacedTag { id: TagId::from_payload(3), x: 9.0, y: 9.0 },
+                PlacedTag {
+                    id: TagId::from_payload(1),
+                    x: 0.0,
+                    y: 0.0,
+                },
+                PlacedTag {
+                    id: TagId::from_payload(2),
+                    x: 3.0,
+                    y: 4.0,
+                },
+                PlacedTag {
+                    id: TagId::from_payload(3),
+                    x: 9.0,
+                    y: 9.0,
+                },
             ],
         };
         let hits = d.in_range(0.0, 0.0, 5.0);
@@ -271,14 +286,9 @@ mod tests {
     fn sparse_positions_leave_gaps() {
         let mut rng = seeded_rng(5);
         let d = Deployment::uniform(&mut rng, 400, 100.0, 100.0);
-        let report = multi_site_inventory(
-            &RollCall,
-            &d,
-            &[(10.0, 10.0)],
-            15.0,
-            &SimConfig::default(),
-        )
-        .unwrap();
+        let report =
+            multi_site_inventory(&RollCall, &d, &[(10.0, 10.0)], 15.0, &SimConfig::default())
+                .unwrap();
         assert!(report.uncovered > 0);
         assert_eq!(report.unique_tags + report.uncovered, 400);
     }
@@ -286,8 +296,7 @@ mod tests {
     #[test]
     fn no_positions_reads_nothing() {
         let d = Deployment::uniform(&mut seeded_rng(6), 10, 10.0, 10.0);
-        let report =
-            multi_site_inventory(&RollCall, &d, &[], 5.0, &SimConfig::default()).unwrap();
+        let report = multi_site_inventory(&RollCall, &d, &[], 5.0, &SimConfig::default()).unwrap();
         assert_eq!(report.unique_tags, 0);
         assert_eq!(report.uncovered, 10);
         assert_eq!(report.effective_throughput(), 0.0);

@@ -2,6 +2,7 @@
 
 use crate::{InventoryReport, SimConfig, SimError};
 use rand::rngs::StdRng;
+use rfid_obs::EventSink;
 use rfid_types::TagId;
 
 /// A tag-identification (anti-collision) protocol that can be driven by the
@@ -67,5 +68,49 @@ impl<P: AntiCollisionProtocol + ?Sized> AntiCollisionProtocol for Box<P> {
         rng: &mut StdRng,
     ) -> Result<InventoryReport, SimError> {
         (**self).run(tags, config, rng)
+    }
+}
+
+/// A protocol whose engine can stream slot-level events into an
+/// [`EventSink`] while it runs.
+///
+/// This is a separate trait rather than a defaulted method on
+/// [`AntiCollisionProtocol`] on purpose: a generic method would need
+/// `where Self: Sized`, so the existing `&P` / `Box<P>` blanket impls
+/// (which serve `?Sized` trait objects) would silently fall back to a
+/// sink-dropping default. With a dedicated trait, passing a sink to a
+/// protocol that cannot feed it is a compile error instead of silently
+/// lost events.
+///
+/// # Contract
+///
+/// The sink must be observation-only: `run_observed` must consume the RNG
+/// identically to [`AntiCollisionProtocol::run`] and return the **same**
+/// report for the same inputs, whatever the sink does. The workspace's
+/// determinism-guard tests compare traced and untraced runs byte for byte.
+pub trait ObservableProtocol: AntiCollisionProtocol {
+    /// Simulates one inventory round, streaming events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AntiCollisionProtocol::run`].
+    fn run_observed<S: EventSink>(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+        sink: &mut S,
+    ) -> Result<InventoryReport, SimError>;
+}
+
+impl<P: ObservableProtocol> ObservableProtocol for &P {
+    fn run_observed<S: EventSink>(
+        &self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+        sink: &mut S,
+    ) -> Result<InventoryReport, SimError> {
+        (**self).run_observed(tags, config, rng, sink)
     }
 }

@@ -60,6 +60,9 @@ impl SlotCounts {
 pub struct InventoryReport {
     /// Name of the protocol that produced this report.
     pub protocol: String,
+    /// Size of the tag population this run executed against. Set by the
+    /// run harness ([`crate::run_inventory`]); 0 for reports built by hand.
+    pub population: usize,
     /// Number of distinct tags identified.
     pub identified: usize,
     /// Slot breakdown.
@@ -89,6 +92,7 @@ impl InventoryReport {
     pub fn new(protocol: &str) -> Self {
         InventoryReport {
             protocol: protocol.to_owned(),
+            population: 0,
             identified: 0,
             slots: SlotCounts::default(),
             resolved_from_collisions: 0,
@@ -215,8 +219,11 @@ impl Aggregate {
 pub struct MultiRunReport {
     /// Protocol name.
     pub protocol: String,
-    /// Population size per run.
-    pub population: usize,
+    /// Mean population size across runs. For the common fixed-size
+    /// generator this equals every run's size; variable-size generators
+    /// (e.g. Poisson arrivals) make it a true mean — it is **not** the
+    /// maximum, which earlier versions reported by mistake.
+    pub population: f64,
     /// Number of runs aggregated.
     pub runs: usize,
     /// Reading throughput (tags/s).
@@ -236,11 +243,12 @@ pub struct MultiRunReport {
 }
 
 impl MultiRunReport {
-    /// Aggregates per-run reports.
+    /// Aggregates per-run reports. The population is the mean of each
+    /// report's own [`InventoryReport::population`].
     ///
     /// Returns `None` when `reports` is empty.
     #[must_use]
-    pub fn from_reports(population: usize, reports: &[InventoryReport]) -> Option<Self> {
+    pub fn from_reports(reports: &[InventoryReport]) -> Option<Self> {
         let first = reports.first()?;
         let pull = |f: &dyn Fn(&InventoryReport) -> f64| {
             Aggregate::from_samples(&reports.iter().map(f).collect::<Vec<_>>())
@@ -248,7 +256,7 @@ impl MultiRunReport {
         };
         Some(MultiRunReport {
             protocol: first.protocol.clone(),
-            population,
+            population: pull(&|r| r.population as f64).mean,
             runs: reports.len(),
             throughput: pull(&|r| r.throughput_tags_per_sec),
             total_slots: pull(&|r| r.slots.total() as f64),
@@ -337,20 +345,24 @@ mod tests {
     #[test]
     fn multi_run_aggregation() {
         let mut r1 = InventoryReport::new("p");
+        r1.population = 1;
         r1.record_slot(SlotClass::Singleton, 1000.0);
         r1.record_identified(tag(1));
         r1.finalize();
         let mut r2 = InventoryReport::new("p");
+        r2.population = 3;
         r2.record_slot(SlotClass::Singleton, 1000.0);
         r2.record_slot(SlotClass::Empty, 1000.0);
         r2.record_identified(tag(1));
         r2.finalize();
-        let m = MultiRunReport::from_reports(1, &[r1, r2]).unwrap();
+        let m = MultiRunReport::from_reports(&[r1, r2]).unwrap();
         assert_eq!(m.runs, 2);
         assert_eq!(m.protocol, "p");
+        // Mean of the per-run populations, not the max.
+        assert!((m.population - 2.0).abs() < 1e-12);
         assert!((m.total_slots.mean - 1.5).abs() < 1e-12);
         assert!((m.empty_slots.mean - 0.5).abs() < 1e-12);
-        assert!(MultiRunReport::from_reports(1, &[]).is_none());
+        assert!(MultiRunReport::from_reports(&[]).is_none());
     }
 
     #[test]

@@ -15,9 +15,7 @@
 //! * [`ChurnModel`] + [`run_rounds`] — the population evolution and the
 //!   driver.
 
-use crate::{
-    derive_seed, seeded_rng, AntiCollisionProtocol, InventoryReport, SimConfig, SimError,
-};
+use crate::{derive_seed, seeded_rng, AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rfid_types::{population, TagId};

@@ -1,10 +1,29 @@
 //! Single-run and multi-run execution harnesses.
 
 use crate::{
-    derive_seed, seeded_rng, AntiCollisionProtocol, InventoryReport, MultiRunReport, SimConfig,
-    SimError,
+    derive_seed, seeded_rng, AntiCollisionProtocol, InventoryReport, MultiRunReport,
+    ObservableProtocol, SimConfig, SimError,
 };
+use rfid_obs::{EventSink, Metrics, MetricsSink};
 use rfid_types::{population, TagId};
+
+/// Stamps the population, finalizes throughput, and enforces the
+/// clean-channel completeness contract shared by every run entry point.
+fn finalize_run(
+    mut report: InventoryReport,
+    tags: &[TagId],
+    config: &SimConfig,
+) -> Result<InventoryReport, SimError> {
+    report.population = tags.len();
+    report.finalize();
+    if config.errors().is_clean() && report.identified != tags.len() {
+        return Err(SimError::IncompleteInventory {
+            identified: report.identified,
+            total: tags.len(),
+        });
+    }
+    Ok(report)
+}
 
 /// Runs one seeded inventory and finalizes its report.
 ///
@@ -22,15 +41,32 @@ pub fn run_inventory<P: AntiCollisionProtocol + ?Sized>(
     config: &SimConfig,
 ) -> Result<InventoryReport, SimError> {
     let mut rng = seeded_rng(config.seed());
-    let mut report = protocol.run(tags, config, &mut rng)?;
-    report.finalize();
-    if config.errors().is_clean() && report.identified != tags.len() {
-        return Err(SimError::IncompleteInventory {
-            identified: report.identified,
-            total: tags.len(),
-        });
-    }
-    Ok(report)
+    let report = protocol.run(tags, config, &mut rng)?;
+    finalize_run(report, tags, config)
+}
+
+/// Like [`run_inventory`], streaming slot-level events into `sink` as the
+/// run executes.
+///
+/// The sink is observation-only, so the returned report is byte-identical
+/// to what [`run_inventory`] returns for the same inputs.
+///
+/// # Errors
+///
+/// Same as [`run_inventory`].
+pub fn run_inventory_observed<P, S>(
+    protocol: &P,
+    tags: &[TagId],
+    config: &SimConfig,
+    sink: &mut S,
+) -> Result<InventoryReport, SimError>
+where
+    P: ObservableProtocol + ?Sized,
+    S: EventSink,
+{
+    let mut rng = seeded_rng(config.seed());
+    let report = protocol.run_observed(tags, config, &mut rng, sink)?;
+    finalize_run(report, tags, config)
 }
 
 /// Runs `runs` repetitions of `protocol` over freshly generated uniform
@@ -80,6 +116,79 @@ where
     P: AntiCollisionProtocol + Sync + ?Sized,
     G: Fn(&mut rand::rngs::StdRng) -> Vec<TagId> + Sync,
 {
+    let results = parallel_runs(runs, |index| {
+        let (tags, run_config) = run_inputs(config, &generate, index);
+        run_inventory(protocol, &tags, &run_config)
+    });
+    let (aggregate, reports, _) =
+        aggregate_runs(results.into_iter().map(|r| r.map(|report| (report, ()))))?;
+    Ok((aggregate, reports))
+}
+
+/// Like [`run_many`], additionally collecting per-run [`Metrics`] from the
+/// observability layer, merged across runs.
+///
+/// Each repetition runs with its own [`MetricsSink`], so the aggregation is
+/// independent of thread scheduling. The sinks are observation-only: the
+/// returned [`MultiRunReport`] is byte-identical to [`run_many`]'s for the
+/// same inputs (the determinism-guard tests enforce this), which is why the
+/// metrics ride *alongside* the report instead of inside it.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any repetition produced.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn run_many_observed<P>(
+    protocol: &P,
+    n_tags: usize,
+    runs: usize,
+    config: &SimConfig,
+) -> Result<(MultiRunReport, Metrics), SimError>
+where
+    P: ObservableProtocol + Sync + ?Sized,
+{
+    let generate = |rng: &mut rand::rngs::StdRng| population::uniform(rng, n_tags);
+    let results = parallel_runs(runs, |index| {
+        let (tags, run_config) = run_inputs(config, &generate, index);
+        let mut sink = MetricsSink::new();
+        run_inventory_observed(protocol, &tags, &run_config, &mut sink)
+            .map(|report| (report, sink.into_metrics()))
+    });
+    let (aggregate, _, metrics) = aggregate_runs(results)?;
+    let mut merged = Metrics::default();
+    for m in metrics {
+        merged.merge(&m);
+    }
+    Ok((aggregate, merged))
+}
+
+/// Derives the per-repetition population and config exactly as every
+/// multi-run entry point must (population and run streams are separate so
+/// protocol randomness cannot perturb the generated tags).
+fn run_inputs<G>(config: &SimConfig, generate: &G, index: u64) -> (Vec<TagId>, SimConfig)
+where
+    G: Fn(&mut rand::rngs::StdRng) -> Vec<TagId>,
+{
+    let pop_seed = derive_seed(config.seed(), index * 2);
+    let run_seed = derive_seed(config.seed(), index * 2 + 1);
+    let tags = generate(&mut seeded_rng(pop_seed));
+    (tags, config.clone().with_seed(run_seed))
+}
+
+/// Executes `work(0..runs)` on up to `available_parallelism` threads and
+/// returns the results in index order.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+fn parallel_runs<T, F>(runs: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
     assert!(runs > 0, "runs must be positive");
 
     let threads = std::thread::available_parallelism()
@@ -87,65 +196,51 @@ where
         .unwrap_or(1)
         .min(runs);
 
-    let results: Vec<Result<(InventoryReport, usize), SimError>> = if threads <= 1 {
-        (0..runs)
-            .map(|i| single_run(protocol, config, &generate, i as u64))
-            .collect()
-    } else {
-        let mut slots: Vec<Option<Result<(InventoryReport, usize), SimError>>> = Vec::new();
-        slots.resize_with(runs, || None);
-        let counter = std::sync::atomic::AtomicUsize::new(0);
-        let slots_ref = std::sync::Mutex::new(&mut slots);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= runs {
-                        break;
-                    }
-                    let result = single_run(protocol, config, &generate, i as u64);
-                    let mut guard = slots_ref.lock().expect("no poisoned runs");
-                    guard[i] = Some(result);
-                });
-            }
-        })
-        .expect("simulation threads do not panic");
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every run index was executed"))
-            .collect()
-    };
-
-    let mut reports = Vec::with_capacity(runs);
-    let mut population_size = 0usize;
-    for result in results {
-        let (report, population) = result?;
-        population_size = population_size.max(population);
-        reports.push(report.without_ids());
+    if threads <= 1 {
+        return (0..runs).map(|i| work(i as u64)).collect();
     }
-    let aggregate =
-        MultiRunReport::from_reports(population_size, &reports).expect("runs is positive");
-    Ok((aggregate, reports))
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(runs, || None);
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    let slots_ref = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= runs {
+                    break;
+                }
+                let result = work(i as u64);
+                let mut guard = slots_ref.lock().expect("no poisoned runs");
+                guard[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every run index was executed"))
+        .collect()
 }
 
-/// Runs one repetition; returns the report together with the actual
-/// generated population size (which may differ from `identified` under a
-/// lossy channel or a variable-size generator).
-fn single_run<P, G>(
-    protocol: &P,
-    config: &SimConfig,
-    generate: &G,
-    index: u64,
-) -> Result<(InventoryReport, usize), SimError>
+/// Collects per-run results into the aggregate report plus whatever
+/// sidecar each run carried (`()` for plain runs, [`Metrics`] for observed
+/// ones). Population aggregation happens inside
+/// [`MultiRunReport::from_reports`], from each report's own population.
+fn aggregate_runs<I, X>(
+    results: I,
+) -> Result<(MultiRunReport, Vec<InventoryReport>, Vec<X>), SimError>
 where
-    P: AntiCollisionProtocol + Sync + ?Sized,
-    G: Fn(&mut rand::rngs::StdRng) -> Vec<TagId> + Sync,
+    I: IntoIterator<Item = Result<(InventoryReport, X), SimError>>,
 {
-    let pop_seed = derive_seed(config.seed(), index * 2);
-    let run_seed = derive_seed(config.seed(), index * 2 + 1);
-    let tags = generate(&mut seeded_rng(pop_seed));
-    let run_config = config.clone().with_seed(run_seed);
-    run_inventory(protocol, &tags, &run_config).map(|report| (report, tags.len()))
+    let mut reports = Vec::new();
+    let mut extras = Vec::new();
+    for result in results {
+        let (report, extra) = result?;
+        reports.push(report.without_ids());
+        extras.push(extra);
+    }
+    let aggregate = MultiRunReport::from_reports(&reports).expect("runs is positive");
+    Ok((aggregate, reports, extras))
 }
 
 #[cfg(test)]
@@ -166,12 +261,35 @@ mod tests {
             &self,
             tags: &[TagId],
             config: &SimConfig,
+            rng: &mut StdRng,
+        ) -> Result<InventoryReport, SimError> {
+            self.run_observed(tags, config, rng, &mut rfid_obs::NoopSink)
+        }
+    }
+
+    impl ObservableProtocol for RollCall {
+        fn run_observed<S: EventSink>(
+            &self,
+            tags: &[TagId],
+            config: &SimConfig,
             _rng: &mut StdRng,
+            sink: &mut S,
         ) -> Result<InventoryReport, SimError> {
             let mut report = InventoryReport::new(self.name());
-            for &tag in tags {
+            for (i, &tag) in tags.iter().enumerate() {
                 report.record_slot(SlotClass::Singleton, config.timing().basic_slot_us());
                 report.record_identified(tag);
+                if S::ENABLED {
+                    sink.slot(&rfid_obs::SlotEvent {
+                        slot: i as u64,
+                        class: SlotClass::Singleton,
+                        transmitters: 1,
+                        p: 1.0,
+                        learned_direct: 1,
+                        learned_resolved: 0,
+                        records_outstanding: 0,
+                    });
+                }
             }
             Ok(report)
         }
@@ -219,20 +337,52 @@ mod tests {
 
     #[test]
     fn run_many_aggregates() {
-        let (agg, reports) = run_many_with_populations(
-            &RollCall,
-            8,
-            &SimConfig::default().with_seed(3),
-            |rng| population::uniform(rng, 20),
-        )
-        .unwrap();
+        let (agg, reports) =
+            run_many_with_populations(&RollCall, 8, &SimConfig::default().with_seed(3), |rng| {
+                population::uniform(rng, 20)
+            })
+            .unwrap();
         assert_eq!(agg.runs, 8);
         assert_eq!(reports.len(), 8);
-        assert_eq!(agg.population, 20);
+        assert!((agg.population - 20.0).abs() < 1e-12);
+        assert!(reports.iter().all(|r| r.population == 20));
         assert!((agg.singleton_slots.mean - 20.0).abs() < 1e-12);
         // Deterministic protocol → throughput identical across runs
         // (up to floating-point summation order).
         assert!(agg.throughput.std_dev < 1e-9);
+    }
+
+    #[test]
+    fn variable_population_generator_reports_mean_not_max() {
+        use rand::Rng;
+        // Regression: the aggregate used to report the *maximum* run
+        // population; variable-size generators must yield the mean.
+        let (agg, reports) =
+            run_many_with_populations(&RollCall, 6, &SimConfig::default().with_seed(7), |rng| {
+                let n = rng.gen_range(5..50);
+                population::uniform(rng, n)
+            })
+            .unwrap();
+        let sizes: Vec<usize> = reports.iter().map(|r| r.population).collect();
+        assert!(
+            sizes.iter().any(|&s| s != sizes[0]),
+            "sizes should vary: {sizes:?}"
+        );
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        let max = *sizes.iter().max().unwrap() as f64;
+        assert!((agg.population - mean).abs() < 1e-12);
+        assert!(agg.population < max, "mean must not degrade to the max");
+    }
+
+    #[test]
+    fn run_many_observed_matches_plain_and_collects_metrics() {
+        let config = SimConfig::default().with_seed(11);
+        let plain = run_many(&RollCall, 20, 4, &config).unwrap();
+        let (observed, metrics) = run_many_observed(&RollCall, 20, 4, &config).unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(metrics.runs, 4);
+        assert_eq!(metrics.slots.singleton, 4 * 20);
+        assert_eq!(metrics.identified_direct, 4 * 20);
     }
 
     #[test]

@@ -72,7 +72,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (n, p) = (10_000usize, 1.414 / 10_000.0);
         let trials = 20_000;
-        let draws: Vec<usize> = (0..trials).map(|_| sample_binomial(n, p, &mut rng)).collect();
+        let draws: Vec<usize> = (0..trials)
+            .map(|_| sample_binomial(n, p, &mut rng))
+            .collect();
         let mean = draws.iter().sum::<usize>() as f64 / trials as f64;
         assert!((mean - 1.414).abs() < 0.03, "mean {mean}");
         let var = draws
@@ -88,7 +90,9 @@ mod tests {
     fn binomial_large_p_path() {
         let mut rng = StdRng::seed_from_u64(3);
         let trials = 5_000;
-        let draws: Vec<usize> = (0..trials).map(|_| sample_binomial(20, 0.7, &mut rng)).collect();
+        let draws: Vec<usize> = (0..trials)
+            .map(|_| sample_binomial(20, 0.7, &mut rng))
+            .collect();
         let mean = draws.iter().sum::<usize>() as f64 / trials as f64;
         assert!((mean - 14.0).abs() < 0.2, "mean {mean}");
         assert!(draws.iter().all(|&k| k <= 20));

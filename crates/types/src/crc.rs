@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn single_bit_flip_always_detected() {
         // CRC-16 detects all single-bit errors.
-        let payload: u128 = 0x1234_5678_9ABC_DEF0_55;
+        let payload: u128 = 0x0012_3456_789A_BCDE_F055;
         let crc = crc16_value(payload, 80);
         for i in 0..80 {
             let corrupted = payload ^ (1u128 << i);
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn burst_errors_up_to_16_bits_detected() {
         // CRC-16 detects all burst errors of length <= 16.
-        let payload: u128 = 0x0F0F_F0F0_1234_ABCD_99;
+        let payload: u128 = 0x000F_0FF0_F012_34AB_CD99;
         let crc = crc16_value(payload, 80);
         for start in 0..(80 - 16) {
             for len in 1..=16u32 {

@@ -215,7 +215,7 @@ mod tests {
 
     #[test]
     fn bit_roundtrip() {
-        let id = TagId::from_payload(0x0123_4567_89AB_CDEF_55);
+        let id = TagId::from_payload(0x0001_2345_6789_ABCD_EF55);
         let bits = id.to_bits();
         assert_eq!(bits.len(), TAG_ID_BITS as usize);
         assert_eq!(TagId::from_bit_slice(&bits), Some(id));
@@ -230,7 +230,7 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        let id = TagId::from_payload(0xFEED_FACE_CAFE_F00D_11);
+        let id = TagId::from_payload(0x00FE_EDFA_CECA_FEF0_0D11);
         let s = id.to_string();
         assert_eq!(s.len(), 24);
         assert_eq!(s.parse::<TagId>().unwrap(), id);

@@ -37,7 +37,9 @@ pub fn uniform<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<TagId> {
 /// splitting and a useful determinism aid in unit tests.
 #[must_use]
 pub fn sequential(start: u128, n: usize) -> Vec<TagId> {
-    (0..n as u128).map(|i| TagId::from_payload(start + i)).collect()
+    (0..n as u128)
+        .map(|i| TagId::from_payload(start + i))
+        .collect()
 }
 
 /// Generates `n` tags clustered into `clusters` groups of near-consecutive

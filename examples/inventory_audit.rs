@@ -24,8 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The ledger: 4 000 owned items across 8 product lines.
     let ledger = epc::fleet(OWNED_MANAGER, 8, 4_000);
-    let ledger_set: HashSet<TagId> = ledger.iter().copied().collect();
-    println!("ledger: {} items, manager {OWNED_MANAGER:#x}\n", ledger.len());
+    println!(
+        "ledger: {} items, manager {OWNED_MANAGER:#x}\n",
+        ledger.len()
+    );
 
     // What is actually on the shelves: 1.5% stolen, 25 fraudulent items.
     let mut shelves = ledger.clone();
@@ -59,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theft/administration check: ledger items that did not answer.
     let read_set: HashSet<TagId> = owned.iter().copied().collect();
     let missing: Vec<&TagId> = ledger.iter().filter(|t| !read_set.contains(t)).collect();
-    println!("missing items: {} (actually removed: {})", missing.len(), stolen.len());
+    println!(
+        "missing items: {} (actually removed: {})",
+        missing.len(),
+        stolen.len()
+    );
     assert_eq!(missing.len(), stolen.len());
     for tag in missing.iter().take(3) {
         println!("               e.g. {}", Epc::from_tag_id(**tag));

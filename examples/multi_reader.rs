@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for spacing in [20.0, 30.0, 40.0, 50.0] {
         let positions = deployment.grid_positions(spacing);
-        let report =
-            multi_site_inventory(&fcat, &deployment, &positions, range, &config)?;
+        let report = multi_site_inventory(&fcat, &deployment, &positions, range, &config)?;
         println!(
             "{:>7}m {:>6} {:>8} {:>11} {:>10} {:>11.1}s",
             spacing,

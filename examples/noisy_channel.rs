@@ -54,8 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &config,
             |rng| population::uniform(rng, n),
         )?;
-        let dupes: f64 =
-            reports.iter().map(|r| r.duplicates_discarded as f64).sum::<f64>() / runs as f64;
+        let dupes: f64 = reports
+            .iter()
+            .map(|r| r.duplicates_discarded as f64)
+            .sum::<f64>()
+            / runs as f64;
         println!(
             "{:>12.2} {:>10.1} {:>12.1}",
             ack_loss, agg.throughput.mean, dupes

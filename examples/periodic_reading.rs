@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, churn) in [
         ("static shelves (no churn)", ChurnModel::none()),
         ("light churn (2% out, 2% in)", ChurnModel::new(0.02, n / 50)),
-        ("heavy churn (30% out, 30% in)", ChurnModel::new(0.3, n * 3 / 10)),
+        (
+            "heavy churn (30% out, 30% in)",
+            ChurnModel::new(0.3, n * 3 / 10),
+        ),
     ] {
         println!("== {label}, {n} tags, {rounds} rounds ==");
         println!(

@@ -24,10 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.resolved_from_collisions,
         100.0 * report.resolved_from_collisions as f64 / report.identified as f64
     );
-    println!("slots                 : {} total = {} empty + {} singleton + {} collision",
-        report.slots.total(), report.slots.empty, report.slots.singleton, report.slots.collision);
+    println!(
+        "slots                 : {} total = {} empty + {} singleton + {} collision",
+        report.slots.total(),
+        report.slots.empty,
+        report.slots.singleton,
+        report.slots.collision
+    );
     println!("air time              : {:.2} s", report.elapsed_us / 1e6);
-    println!("reading throughput    : {:.1} tags/s", report.throughput_tags_per_sec);
+    println!(
+        "reading throughput    : {:.1} tags/s",
+        report.throughput_tags_per_sec
+    );
 
     // Compare with the ALOHA ceiling the paper sets out to break.
     let bound = anc_rfid::analysis::bounds::aloha_throughput_bound(config.timing());

@@ -13,8 +13,8 @@ fn main() {
     let modulator = MskModulator::new(cfg.clone());
 
     // Two tags transmit their 96-bit IDs simultaneously.
-    let t1 = TagId::from_payload(0x00AA_1122_3344_5566_77);
-    let t2 = TagId::from_payload(0x00BB_8899_AABB_CCDD_EE);
+    let t1 = TagId::from_payload(0x0000_AA11_2233_4455_6677);
+    let t2 = TagId::from_payload(0x0000_BB88_99AA_BBCC_DDEE);
     println!("tag 1 ID : {t1}");
     println!("tag 2 ID : {t2}\n");
 
@@ -22,8 +22,16 @@ fn main() {
     // phase shift γ (the h'·e^{iγ'} / h''·e^{iγ''} of the paper's Eq. 1).
     // Near-equal powers here; a dominant component would instead be
     // captured and decoded directly (the classic RFID capture effect).
-    let ch1 = ChannelParams { attenuation: 0.76, phase: 0.7, freq_offset: 0.0 };
-    let ch2 = ChannelParams { attenuation: 0.74, phase: 2.4, freq_offset: 0.0 };
+    let ch1 = ChannelParams {
+        attenuation: 0.76,
+        phase: 0.7,
+        freq_offset: 0.0,
+    };
+    let ch2 = ChannelParams {
+        attenuation: 0.74,
+        phase: 2.4,
+        freq_offset: 0.0,
+    };
     let w1 = ch1.apply(&modulator.reference(&t1.to_bits()));
     let w2 = ch2.apply(&modulator.reference(&t2.to_bits()));
     let mut mixed: Vec<Complex> = w1.iter().zip(&w2).map(|(&a, &b)| a + b).collect();

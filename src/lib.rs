@@ -53,7 +53,8 @@ pub mod prelude {
         SlottedAloha,
     };
     pub use rfid_sim::{
-        run_inventory, run_many, seeded_rng, AntiCollisionProtocol, InventoryReport, SimConfig,
+        run_inventory, run_inventory_observed, run_many, run_many_observed, seeded_rng,
+        AntiCollisionProtocol, InventoryReport, ObservableProtocol, SimConfig,
     };
     pub use rfid_types::{population, SlotClass, TagId, TimingConfig};
 }

@@ -33,7 +33,12 @@ fn every_protocol_reads_every_tag() {
             let report = run_inventory(protocol.as_ref(), &tags, &config)
                 .unwrap_or_else(|e| panic!("{} at n={n}: {e}", protocol.name()));
             assert_eq!(report.identified, n, "{} at n={n}", protocol.name());
-            assert_eq!(report.duplicates_discarded, 0, "{} at n={n}", protocol.name());
+            assert_eq!(
+                report.duplicates_discarded,
+                0,
+                "{} at n={n}",
+                protocol.name()
+            );
             // Every identified tag is a real tag.
             for tag in &tags {
                 assert!(report.contains(*tag), "{} missing {tag}", protocol.name());

@@ -19,8 +19,7 @@ fn sampled_and_hash_membership_agree_statistically() {
         &config,
     )
     .expect("runs");
-    let rel_tp =
-        (sampled.throughput.mean - hashed.throughput.mean).abs() / sampled.throughput.mean;
+    let rel_tp = (sampled.throughput.mean - hashed.throughput.mean).abs() / sampled.throughput.mean;
     assert!(rel_tp < 0.04, "throughput mismatch {rel_tp}");
     let rel_slots =
         (sampled.total_slots.mean - hashed.total_slots.mean).abs() / sampled.total_slots.mean;
@@ -41,14 +40,13 @@ fn signal_level_brackets_slot_level_at_high_snr() {
     let runs = 4;
     let config = SimConfig::default().with_seed(31);
     let slot = run_many(&Fcat::new(FcatConfig::default()), n, runs, &config).expect("runs");
-    let signal_cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(
-        SignalLevelConfig {
+    let signal_cfg =
+        FcatConfig::default().with_fidelity(Fidelity::SignalLevel(SignalLevelConfig {
             msk: MskConfig::default(),
             channel: ChannelModel::new((0.7, 1.0), 0.01),
-        },
-    ));
+        }));
     let signal = run_many(&Fcat::new(signal_cfg), n, runs, &config).expect("runs");
-    assert_eq!(signal.population, n);
+    assert!((signal.population - n as f64).abs() < 1e-12);
     assert!(
         signal.throughput.mean > slot.throughput.mean,
         "signal {} !> slot {}",
@@ -71,18 +69,14 @@ fn signal_level_low_snr_degrades() {
     // drops well below the clean-channel level but inventory completes.
     let n = 200;
     let config = SimConfig::default().with_seed(41);
-    let noisy_cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(
-        SignalLevelConfig {
-            msk: MskConfig::default(),
-            channel: ChannelModel::new((0.7, 1.0), 0.2),
-        },
-    ));
-    let clean_cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(
-        SignalLevelConfig {
-            msk: MskConfig::default(),
-            channel: ChannelModel::new((0.7, 1.0), 0.01),
-        },
-    ));
+    let noisy_cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(SignalLevelConfig {
+        msk: MskConfig::default(),
+        channel: ChannelModel::new((0.7, 1.0), 0.2),
+    }));
+    let clean_cfg = FcatConfig::default().with_fidelity(Fidelity::SignalLevel(SignalLevelConfig {
+        msk: MskConfig::default(),
+        channel: ChannelModel::new((0.7, 1.0), 0.01),
+    }));
     let noisy = run_many(&Fcat::new(noisy_cfg), n, 3, &config).expect("runs");
     let clean = run_many(&Fcat::new(clean_cfg), n, 3, &config).expect("runs");
     assert!(

@@ -2,8 +2,8 @@
 //! across λ and frame size — the strongest whole-system consistency check
 //! we have (analysis, protocol, and timing all have to line up).
 
-use anc_rfid::analysis::throughput::{fcat_model, fcat_model_exact};
 use anc_rfid::analysis::optimal_omega;
+use anc_rfid::analysis::throughput::{fcat_model, fcat_model_exact};
 use anc_rfid::prelude::*;
 
 #[test]
@@ -16,8 +16,8 @@ fn model_predicts_simulation_across_lambda_and_frame() {
             let cfg = FcatConfig::default()
                 .with_lambda(lambda)
                 .with_frame_size(frame);
-            let agg = run_many(&Fcat::new(cfg), n, 4, &SimConfig::default().with_seed(2))
-                .expect("runs");
+            let agg =
+                run_many(&Fcat::new(cfg), n, 4, &SimConfig::default().with_seed(2)).expect("runs");
             let rel = (agg.throughput.mean - model.throughput_tags_per_sec).abs()
                 / model.throughput_tags_per_sec;
             // The model excludes two O(f) effects the simulation pays:
@@ -72,9 +72,8 @@ fn exact_model_tracks_small_populations_better() {
 fn scat_signal_level_completes() {
     use anc_rfid::anc::{Fidelity, SignalLevelConfig};
     let tags = population::uniform(&mut seeded_rng(13), 120);
-    let cfg = ScatConfig::default().with_fidelity(Fidelity::SignalLevel(
-        SignalLevelConfig::default(),
-    ));
+    let cfg =
+        ScatConfig::default().with_fidelity(Fidelity::SignalLevel(SignalLevelConfig::default()));
     let report = run_inventory(&Scat::new(cfg), &tags, &SimConfig::default()).expect("run");
     assert_eq!(report.identified, 120);
 }

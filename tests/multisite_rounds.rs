@@ -52,12 +52,11 @@ fn rounds_with_real_protocols_and_errors() {
         .with_errors(ErrorModel::new(0.1, 0.05, 0.2));
     let churn = ChurnModel::new(0.1, 50);
     for session_factory in 0..3 {
-        let mut session: Box<dyn anc_rfid::sim::rounds::MultiRoundSession> =
-            match session_factory {
-                0 => Box::new(anc_rfid::anc::FcatSession::new(FcatConfig::default())),
-                1 => Box::new(anc_rfid::protocols::AbsSession::new()),
-                _ => Box::new(StatelessSession::new(Dfsa::new())),
-            };
+        let mut session: Box<dyn anc_rfid::sim::rounds::MultiRoundSession> = match session_factory {
+            0 => Box::new(anc_rfid::anc::FcatSession::new(FcatConfig::default())),
+            1 => Box::new(anc_rfid::protocols::AbsSession::new()),
+            _ => Box::new(StatelessSession::new(Dfsa::new())),
+        };
         let report = run_rounds(session.as_mut(), 500, 4, &churn, &config)
             .unwrap_or_else(|e| panic!("{}: {e}", session_factory));
         assert_eq!(report.per_round.len(), 4);

@@ -1,0 +1,100 @@
+//! Determinism guards for the observability layer.
+//!
+//! The `EventSink` contract says sinks are observation-only: attaching one
+//! must not change a single bit of what a run computes, and a written JSONL
+//! trace must replay to the exact slot-class totals of the report it was
+//! recorded alongside. These tests pin both halves of that contract for
+//! SCAT and FCAT.
+
+use anc_rfid::prelude::*;
+use anc_rfid::sim::obs::jsonl::replay;
+use anc_rfid::sim::obs::{JsonlSink, MetricsSink};
+use anc_rfid::sim::{run_inventory_observed, run_many_observed};
+
+#[test]
+fn traced_and_untraced_run_many_are_identical_fcat() {
+    let config = SimConfig::default().with_seed(7);
+    let protocol = Fcat::new(FcatConfig::default());
+    let plain = run_many(&protocol, 300, 5, &config).expect("plain runs");
+    let (observed, metrics) = run_many_observed(&protocol, 300, 5, &config).expect("observed");
+    assert_eq!(plain, observed, "metrics collection perturbed the runs");
+    assert_eq!(metrics.runs, 5);
+    assert!((metrics.slots.total() as f64 - observed.total_slots.mean * 5.0).abs() < 0.5);
+}
+
+#[test]
+fn traced_and_untraced_run_many_are_identical_scat() {
+    let config = SimConfig::default().with_seed(11);
+    let protocol = Scat::new(ScatConfig::default());
+    let plain = run_many(&protocol, 300, 5, &config).expect("plain runs");
+    let (observed, metrics) = run_many_observed(&protocol, 300, 5, &config).expect("observed");
+    assert_eq!(plain, observed, "metrics collection perturbed the runs");
+    assert_eq!(metrics.runs, 5);
+    assert!((metrics.slots.total() as f64 - observed.total_slots.mean * 5.0).abs() < 0.5);
+}
+
+/// Runs one inventory plain and once more with a JSONL sink writing into a
+/// buffer; asserts the two reports are equal and that replaying the buffer
+/// reproduces the report's slot-class totals and identified count.
+fn assert_trace_replays<P>(protocol: &P, seed: u64)
+where
+    P: anc_rfid::sim::ObservableProtocol,
+{
+    let config = SimConfig::default().with_seed(seed);
+    let tags = population::uniform(&mut seeded_rng(seed), 400);
+
+    let plain = run_inventory(protocol, &tags, &config).expect("plain run");
+    let mut sink = JsonlSink::new(Vec::new());
+    let traced = run_inventory_observed(protocol, &tags, &config, &mut sink).expect("traced run");
+    assert_eq!(plain, traced, "JSONL sink perturbed the run");
+
+    let buffer = sink.finish().expect("in-memory writes cannot fail");
+    let summary = replay::summarize(buffer.as_slice()).expect("well-formed trace");
+    assert_eq!(summary.slots.empty, traced.slots.empty);
+    assert_eq!(summary.slots.singleton, traced.slots.singleton);
+    assert_eq!(summary.slots.collision, traced.slots.collision);
+    assert_eq!(
+        summary.learned_direct + summary.learned_resolved,
+        traced.identified as u64
+    );
+    assert_eq!(
+        summary.learned_resolved,
+        traced.resolved_from_collisions as u64
+    );
+    assert_eq!(summary.records_resolved, summary.learned_resolved);
+    assert!(summary.estimator_updates > 0, "estimator never reported");
+}
+
+#[test]
+fn jsonl_replay_matches_fcat_report() {
+    assert_trace_replays(&Fcat::new(FcatConfig::default()), 13);
+}
+
+#[test]
+fn jsonl_replay_matches_scat_report() {
+    assert_trace_replays(&Scat::new(ScatConfig::default()), 17);
+}
+
+#[test]
+fn metrics_sink_totals_match_single_report() {
+    // The aggregate counters must agree with the report they were collected
+    // alongside — same slots, same split of direct vs. resolved IDs.
+    let config = SimConfig::default().with_seed(23);
+    let tags = population::uniform(&mut seeded_rng(23), 500);
+    let mut sink = MetricsSink::new();
+    let report =
+        run_inventory_observed(&Fcat::new(FcatConfig::default()), &tags, &config, &mut sink)
+            .expect("run");
+    let metrics = sink.into_metrics();
+    assert_eq!(metrics.slots.total(), report.slots.total());
+    assert_eq!(
+        metrics.identified_direct + metrics.identified_resolved,
+        report.identified as u64
+    );
+    assert_eq!(
+        metrics.identified_resolved,
+        report.resolved_from_collisions as u64
+    );
+    assert_eq!(metrics.records_resolved, metrics.identified_resolved);
+    assert!(metrics.max_cascade_depth >= 1, "500 tags must cascade");
+}

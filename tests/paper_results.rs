@@ -47,7 +47,10 @@ fn table1_throughput_levels() {
     // (protocol-internal constants differ slightly from the authors').
     let n = 10_000;
     for (protocol, expected) in [
-        (&fcat(2) as &(dyn anc_rfid::sim::AntiCollisionProtocol + Sync), 201.3),
+        (
+            &fcat(2) as &(dyn anc_rfid::sim::AntiCollisionProtocol + Sync),
+            201.3,
+        ),
         (&fcat(3), 241.8),
         (&fcat(4), 265.1),
         (&Dfsa::new(), 131.4),
@@ -98,8 +101,8 @@ fn table3_resolved_fractions() {
     // 7 065).
     let n = 10_000;
     for (lambda, expected_fraction) in [(2u32, 0.414), (3, 0.594), (4, 0.706)] {
-        let agg = run_many(&fcat(lambda), n, RUNS, &SimConfig::default().with_seed(3))
-            .expect("runs");
+        let agg =
+            run_many(&fcat(lambda), n, RUNS, &SimConfig::default().with_seed(3)).expect("runs");
         let fraction = agg.resolved_from_collisions.mean / n as f64;
         assert!(
             (fraction - expected_fraction).abs() < 0.05,
@@ -166,8 +169,8 @@ fn slot_count_never_exceeds_twice_population() {
     // §V-A: "In our simulations, the number of slots required never
     // exceeds 2N" (justifying 23-bit slot indices).
     for (lambda, n) in [(2u32, 10_000usize), (3, 10_000), (4, 10_000), (2, 1_000)] {
-        let agg = run_many(&fcat(lambda), n, RUNS, &SimConfig::default().with_seed(6))
-            .expect("runs");
+        let agg =
+            run_many(&fcat(lambda), n, RUNS, &SimConfig::default().with_seed(6)).expect("runs");
         assert!(
             agg.total_slots.max < 2.0 * n as f64,
             "FCAT-{lambda} at N={n}: max slots {}",

@@ -1,0 +1,249 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering the subset this workspace uses.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with its generated inputs
+//!   (`Debug`-formatted) and the deterministic per-test seed, which is
+//!   enough to reproduce: the generator stream depends only on the test
+//!   function's name, so re-running the test replays the identical cases.
+//! * **No persistence files**, forking, or timeouts.
+//!
+//! Supported surface: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assert_ne!`], range and tuple strategies, `prop_map`,
+//! [`collection::vec`] / [`collection::hash_set`], [`bool::weighted`], and
+//! [`prelude::any`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `true` with probability `p`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    /// Returns a strategy that is `true` with probability `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `[0, 1]`.
+    #[must_use]
+    pub fn weighted(probability: f64) -> Weighted {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1], got {probability}"
+        );
+        Weighted(probability)
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn new_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<f64>() < self.0
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub fn __new_rng(test_name: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name: a stable, collision-unlikely seed so each
+    // test gets its own reproducible stream.
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::rngs::StdRng::seed_from_u64(hash)
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::__new_rng(stringify!($name));
+            for case in 0..config.cases {
+                #[allow(unused_parens)]
+                let values = (
+                    $( $crate::strategy::Strategy::new_value(&($strat), &mut rng) ),*
+                );
+                let repr = format!("{values:?}");
+                #[allow(unused_parens)]
+                let ( $($pat),* ) = values;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        error,
+                        repr,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body; failures report the
+/// generated inputs instead of unwinding through them.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -1.5f64..1.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(
+            (a, b) in (0u64..10, 0u64..10).prop_map(|(x, y)| (x + 100, y + 200)),
+        ) {
+            prop_assert!((100..110).contains(&a));
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0u8..5, 2..6),
+            s in crate::collection::hash_set(0u32..1000, 3..7),
+            exact in crate::collection::vec(crate::bool::weighted(0.5), 4..=4),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!((3..7).contains(&s.len()));
+            prop_assert_eq!(exact.len(), 4);
+        }
+
+        #[test]
+        fn any_spans_the_domain(x in any::<u64>(), j in Just(41usize)) {
+            prop_assert_eq!(j, 41);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        let result = std::panic::catch_unwind(always_fails);
+        let message = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("panic payload is a String");
+        assert!(message.contains("inputs:"), "message: {message}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let a: Vec<u32> = {
+            let mut rng = crate::__new_rng("stream_test");
+            (0..8).map(|_| (0u32..1000).new_value(&mut rng)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = crate::__new_rng("stream_test");
+            (0..8).map(|_| (0u32..1000).new_value(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,265 @@
+//! Value distributions: the `Standard` distribution and uniform ranges.
+
+use crate::RngCore;
+
+/// Types that can produce values of `T` from a bit source.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: full range for integers, `[0, 1)`
+/// for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<i128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        Distribution::<u128>::sample(&Standard, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types samplable uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `[lo, hi)` (`hi` exclusive).
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform draw from `[lo, hi]` (`hi` inclusive).
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    /// Range forms accepted by [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "cannot sample empty range");
+            T::sample_inclusive(rng, lo, hi)
+        }
+    }
+
+    /// Unbiased draw from `[0, n)` via the bitmask-rejection method.
+    #[inline]
+    fn below_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        if n == 1 {
+            return 0;
+        }
+        let mask = u64::MAX >> (n - 1).leading_zeros();
+        loop {
+            let x = rng.next_u64() & mask;
+            if x < n {
+                return x;
+            }
+        }
+    }
+
+    #[inline]
+    fn below_u128<R: RngCore + ?Sized>(rng: &mut R, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        if let Ok(small) = u64::try_from(n) {
+            return u128::from(below_u64(rng, small));
+        }
+        let mask = u128::MAX >> (n - 1).leading_zeros();
+        loop {
+            let x = ((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())) & mask;
+            if x < n {
+                return x;
+            }
+        }
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    lo + below_u64(rng, (hi - lo) as u64) as $t
+                }
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + below_u64(rng, span + 1) as $t
+                }
+            }
+        )*};
+    }
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                    lo.wrapping_add(below_u64(rng, span) as $t)
+                }
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below_u64(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl SampleUniform for u128 {
+        #[inline]
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            lo + below_u128(rng, hi - lo)
+        }
+        #[inline]
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            let span = hi - lo;
+            if span == u128::MAX {
+                return (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+            }
+            lo + below_u128(rng, span + 1)
+        }
+    }
+
+    impl SampleUniform for f64 {
+        #[inline]
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let x = lo + unit * (hi - lo);
+            // Floating-point rounding can land exactly on `hi`; fold back.
+            if x >= hi {
+                lo
+            } else {
+                x
+            }
+        }
+        #[inline]
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + unit * (hi - lo)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        #[inline]
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+            let x = lo + unit * (hi - lo);
+            if x >= hi {
+                lo
+            } else {
+                x
+            }
+        }
+        #[inline]
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+            lo + unit * (hi - lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::{SampleRange, SampleUniform};
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn u128_full_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: u128 = rng.gen();
+        let y: u128 = rng.gen();
+        assert_ne!(x, y);
+        // High halves should be populated sometimes.
+        let any_high = (0..32).any(|_| rng.gen::<u128>() >> 64 != 0);
+        assert!(any_high);
+    }
+
+    #[test]
+    fn half_open_never_hits_end() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100_000 {
+            let x = f64::sample_half_open(&mut rng, 0.0, 1e-300);
+            assert!(x < 1e-300);
+        }
+    }
+
+    #[test]
+    fn inclusive_single_point() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!((5u32..=5).sample_single(&mut rng), 5);
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-10i32..10);
+            assert!((-10..10).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Sequence helpers: slice shuffling/choosing and distinct-index sampling.
+
+use crate::Rng;
+
+/// Extension methods on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+pub mod index {
+    //! Sampling distinct indices from `0..length`.
+
+    use crate::{Rng, RngCore};
+
+    /// A set of distinct indices (compatible subset of rand's `IndexVec`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Consumes into a plain vector.
+        #[must_use]
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no indices were sampled.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length`.
+    ///
+    /// Rejection sampling when `amount` is small relative to `length`
+    /// (`O(amount²)` with a tiny constant — the simulators draw 1–4 per
+    /// slot), partial Fisher–Yates otherwise (`O(length)` memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from {length}"
+        );
+        if amount == 0 {
+            return IndexVec(Vec::new());
+        }
+        if amount * 8 <= length {
+            // Small draw: rejection against the already-picked set.
+            let mut picked: Vec<usize> = Vec::with_capacity(amount);
+            while picked.len() < amount {
+                let candidate = rng.gen_range(0..length);
+                if !picked.contains(&candidate) {
+                    picked.push(candidate);
+                }
+            }
+            IndexVec(picked)
+        } else {
+            // Large draw: partial Fisher–Yates over the full index range.
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::index;
+    use super::SliceRandom;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+
+    #[test]
+    fn sample_distinct_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (length, amount) in [(10_000, 3), (50, 40), (5, 5), (7, 0)] {
+            let picks = index::sample(&mut rng, length, amount).into_vec();
+            assert_eq!(picks.len(), amount);
+            let set: std::collections::HashSet<_> = picks.iter().collect();
+            assert_eq!(set.len(), amount, "duplicates in {picks:?}");
+            assert!(picks.iter().all(|&i| i < length));
+        }
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            for i in index::sample(&mut rng, 10, 2).iter() {
+                counts[i] += 1;
+            }
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversample_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = index::sample(&mut rng, 3, 4);
+    }
+}

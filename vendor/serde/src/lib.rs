@@ -1,0 +1,21 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace only references serde behind off-by-default `serde`
+//! feature gates (`#[cfg_attr(feature = "serde", derive(...))]`), but cargo
+//! must still resolve the optional dependency, and this container has no
+//! network access to the registry. This crate provides just enough surface
+//! for those gated builds to compile: marker traits named `Serialize` /
+//! `Deserialize` and derive macros that expand to empty impls. It does NOT
+//! implement any serialization format; swap in the real serde before adding
+//! formats like serde_json.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Nothing in this workspace consumes `Serialize`/`Deserialize` bounds, so
+//! the derives expand to nothing: they exist purely so that
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]`
+//! attributes compile when the feature is enabled.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
