@@ -3,6 +3,8 @@
 //! ```text
 //! repro [--runs N] [--seed S] [--out DIR] [--quick] \
 //!       [--trace FILE.jsonl [--trace-tags N]] [<experiment>...]
+//! repro bench [--smoke] [--out FILE] [--baseline FILE] [--budget-ms N] \
+//!             [--seed S] [--no-alloc-check]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 fig3 fig4 fig5 fig6
@@ -20,11 +22,50 @@
 //! aggregate observability metrics, and verifies the written trace replays
 //! to the report's exact slot-class totals. It can be used alone or
 //! alongside experiments.
+//!
+//! `repro bench` runs the committed perf harness (see [`rfid_bench::perf`])
+//! under a counting global allocator and writes `BENCH_PR2.json`.
 
 use rfid_bench::experiments::{self, ExperimentOptions};
 use rfid_bench::output::Table;
+use rfid_bench::perf::{self, BenchOptions};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation so `repro bench` can assert the slot-level
+/// hot loop is allocation-free in steady state. Counting is a single relaxed
+/// atomic increment; free/dealloc is left untouched.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation unchanged to `System`; the counter is a
+// lock-free atomic and allocates nothing itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Every experiment, in `all` execution order.
 const EXPERIMENTS: &[&str] = &[
@@ -48,6 +89,20 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        return match run_bench(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!();
+                eprintln!(
+                    "usage: repro bench [--smoke] [--out FILE] [--baseline FILE] \
+                     [--budget-ms N] [--seed S] [--no-alloc-check]"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -66,6 +121,46 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses and runs the `repro bench` subcommand.
+fn run_bench(args: &[String]) -> Result<(), String> {
+    let mut opts = BenchOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--no-alloc-check" => opts.check_allocs = false,
+            "--out" => {
+                opts.out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    iter.next().ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--budget-ms" => {
+                let ms: u64 = iter
+                    .next()
+                    .ok_or("--budget-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--budget-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--budget-ms must be positive".into());
+                }
+                opts.budget_ms = Some(ms);
+            }
+            "--seed" => {
+                opts.seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            other => return Err(format!("unknown bench flag {other}")),
+        }
+    }
+    perf::run(&opts, Some(&|| ALLOCATIONS.load(Ordering::Relaxed)))
 }
 
 fn run(args: &[String]) -> Result<(), String> {

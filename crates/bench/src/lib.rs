@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod output;
+pub mod perf;
 pub mod trace;
 
 pub use experiments::ExperimentOptions;

@@ -1,0 +1,465 @@
+//! `repro bench` — the committed performance harness.
+//!
+//! Times whole inventories (SCAT/FCAT under both membership modes, plus
+//! DFSA/EDFSA/ABS/AQS) at several population sizes using the vendored
+//! criterion's [`measure_with_budget`] timing discipline, and writes the
+//! results as a `BENCH_*.json` file that is committed per PR so the repo
+//! accumulates a performance trajectory.
+//!
+//! The harness also counts heap allocations per slot when the caller (the
+//! `repro` binary, which installs a counting `#[global_allocator]`) hands it
+//! an allocation counter, and — unless disabled — asserts that the
+//! slot-level SCAT/FCAT loop is allocation-free in steady state.
+//!
+//! ```text
+//! repro bench [--smoke] [--out FILE] [--baseline FILE] [--budget-ms N]
+//!             [--seed S] [--no-alloc-check]
+//! ```
+//!
+//! `--baseline FILE` points at a previous run's JSON (e.g. captured before
+//! an optimization); per-entry speedups are computed and embedded in the
+//! output.
+
+use criterion::measure_with_budget;
+use rfid_anc::{Fcat, FcatConfig, Membership, Scat, ScatConfig};
+use rfid_protocols::{Abs, Aqs, Dfsa, Edfsa};
+use rfid_sim::{run_inventory, seeded_rng, InventoryReport, SimConfig, SimError};
+use rfid_types::{population, TagId};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Steady-state allocation tolerance for the slot-level loop, in allocations
+/// per slot. The loop itself must be allocation-free; this allowance covers
+/// strictly amortized growth outside the loop (report `Vec`/`HashSet`
+/// doublings, the rare spill of an unusable k > λ record) which shrinks
+/// toward zero as the run gets longer.
+pub const MAX_ALLOCS_PER_SLOT: f64 = 0.05;
+
+/// Population size at which the allocation assertion is applied: large
+/// enough that one-time setup cost is amortized far below the tolerance.
+const ALLOC_CHECK_MIN_TAGS: usize = 2_000;
+
+/// CLI-level options for a bench run.
+#[derive(Debug)]
+pub struct BenchOptions {
+    /// Tiny populations and budget, for CI smoke coverage.
+    pub smoke: bool,
+    /// Per-entry measurement budget override (milliseconds).
+    pub budget_ms: Option<u64>,
+    /// Simulation seed (populations derive theirs from the size).
+    pub seed: u64,
+    /// Enforce the steady-state zero-allocation assertion.
+    pub check_allocs: bool,
+    /// Previous `BENCH_*.json` to compute speedups against.
+    pub baseline: Option<PathBuf>,
+    /// Output JSON path.
+    pub out: PathBuf,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            smoke: false,
+            budget_ms: None,
+            seed: 0,
+            check_allocs: true,
+            baseline: None,
+            out: PathBuf::from("BENCH_PR2.json"),
+        }
+    }
+}
+
+/// One measured (protocol, population) cell.
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    n: usize,
+    slots: u64,
+    identified: usize,
+    best_wall_s: f64,
+    slots_per_sec: f64,
+    iters: u64,
+    /// Heap allocations over one full inventory (None without a counter).
+    allocs: Option<u64>,
+    allocs_per_slot: Option<f64>,
+    /// Whether this entry runs the optimized slot-level engine loop (and is
+    /// therefore subject to the zero-allocation assertion).
+    slot_level: bool,
+}
+
+type Runner = Box<dyn Fn(&[TagId], &SimConfig) -> Result<InventoryReport, SimError>>;
+
+/// The protocol axis of the matrix: (name, slot_level_engine, runner).
+fn protocol_specs() -> Vec<(String, bool, Runner)> {
+    let mut specs: Vec<(String, bool, Runner)> = Vec::new();
+    for (mname, membership) in [("hash", Membership::Hash), ("sampled", Membership::Sampled)] {
+        let scat = Scat::new(ScatConfig::default().with_membership(membership));
+        specs.push((
+            format!("scat2/{mname}"),
+            true,
+            Box::new(move |tags, cfg| run_inventory(&scat, tags, cfg)),
+        ));
+        let fcat = Fcat::new(FcatConfig::default().with_membership(membership));
+        specs.push((
+            format!("fcat2/{mname}"),
+            true,
+            Box::new(move |tags, cfg| run_inventory(&fcat, tags, cfg)),
+        ));
+    }
+    let dfsa = Dfsa::new();
+    specs.push((
+        "dfsa".into(),
+        false,
+        Box::new(move |tags, cfg| run_inventory(&dfsa, tags, cfg)),
+    ));
+    let edfsa = Edfsa::new();
+    specs.push((
+        "edfsa".into(),
+        false,
+        Box::new(move |tags, cfg| run_inventory(&edfsa, tags, cfg)),
+    ));
+    let abs = Abs::new();
+    specs.push((
+        "abs".into(),
+        false,
+        Box::new(move |tags, cfg| run_inventory(&abs, tags, cfg)),
+    ));
+    let aqs = Aqs::new();
+    specs.push((
+        "aqs".into(),
+        false,
+        Box::new(move |tags, cfg| run_inventory(&aqs, tags, cfg)),
+    ));
+    specs
+}
+
+/// Runs the full matrix, writes `opts.out`, and returns an error listing any
+/// steady-state allocation violations (after the JSON is written, so a
+/// failing run still leaves its evidence on disk).
+pub fn run(opts: &BenchOptions, alloc_count: Option<&dyn Fn() -> u64>) -> Result<(), String> {
+    let sizes: &[usize] = if opts.smoke {
+        &[64, ALLOC_CHECK_MIN_TAGS]
+    } else {
+        &[500, 2_000, 10_000]
+    };
+    let budget = Duration::from_millis(opts.budget_ms.unwrap_or(if opts.smoke { 5 } else { 200 }));
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for (name, slot_level, runner) in protocol_specs() {
+        for &n in sizes {
+            // Smoke mode only needs the big population on the entries the
+            // allocation assertion covers (and only when it is enforced).
+            if opts.smoke && n >= ALLOC_CHECK_MIN_TAGS && !(slot_level && opts.check_allocs) {
+                continue;
+            }
+            // One deterministic population per size, shared by all
+            // protocols so cells at equal n are comparable.
+            let tags = population::uniform(&mut seeded_rng(1_000 + n as u64), n);
+            let config = SimConfig::default().with_seed(opts.seed);
+
+            // Untimed run: slot count, identified count, allocation delta.
+            let before = alloc_count.map(|f| f());
+            let report = runner(&tags, &config).map_err(|e| format!("bench {name} n={n}: {e}"))?;
+            let allocs = alloc_count.map(|f| f() - before.unwrap_or(0));
+            let slots = report.slots.total();
+            let identified = report.identified;
+
+            let m = measure_with_budget(budget, || {
+                runner(&tags, &config).expect("bench rerun cannot fail")
+            });
+            let best_wall_s = m.best_ns_per_iter * 1e-9;
+            let slots_per_sec = if best_wall_s > 0.0 {
+                slots as f64 / best_wall_s
+            } else {
+                0.0
+            };
+            let allocs_per_slot = allocs.map(|a| a as f64 / slots.max(1) as f64);
+
+            println!(
+                "{name:<16} n={n:<6} {slots:>7} slots  {best_wall_s:>10.4} s/run \
+                 {slots_per_sec:>12.0} slots/s  {}",
+                match allocs_per_slot {
+                    Some(aps) => format!("{aps:.4} allocs/slot"),
+                    None => "allocs n/a".to_owned(),
+                }
+            );
+            entries.push(Entry {
+                name: name.clone(),
+                n,
+                slots,
+                identified,
+                best_wall_s,
+                slots_per_sec,
+                iters: m.iters,
+                allocs,
+                allocs_per_slot,
+                slot_level,
+            });
+        }
+    }
+
+    let baseline = match &opts.baseline {
+        Some(path) => Some(
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("reading baseline {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    let speedups = baseline.as_deref().map(|b| compute_speedups(&entries, b));
+
+    let json = render_json(opts, &entries, speedups.as_deref());
+    if let Some(parent) = opts.out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&opts.out, &json).map_err(|e| format!("writing {}: {e}", opts.out.display()))?;
+    println!("json -> {}", opts.out.display());
+
+    if let Some(speedups) = &speedups {
+        for s in speedups {
+            println!(
+                "speedup {:<16} n={:<6} {:.4}s -> {:.4}s  ({:.2}x)",
+                s.name, s.n, s.baseline_best_wall_s, s.new_best_wall_s, s.speedup
+            );
+        }
+    }
+
+    if opts.check_allocs {
+        if alloc_count.is_none() {
+            return Err(
+                "allocation check requested but no counting allocator is installed \
+                        (run via the repro binary, or pass --no-alloc-check)"
+                    .into(),
+            );
+        }
+        let violations: Vec<String> = entries
+            .iter()
+            .filter(|e| e.slot_level && e.n >= ALLOC_CHECK_MIN_TAGS)
+            .filter(|e| e.allocs_per_slot.unwrap_or(0.0) > MAX_ALLOCS_PER_SLOT)
+            .map(|e| {
+                format!(
+                    "{} n={}: {:.4} allocs/slot (limit {MAX_ALLOCS_PER_SLOT})",
+                    e.name,
+                    e.n,
+                    e.allocs_per_slot.unwrap_or(0.0)
+                )
+            })
+            .collect();
+        if !violations.is_empty() {
+            return Err(format!(
+                "steady-state slot loop is allocating:\n  {}",
+                violations.join("\n  ")
+            ));
+        }
+        println!(
+            "alloc check: slot-level entries at n >= {ALLOC_CHECK_MIN_TAGS} stay under \
+             {MAX_ALLOCS_PER_SLOT} allocs/slot"
+        );
+    }
+    Ok(())
+}
+
+#[derive(Debug)]
+struct Speedup {
+    name: String,
+    n: usize,
+    baseline_best_wall_s: f64,
+    new_best_wall_s: f64,
+    speedup: f64,
+}
+
+/// Matches entries against a previous run's JSON by (name, n). The baseline
+/// file is our own output format: one entry object per line, identified by
+/// the presence of a `"slots"` key.
+fn compute_speedups(entries: &[Entry], baseline: &str) -> Vec<Speedup> {
+    let mut speedups = Vec::new();
+    for line in baseline.lines() {
+        if !line.contains("\"slots\":") {
+            continue;
+        }
+        let (Some(name), Some(n), Some(base)) = (
+            extract_json_str(line, "name"),
+            extract_json_num(line, "n"),
+            extract_json_num(line, "best_wall_s"),
+        ) else {
+            continue;
+        };
+        let n = n as usize;
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.n == n) {
+            if base > 0.0 && e.best_wall_s > 0.0 {
+                speedups.push(Speedup {
+                    name: e.name.clone(),
+                    n,
+                    baseline_best_wall_s: base,
+                    new_best_wall_s: e.best_wall_s,
+                    speedup: base / e.best_wall_s,
+                });
+            }
+        }
+    }
+    speedups
+}
+
+fn extract_json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+fn extract_json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// `{:?}` gives the shortest f64 representation that round-trips, which is
+/// also valid JSON for finite values.
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn render_json(opts: &BenchOptions, entries: &[Entry], speedups: Option<&[Speedup]>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    writeln!(s, "\"schema\":\"anc-rfid-bench/1\",").unwrap();
+    writeln!(
+        s,
+        "\"mode\":\"{}\",",
+        if opts.smoke { "smoke" } else { "full" }
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "\"budget_ms\":{},",
+        opts.budget_ms.unwrap_or(if opts.smoke { 5 } else { 200 })
+    )
+    .unwrap();
+    writeln!(s, "\"seed\":{},", opts.seed).unwrap();
+    writeln!(s, "\"max_allocs_per_slot\":{},", jf(MAX_ALLOCS_PER_SLOT)).unwrap();
+    s.push_str("\"entries\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        write!(
+            s,
+            "  {{\"name\":\"{}\",\"n\":{},\"slots\":{},\"identified\":{},\
+             \"best_wall_s\":{},\"slots_per_sec\":{},\"iters\":{},\
+             \"slot_level\":{}",
+            e.name,
+            e.n,
+            e.slots,
+            e.identified,
+            jf(e.best_wall_s),
+            jf(e.slots_per_sec),
+            e.iters,
+            e.slot_level,
+        )
+        .unwrap();
+        if let (Some(a), Some(aps)) = (e.allocs, e.allocs_per_slot) {
+            write!(s, ",\"allocs\":{a},\"allocs_per_slot\":{}", jf(aps)).unwrap();
+        }
+        s.push('}');
+        if i + 1 < entries.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push(']');
+    if let Some(speedups) = speedups {
+        s.push_str(",\n\"speedups\":[\n");
+        for (i, sp) in speedups.iter().enumerate() {
+            write!(
+                s,
+                "  {{\"name\":\"{}\",\"n\":{},\"baseline_best_wall_s\":{},\
+                 \"new_best_wall_s\":{},\"speedup\":{}}}",
+                sp.name,
+                sp.n,
+                jf(sp.baseline_best_wall_s),
+                jf(sp.new_best_wall_s),
+                jf(sp.speedup),
+            )
+            .unwrap();
+            if i + 1 < speedups.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push(']');
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_field_extraction() {
+        let line =
+            r#"  {"name":"scat2/hash","n":10000,"slots":17000,"best_wall_s":0.4132,"iters":3},"#;
+        assert_eq!(extract_json_str(line, "name"), Some("scat2/hash"));
+        assert_eq!(extract_json_num(line, "n"), Some(10_000.0));
+        assert_eq!(extract_json_num(line, "best_wall_s"), Some(0.4132));
+        assert_eq!(extract_json_num(line, "iters"), Some(3.0));
+        assert_eq!(extract_json_num(line, "missing"), None);
+    }
+
+    #[test]
+    fn speedups_match_by_name_and_n() {
+        let entries = vec![Entry {
+            name: "scat2/hash".into(),
+            n: 10_000,
+            slots: 17_000,
+            identified: 10_000,
+            best_wall_s: 0.2,
+            slots_per_sec: 85_000.0,
+            iters: 3,
+            allocs: None,
+            allocs_per_slot: None,
+            slot_level: true,
+        }];
+        let baseline = r#"{
+"entries":[
+  {"name":"scat2/hash","n":10000,"slots":17000,"identified":10000,"best_wall_s":0.6,"slots_per_sec":1.0,"iters":2,"slot_level":true},
+  {"name":"scat2/hash","n":500,"slots":900,"identified":500,"best_wall_s":0.01,"slots_per_sec":1.0,"iters":9,"slot_level":true}
+]
+}"#;
+        let speedups = compute_speedups(&entries, baseline);
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].n, 10_000);
+        assert!((speedups[0].speedup - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoke_run_writes_json() {
+        let dir = std::env::temp_dir().join("anc_rfid_perf_test");
+        let out = dir.join("bench_smoke.json");
+        let opts = BenchOptions {
+            smoke: true,
+            budget_ms: Some(1),
+            check_allocs: false,
+            out: out.clone(),
+            ..BenchOptions::default()
+        };
+        run(&opts, None).expect("smoke bench runs");
+        let json = std::fs::read_to_string(&out).expect("json written");
+        assert!(json.contains("\"schema\":\"anc-rfid-bench/1\""));
+        assert!(json.contains("\"name\":\"scat2/hash\""));
+        assert!(json.contains("\"name\":\"aqs\""));
+        // Entry lines are parseable by the same extractor used for baselines.
+        let entry_lines: Vec<&str> = json.lines().filter(|l| l.contains("\"slots\":")).collect();
+        assert!(!entry_lines.is_empty());
+        for line in entry_lines {
+            assert!(extract_json_str(line, "name").is_some());
+            assert!(extract_json_num(line, "best_wall_s").is_some());
+        }
+        std::fs::remove_file(&out).ok();
+    }
+}

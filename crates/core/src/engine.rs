@@ -5,6 +5,19 @@
 //! being built. SCAT and FCAT differ only in *when* they advertise, *how*
 //! they acknowledge resolved records, and how they adapt the report
 //! probability — all of which stay in the protocol modules.
+//!
+//! # Hot-path layout
+//!
+//! The engine runs one slot per call over populations of tens of thousands
+//! of tags, so the slot loop is organized around two ideas:
+//!
+//! * **Dense tag handles.** Every tag is interned into a `u32` index at
+//!   construction (via the record store, which shares the table). The
+//!   active set, the position map, and the per-tag cached hash state are
+//!   then plain vectors — no SipHash probe anywhere in the loop.
+//! * **No steady-state allocation.** The transmitter list, the resolution
+//!   buffer, and (at signal level) the waveform all live in scratch
+//!   buffers owned by the engine and reused across slots.
 
 use crate::config::{Fidelity, Membership};
 use crate::records::{CollisionRecordStore, Resolved};
@@ -12,13 +25,18 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rfid_obs::{EstimatorEvent, EventSink, RecordEvent, RecordEventKind, SlotEvent};
 use rfid_signal::anc;
-use rfid_sim::sampling::{pick_distinct_indices, sample_binomial};
+use rfid_signal::complex::Complex;
+use rfid_sim::sampling::{pick_distinct_indices_into, sample_binomial};
 use rfid_sim::{ErrorModel, InventoryReport, SimConfig, SimError, TraceEvent};
-use rfid_types::hash::{effective_probability, transmits_with_probability};
+use rfid_types::hash::{effective_probability, probability_threshold, TagHashState};
 use rfid_types::{SlotClass, TagId};
-use std::collections::HashMap;
 
-/// What one slot produced, as seen by the protocol layer.
+/// Sentinel in the dense position map for "not active".
+const NOT_ACTIVE: u32 = u32::MAX;
+
+/// What one slot produced, as seen by the protocol layer. The protocol
+/// loops keep one instance alive and pass it back in; [`Engine::run_slot`]
+/// clears it on entry.
 #[derive(Debug, Default)]
 pub(crate) struct SlotOutput {
     /// Coarse class the reader observed (corrupted singletons classify as
@@ -28,25 +46,51 @@ pub(crate) struct SlotOutput {
     pub resolved: Vec<Resolved>,
 }
 
+impl SlotOutput {
+    fn clear(&mut self) {
+        self.class = None;
+        self.resolved.clear();
+    }
+}
+
 /// The engine is generic over its [`EventSink`]: every emission sits
 /// behind `if S::ENABLED`, a compile-time constant, so running with
 /// [`rfid_obs::NoopSink`] compiles the whole observability path away. The
 /// sink only ever receives copies of state — it cannot touch the RNG or
 /// the world, which is what keeps traced and untraced runs identical.
 pub(crate) struct Engine<'a, S: EventSink> {
-    active: Vec<TagId>,
-    position: HashMap<TagId, usize>,
+    /// Still-active tags, as dense indices into the store's tag table.
+    active: Vec<u32>,
+    /// Cached ID-only hash rounds, parallel to `active` (same order, same
+    /// swap-removes): the Hash-membership scan is a linear sweep of this
+    /// array doing one splitmix round per tag — no gather, no hashing.
+    active_states: Vec<TagHashState>,
+    /// Dense index → position in `active` ([`NOT_ACTIVE`] when removed).
+    position: Vec<u32>,
     pub records: CollisionRecordStore,
     membership: Membership,
     fidelity: &'a Fidelity,
     errors: ErrorModel,
     slot_us: f64,
     max_slots: u64,
+    hash_bits: u32,
     trace: bool,
     total_tags: usize,
     pub slot_index: u64,
     pub report: InventoryReport,
     sink: S,
+    /// This slot's transmitters (dense indices), reused across slots.
+    tx_scratch: Vec<u32>,
+    /// Sampled-membership draw buffer for distinct active-set positions.
+    pos_scratch: Vec<usize>,
+    /// Cascade output buffer for the record store.
+    resolved_scratch: Vec<(u32, Resolved)>,
+    /// Signal-level: this slot's transmitter IDs (waveform synthesis order).
+    id_scratch: Vec<TagId>,
+    /// Signal-level: this slot's superposed reception.
+    wave_scratch: Vec<Complex>,
+    /// Signal-level: per-component modulation workspace.
+    mix_scratch: anc::MixScratch,
 }
 
 impl<'a, S: EventSink> Engine<'a, S> {
@@ -59,17 +103,30 @@ impl<'a, S: EventSink> Engine<'a, S> {
         config: &SimConfig,
         sink: S,
     ) -> Self {
-        let records = match fidelity {
+        let mut records = match fidelity {
             Fidelity::SlotLevel => CollisionRecordStore::slot_level(lambda),
             Fidelity::SignalLevel(sig) => CollisionRecordStore::signal_level(sig.msk.clone()),
         };
-        let position = tags
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i))
-            .collect::<HashMap<_, _>>();
+        records.reserve_tags(tags.len());
+        let mut active = Vec::with_capacity(tags.len());
+        let mut active_states = Vec::with_capacity(tags.len());
+        let mut position = Vec::with_capacity(tags.len());
+        for (i, &tag) in tags.iter().enumerate() {
+            let idx = records.intern(tag);
+            if idx as usize == position.len() {
+                position.push(NOT_ACTIVE);
+            }
+            // A duplicated input tag keeps its *last* occurrence's
+            // position, matching the map-building this replaced.
+            position[idx as usize] = u32::try_from(i).expect("population exceeds u32");
+            active.push(idx);
+            active_states.push(TagHashState::new(tag));
+        }
+        let mut report = InventoryReport::new(name);
+        report.reserve_identified(tags.len());
         Engine {
-            active: tags.to_vec(),
+            active,
+            active_states,
             position,
             records,
             membership,
@@ -77,11 +134,18 @@ impl<'a, S: EventSink> Engine<'a, S> {
             errors: config.errors().clone(),
             slot_us: config.timing().basic_slot_us(),
             max_slots: config.max_slots(),
+            hash_bits: config.hash_bits(),
             trace: config.trace_enabled(),
             total_tags: tags.len(),
             slot_index: 0,
-            report: InventoryReport::new(name),
+            report,
             sink,
+            tx_scratch: Vec::new(),
+            pos_scratch: Vec::new(),
+            resolved_scratch: Vec::new(),
+            id_scratch: Vec::new(),
+            wave_scratch: Vec::new(),
+            mix_scratch: anc::MixScratch::default(),
         }
     }
 
@@ -97,48 +161,72 @@ impl<'a, S: EventSink> Engine<'a, S> {
         self.active.len()
     }
 
-    fn remove_active(&mut self, tag: TagId) {
-        if let Some(idx) = self.position.remove(&tag) {
-            self.active.swap_remove(idx);
-            if let Some(&moved) = self.active.get(idx) {
-                self.position.insert(moved, idx);
+    fn remove_active(&mut self, idx: u32) {
+        let pos = self.position[idx as usize];
+        if pos != NOT_ACTIVE {
+            self.position[idx as usize] = NOT_ACTIVE;
+            self.active.swap_remove(pos as usize);
+            self.active_states.swap_remove(pos as usize);
+            if let Some(&moved) = self.active.get(pos as usize) {
+                self.position[moved as usize] = pos;
             }
         }
     }
 
-    /// Selects this slot's transmitters under the configured membership
-    /// mode.
-    fn transmitters(&mut self, p: f64, rng: &mut StdRng) -> Vec<TagId> {
+    /// Fills `out` with this slot's transmitters under the configured
+    /// membership mode.
+    fn fill_transmitters(
+        &self,
+        p: f64,
+        rng: &mut StdRng,
+        out: &mut Vec<u32>,
+        positions: &mut Vec<usize>,
+    ) {
+        out.clear();
         match self.membership {
             Membership::Sampled => {
                 // Quantize exactly as the hash test would (the inclusive
                 // `H ≤ ⌊p·2^l⌋` rule realizes one quantum above the floor)
                 // so the two membership modes stay distribution-identical.
-                let k = sample_binomial(self.active.len(), effective_probability(p, 16), rng);
-                pick_distinct_indices(self.active.len(), k, rng)
-                    .into_iter()
-                    .map(|i| self.active[i])
-                    .collect()
+                let k = sample_binomial(
+                    self.active.len(),
+                    effective_probability(p, self.hash_bits),
+                    rng,
+                );
+                pick_distinct_indices_into(self.active.len(), k, rng, positions);
+                out.extend(positions.iter().map(|&i| self.active[i]));
             }
             Membership::Hash => {
+                if p <= 0.0 {
+                    return;
+                }
                 let slot = self.slot_index;
-                self.active
-                    .iter()
-                    .copied()
-                    .filter(|&t| transmits_with_probability(t, slot, p, 16))
-                    .collect()
+                let threshold = probability_threshold(p, self.hash_bits);
+                let l = self.hash_bits;
+                for (&state, &idx) in self.active_states.iter().zip(&self.active) {
+                    if state.transmits(slot, threshold, l) {
+                        out.push(idx);
+                    }
+                }
             }
         }
     }
 
-    /// Runs one slot at probability `p`. Charges one basic slot of air
-    /// time; the caller layers advertisement / extended-ack overhead on
-    /// top via [`InventoryReport::record_overhead`].
+    /// Runs one slot at probability `p`, leaving the outcome in `output`
+    /// (cleared on entry). Charges one basic slot of air time; the caller
+    /// layers advertisement / extended-ack overhead on top via
+    /// [`InventoryReport::record_overhead`].
     ///
     /// # Errors
     ///
     /// [`SimError::ExceededMaxSlots`] when the safety cap is hit.
-    pub fn run_slot(&mut self, p: f64, rng: &mut StdRng) -> Result<SlotOutput, SimError> {
+    pub fn run_slot(
+        &mut self,
+        p: f64,
+        rng: &mut StdRng,
+        output: &mut SlotOutput,
+    ) -> Result<(), SimError> {
+        output.clear();
         if self.slot_index >= self.max_slots {
             return Err(SimError::ExceededMaxSlots {
                 max_slots: self.max_slots,
@@ -146,21 +234,25 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 total: self.total_tags,
             });
         }
-        let transmitters = self.transmitters(p, rng);
+        let mut transmitters = std::mem::take(&mut self.tx_scratch);
+        let mut positions = std::mem::take(&mut self.pos_scratch);
+        self.fill_transmitters(p, rng, &mut transmitters, &mut positions);
+        self.pos_scratch = positions;
         self.slot_index += 1;
         let transmitter_count = transmitters.len() as u32;
         let identified_before = self.report.identified;
         let resolved_before = self.report.resolved_from_collisions;
         let stats_before = self.records.stats();
 
-        let mut output = SlotOutput::default();
-        match self.fidelity {
-            Fidelity::SlotLevel => self.run_slot_abstract(transmitters, rng, &mut output),
-            Fidelity::SignalLevel(sig) => {
-                let sig = sig.clone();
-                self.run_slot_signal(&sig, transmitters, rng, &mut output);
-            }
+        // Copy out the `&'a Fidelity` reference so the match does not hold
+        // a borrow of `self` (this is also what lets the signal path avoid
+        // the per-slot config clone it used to make).
+        let fidelity = self.fidelity;
+        match fidelity {
+            Fidelity::SlotLevel => self.run_slot_abstract(&transmitters, rng, output),
+            Fidelity::SignalLevel(sig) => self.run_slot_signal(sig, &transmitters, rng, output),
         }
+        self.tx_scratch = transmitters;
         if self.trace {
             self.report.record_trace_event(TraceEvent {
                 slot: self.slot_index - 1,
@@ -200,7 +292,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 records_outstanding: self.records.outstanding() as u64,
             });
         }
-        Ok(output)
+        Ok(())
     }
 
     /// Emits a [`RecordEventKind::Created`] for the record about to be
@@ -220,10 +312,34 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
     }
 
+    /// Deposits this slot's collision record and processes any cascade of
+    /// resolutions through the reused scratch buffer.
+    fn deposit_record(
+        &mut self,
+        transmitters: &[u32],
+        usable: bool,
+        signal: Option<Vec<Complex>>,
+        rng: &mut StdRng,
+        output: &mut SlotOutput,
+    ) {
+        let mut resolved = std::mem::take(&mut self.resolved_scratch);
+        debug_assert!(resolved.is_empty());
+        self.records.add_record_dense(
+            self.slot_index - 1,
+            transmitters,
+            usable,
+            signal,
+            &mut resolved,
+        );
+        self.process_resolved(&resolved, rng, output);
+        resolved.clear();
+        self.resolved_scratch = resolved;
+    }
+
     /// Slot-level classification: counts decide; λ decides resolvability.
     fn run_slot_abstract(
         &mut self,
-        transmitters: Vec<TagId>,
+        transmitters: &[u32],
         rng: &mut StdRng,
         output: &mut SlotOutput,
     ) {
@@ -238,10 +354,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     self.report.record_slot(SlotClass::Collision, self.slot_us);
                     output.class = Some(SlotClass::Collision);
                     self.emit_record_created(transmitters.len(), false);
-                    let resolved =
-                        self.records
-                            .add_record(self.slot_index - 1, transmitters, false, None);
-                    self.process_resolved(resolved, rng, output);
+                    self.deposit_record(transmitters, false, None, rng, output);
                 } else {
                     self.report.record_slot(SlotClass::Singleton, self.slot_us);
                     output.class = Some(SlotClass::Singleton);
@@ -263,10 +376,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 let spoiled = self.errors.sample_unresolvable(rng)
                     || self.errors.sample_report_corrupted(rng);
                 self.emit_record_created(transmitters.len(), !spoiled);
-                let resolved =
-                    self.records
-                        .add_record(self.slot_index - 1, transmitters, !spoiled, None);
-                self.process_resolved(resolved, rng, output);
+                self.deposit_record(transmitters, !spoiled, None, rng, output);
             }
         }
     }
@@ -277,11 +387,17 @@ impl<'a, S: EventSink> Engine<'a, S> {
     fn run_slot_signal(
         &mut self,
         sig: &crate::config::SignalLevelConfig,
-        transmitters: Vec<TagId>,
+        transmitters: &[u32],
         rng: &mut StdRng,
         output: &mut SlotOutput,
     ) {
-        let wave = anc::transmit_mixed(&transmitters, &sig.msk, &sig.channel, rng);
+        let mut ids = std::mem::take(&mut self.id_scratch);
+        ids.clear();
+        ids.extend(transmitters.iter().map(|&idx| self.records.tag_of(idx)));
+        let mut wave = std::mem::take(&mut self.wave_scratch);
+        let mut mix = std::mem::take(&mut self.mix_scratch);
+        anc::transmit_mixed_into(&ids, &sig.msk, &sig.channel, rng, &mut mix, &mut wave);
+        self.mix_scratch = mix;
         // Energy detection: the noise floor per complex sample is 2σ²; a
         // +6 dB margin separates "silence" from any real component (whose
         // minimum power is attenuation_lo² ≥ 0.25 by default).
@@ -291,52 +407,59 @@ impl<'a, S: EventSink> Engine<'a, S> {
             self.report.record_slot(SlotClass::Empty, self.slot_us);
             output.class = Some(SlotClass::Empty);
             debug_assert!(transmitters.is_empty() || sig.channel.noise_std() > 0.0);
-            return;
-        }
-
-        match anc::decode_singleton(&wave, &sig.msk) {
-            Some(id) if transmitters.contains(&id) => {
-                // Clean singleton, or a collision captured by its dominant
-                // component — either way the reader reads one valid ID and
-                // the other transmitters (if any) go unrecorded.
-                self.report.record_slot(SlotClass::Singleton, self.slot_us);
-                output.class = Some(SlotClass::Singleton);
-                self.process_singleton(id, rng, output);
+        } else {
+            match anc::decode_singleton(&wave, &sig.msk) {
+                Some(id) if ids.contains(&id) => {
+                    // Clean singleton, or a collision captured by its
+                    // dominant component — either way the reader reads one
+                    // valid ID and the other transmitters (if any) go
+                    // unrecorded.
+                    let idx = transmitters[ids.iter().position(|&t| t == id).unwrap()];
+                    self.report.record_slot(SlotClass::Singleton, self.slot_us);
+                    output.class = Some(SlotClass::Singleton);
+                    self.process_singleton(idx, rng, output);
+                }
+                Some(_) | None => {
+                    // Undecodable mixture (or a CRC-colliding ghost ID,
+                    // which the 2^-16 CRC makes vanishingly rare; the
+                    // reader must not ack an ID nobody sent, so ghosts
+                    // classify as collisions). The record owns its
+                    // waveform, so this clone is the one allocation a
+                    // signal-level collision slot makes by design.
+                    self.report.record_slot(SlotClass::Collision, self.slot_us);
+                    output.class = Some(SlotClass::Collision);
+                    self.emit_record_created(transmitters.len(), true);
+                    self.deposit_record(transmitters, true, Some(wave.clone()), rng, output);
+                }
             }
-            Some(_) | None => {
-                // Undecodable mixture (or a CRC-colliding ghost ID, which
-                // the 2^-16 CRC makes vanishingly rare; the reader must not
-                // ack an ID nobody sent, so ghosts classify as collisions).
-                self.report.record_slot(SlotClass::Collision, self.slot_us);
-                output.class = Some(SlotClass::Collision);
-                self.emit_record_created(transmitters.len(), true);
-                let resolved =
-                    self.records
-                        .add_record(self.slot_index - 1, transmitters, true, Some(wave));
-                self.process_resolved(resolved, rng, output);
-            }
         }
+        self.id_scratch = ids;
+        self.wave_scratch = wave;
     }
 
     /// Handles a decoded singleton: learn, cascade, acknowledge.
-    fn process_singleton(&mut self, tag: TagId, rng: &mut StdRng, output: &mut SlotOutput) {
-        self.report.record_identified(tag);
-        let resolved = self.records.learn(tag);
+    fn process_singleton(&mut self, idx: u32, rng: &mut StdRng, output: &mut SlotOutput) {
+        self.report.record_identified(self.records.tag_of(idx));
+        let mut resolved = std::mem::take(&mut self.resolved_scratch);
+        debug_assert!(resolved.is_empty());
+        self.records.learn_dense(idx, &mut resolved);
         if !self.errors.sample_ack_lost(rng) {
-            self.remove_active(tag);
+            self.remove_active(idx);
         }
-        self.process_resolved(resolved, rng, output);
+        self.process_resolved(&resolved, rng, output);
+        resolved.clear();
+        self.resolved_scratch = resolved;
     }
 
     /// Handles IDs recovered from collision records: count them, append to
     /// the slot output (for ack-payload accounting), acknowledge.
     fn process_resolved(
         &mut self,
-        resolved: Vec<Resolved>,
+        resolved: &[(u32, Resolved)],
         rng: &mut StdRng,
         output: &mut SlotOutput,
     ) {
-        for (position, r) in resolved.into_iter().enumerate() {
+        for (position, &(idx, r)) in resolved.iter().enumerate() {
             if S::ENABLED {
                 let slot = self.slot_index - 1;
                 self.sink.record(&RecordEvent {
@@ -351,7 +474,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             }
             self.report.record_resolved_from_collision(r.tag);
             if !self.errors.sample_ack_lost(rng) {
-                self.remove_active(r.tag);
+                self.remove_active(idx);
             }
             output.resolved.push(r);
         }
@@ -419,7 +542,8 @@ mod tests {
         let tags = population::uniform(&mut seeded_rng(1), 10);
         let fidelity = Fidelity::SlotLevel;
         let mut e = engine(&tags, &fidelity);
-        let out = e.run_slot(0.0, &mut seeded_rng(2)).unwrap();
+        let mut out = SlotOutput::default();
+        e.run_slot(0.0, &mut seeded_rng(2), &mut out).unwrap();
         assert_eq!(out.class, Some(SlotClass::Empty));
         assert_eq!(e.remaining(), 10);
     }
@@ -429,7 +553,8 @@ mod tests {
         let tags = population::uniform(&mut seeded_rng(1), 1);
         let fidelity = Fidelity::SlotLevel;
         let mut e = engine(&tags, &fidelity);
-        let out = e.run_slot(1.0, &mut seeded_rng(2)).unwrap();
+        let mut out = SlotOutput::default();
+        e.run_slot(1.0, &mut seeded_rng(2), &mut out).unwrap();
         assert_eq!(out.class, Some(SlotClass::Singleton));
         assert_eq!(e.remaining(), 0);
         assert_eq!(e.report.identified, 1);
@@ -441,13 +566,14 @@ mod tests {
         let fidelity = Fidelity::SlotLevel;
         let mut e = engine(&tags, &fidelity);
         let mut rng = seeded_rng(2);
-        let out = e.run_slot(1.0, &mut rng).unwrap();
+        let mut out = SlotOutput::default();
+        e.run_slot(1.0, &mut rng, &mut out).unwrap();
         assert_eq!(out.class, Some(SlotClass::Collision));
         assert_eq!(e.remaining(), 2);
         // Run at p = 0.5 until one tag hits a singleton; the 2-collision
         // record then resolves the other immediately.
         for _ in 0..200 {
-            let out = e.run_slot(0.5, &mut rng).unwrap();
+            e.run_slot(0.5, &mut rng, &mut out).unwrap();
             if e.remaining() == 0 {
                 assert_eq!(out.resolved.len(), 1);
                 break;
@@ -473,8 +599,9 @@ mod tests {
         let mut rng = seeded_rng(4);
         // Expected transmitters per slot at p = 1/2000 is 1.
         let mut singletons = 0u32;
+        let mut out = SlotOutput::default();
         for _ in 0..600 {
-            let out = e.run_slot(1.0 / 2_000.0, &mut rng).unwrap();
+            e.run_slot(1.0 / 2_000.0, &mut rng, &mut out).unwrap();
             if out.class == Some(SlotClass::Singleton) {
                 singletons += 1;
             }
@@ -488,7 +615,8 @@ mod tests {
         let tags: Vec<TagId> = Vec::new();
         let fidelity = Fidelity::SignalLevel(SignalLevelConfig::default());
         let mut e = engine(&tags, &fidelity);
-        let out = e.run_slot(1.0, &mut seeded_rng(5)).unwrap();
+        let mut out = SlotOutput::default();
+        e.run_slot(1.0, &mut seeded_rng(5), &mut out).unwrap();
         assert_eq!(out.class, Some(SlotClass::Empty));
     }
 
@@ -497,7 +625,8 @@ mod tests {
         let tags = population::uniform(&mut seeded_rng(6), 1);
         let fidelity = Fidelity::SignalLevel(SignalLevelConfig::default());
         let mut e = engine(&tags, &fidelity);
-        let out = e.run_slot(1.0, &mut seeded_rng(7)).unwrap();
+        let mut out = SlotOutput::default();
+        e.run_slot(1.0, &mut seeded_rng(7), &mut out).unwrap();
         assert_eq!(out.class, Some(SlotClass::Singleton));
         assert_eq!(e.report.identified, 1);
     }
@@ -526,12 +655,44 @@ mod tests {
             NoopSink,
         );
         let mut rng = seeded_rng(9);
+        let mut out = SlotOutput::default();
         for _ in 0..3 {
-            e.run_slot(0.0, &mut rng).unwrap();
+            e.run_slot(0.0, &mut rng, &mut out).unwrap();
         }
         assert!(matches!(
-            e.run_slot(0.0, &mut rng),
+            e.run_slot(0.0, &mut rng, &mut out),
             Err(SimError::ExceededMaxSlots { .. })
         ));
+    }
+
+    #[test]
+    fn configured_hash_bits_flow_into_membership() {
+        // l = 1 quantizes probabilities to multiples of 1/2: p = 0.49
+        // floors to threshold 0 → ~1/2 of tags transmit each slot (the
+        // inclusive rule realizes (⌊0.49·2⌋+1)/2 = 1/2).
+        let tags = population::uniform(&mut seeded_rng(10), 400);
+        let fidelity = Fidelity::SlotLevel;
+        let config = SimConfig::default().with_hash_bits(1).with_max_slots(10);
+        let mut e = Engine::new(
+            "t",
+            &tags,
+            2,
+            Membership::Hash,
+            &fidelity,
+            &config,
+            NoopSink,
+        );
+        let mut out = SlotOutput::default();
+        let mut tx = Vec::new();
+        let mut pos = Vec::new();
+        e.fill_transmitters(0.49, &mut seeded_rng(11), &mut tx, &mut pos);
+        assert!(
+            (120..=280).contains(&tx.len()),
+            "l = 1 should gate ~half the tags, got {}",
+            tx.len()
+        );
+        // And the slot still executes under the non-default width.
+        e.run_slot(0.49, &mut seeded_rng(12), &mut out).unwrap();
+        assert_eq!(out.class, Some(SlotClass::Collision));
     }
 }

@@ -13,7 +13,7 @@
 //!    stops, saving 96 − 23 bits per resolved ID.
 
 use crate::config::{Fidelity, InitialPopulation, Membership};
-use crate::engine::Engine;
+use crate::engine::{Engine, SlotOutput};
 use rand::rngs::StdRng;
 use rfid_analysis::estimator::{
     estimate_remaining_from_collisions, estimate_remaining_from_empties,
@@ -312,6 +312,7 @@ impl ObservableProtocol for Fcat {
             AckMode::FullId => config.timing().id_ack_us(),
         };
 
+        let mut output = SlotOutput::default();
         while engine.remaining() > 0 {
             let p = (cfg.omega / estimate.max(1.0)).clamp(1e-9, 1.0);
             engine.report.record_overhead(frame_adv_us);
@@ -320,7 +321,7 @@ impl ObservableProtocol for Fcat {
             let mut n1: u32 = 0;
             let mut nc: u32 = 0;
             for _ in 0..f {
-                let output = engine.run_slot(p, rng)?;
+                engine.run_slot(p, rng, &mut output)?;
                 match output.class {
                     Some(SlotClass::Empty) => n0 += 1,
                     Some(SlotClass::Singleton) => n1 += 1,

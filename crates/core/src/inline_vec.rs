@@ -1,0 +1,119 @@
+//! A small-vector of `u32` that stores up to `N` elements inline.
+//!
+//! Collision records hold their participants as dense tag indices; usable
+//! records have `k ≤ λ ≤ 4` participants, and a tag's record list is almost
+//! always short, so both live inline with no heap traffic. Only the rare
+//! over-λ record (Poisson tail) spills to a heap `Vec`.
+
+/// Inline-first vector of dense `u32` indices.
+#[derive(Debug, Clone)]
+pub(crate) struct InlineVec<const N: usize> {
+    /// Number of inline elements; ignored once `spill` is non-empty.
+    len: u32,
+    inline: [u32; N],
+    spill: Vec<u32>,
+}
+
+impl<const N: usize> InlineVec<N> {
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            inline: [0; N],
+            spill: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, value: u32) {
+        if !self.spill.is_empty() {
+            self.spill.push(value);
+        } else if (self.len as usize) < N {
+            self.inline[self.len as usize] = value;
+            self.len += 1;
+        } else {
+            // First spill: move the inline prefix to the heap.
+            self.spill.reserve(N + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(value);
+        }
+    }
+
+    pub fn as_slice(&self) -> &[u32] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn contains(&self, value: u32) -> bool {
+        self.as_slice().contains(&value)
+    }
+
+    /// Empties the vector and releases any spilled heap storage.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill = Vec::new();
+    }
+}
+
+impl<const N: usize> Default for InlineVec<N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut v: InlineVec<4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+        v.push(4);
+        v.push(5);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn contains_and_clear() {
+        let mut v: InlineVec<2> = InlineVec::new();
+        v.push(7);
+        v.push(9);
+        assert!(v.contains(7));
+        assert!(!v.contains(8));
+        v.push(11); // spilled
+        assert!(v.contains(11));
+        v.clear();
+        assert!(v.is_empty());
+        assert!(!v.contains(7));
+        // Reusable after clearing out of the spilled state.
+        v.push(1);
+        assert_eq!(v.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn preserves_insertion_order_across_spill() {
+        let mut v: InlineVec<3> = InlineVec::new();
+        let values = [5u32, 3, 8, 1, 9, 2];
+        for &x in &values {
+            v.push(x);
+        }
+        assert_eq!(v.as_slice(), &values);
+    }
+}

@@ -50,6 +50,7 @@ mod config;
 pub mod device;
 mod engine;
 mod fcat;
+mod inline_vec;
 mod records;
 mod scat;
 mod session;

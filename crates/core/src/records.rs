@@ -9,10 +9,11 @@
 //! subtraction, and that ID is fed back into the cascade (the `while S ≠ ∅`
 //! worklist of the pseudocode).
 
+use crate::inline_vec::InlineVec;
 use rfid_signal::complex::Complex;
 use rfid_signal::{anc, MskConfig};
 use rfid_types::TagId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A newly resolved ID together with the slot index of the record it came
 /// from (FCAT acknowledges resolved tags by this index).
@@ -24,10 +25,24 @@ pub struct Resolved {
     pub slot: u64,
 }
 
+/// How many participants a record stores inline. Usable records have
+/// `k ≤ λ ≤ 4`; at the protocols' operating point `k ~ Poisson(√2)`, so
+/// eight inline slots leave only the ~1e-5 tail of (never-resolvable)
+/// over-λ records to spill.
+const INLINE_PARTICIPANTS: usize = 8;
+
+/// How many record indices a tag's reverse index stores inline. Unusable
+/// records are indexed too (their exhaustion must be observed), so a tag
+/// that stays unknown through the early high-collision phase can sit in
+/// well over λ records; eight inline slots keep the spill rate measured
+/// over a whole inventory under ~1 % of tags.
+const INLINE_RECORDS_PER_TAG: usize = 8;
+
 #[derive(Debug)]
 struct Record {
     slot: u64,
-    participants: Vec<TagId>,
+    /// Distinct participants as dense tag indices, in first-seen order.
+    participants: InlineVec<INLINE_PARTICIPANTS>,
     /// Slot-level: `k ≤ λ` and not spoiled. Signal-level: not corrupted.
     usable: bool,
     /// Recorded mixed signal (signal-level fidelity only).
@@ -67,11 +82,24 @@ pub struct RecordStats {
 /// assert_eq!(resolved[0].tag, b);
 /// assert_eq!(resolved[0].slot, 5);
 /// ```
+/// Tags are *interned* into dense `u32` indices (by the engine at
+/// construction, or lazily by the `TagId` entry points): every per-tag
+/// lookup on the hot path — known?, reverse index, hash state — is then an
+/// array access instead of a SipHash probe. The `TagId`-keyed map survives
+/// only for interning and the public `TagId` API.
 #[derive(Debug)]
 pub struct CollisionRecordStore {
     records: Vec<Record>,
-    by_tag: HashMap<TagId, Vec<usize>>,
-    known: HashSet<TagId>,
+    /// Dense index → tag ID.
+    tags: Vec<TagId>,
+    /// Tag ID → dense index; touched only when interning new tags.
+    index_of: HashMap<TagId, u32>,
+    /// Dense index → outstanding records the tag participates in. Lists of
+    /// known tags are dropped: they can never be consulted again.
+    by_tag: Vec<InlineVec<INLINE_RECORDS_PER_TAG>>,
+    /// Dense index → has the reader learned this tag?
+    known: Vec<bool>,
+    known_count: usize,
     lambda: u32,
     /// MSK configuration for signal-level resolution; `None` = slot level.
     msk: Option<MskConfig>,
@@ -80,6 +108,8 @@ pub struct CollisionRecordStore {
     /// every slot).
     outstanding: usize,
     stats: RecordStats,
+    /// Reusable cascade worklist (kept empty between calls).
+    worklist: Vec<u32>,
 }
 
 impl CollisionRecordStore {
@@ -92,15 +122,7 @@ impl CollisionRecordStore {
     #[must_use]
     pub fn slot_level(lambda: u32) -> Self {
         assert!(lambda >= 2, "lambda must be >= 2, got {lambda}");
-        CollisionRecordStore {
-            records: Vec::new(),
-            by_tag: HashMap::new(),
-            known: HashSet::new(),
-            lambda,
-            msk: None,
-            outstanding: 0,
-            stats: RecordStats::default(),
-        }
+        CollisionRecordStore::with_lambda(lambda, None)
     }
 
     /// Creates a signal-level store: resolution runs the real ANC
@@ -108,27 +130,74 @@ impl CollisionRecordStore {
     /// resolvability.
     #[must_use]
     pub fn signal_level(msk: MskConfig) -> Self {
+        CollisionRecordStore::with_lambda(u32::MAX, Some(msk))
+    }
+
+    fn with_lambda(lambda: u32, msk: Option<MskConfig>) -> Self {
         CollisionRecordStore {
             records: Vec::new(),
-            by_tag: HashMap::new(),
-            known: HashSet::new(),
-            lambda: u32::MAX,
-            msk: Some(msk),
+            tags: Vec::new(),
+            index_of: HashMap::new(),
+            by_tag: Vec::new(),
+            known: Vec::new(),
+            known_count: 0,
+            lambda,
+            msk,
             outstanding: 0,
             stats: RecordStats::default(),
+            worklist: Vec::new(),
         }
+    }
+
+    /// Pre-sizes the per-tag tables for `n` tags so interning the
+    /// population at engine construction does not reallocate.
+    pub(crate) fn reserve_tags(&mut self, n: usize) {
+        self.tags.reserve(n);
+        self.index_of.reserve(n);
+        self.by_tag.reserve(n);
+        self.known.reserve(n);
+    }
+
+    /// Interns `tag`, returning its dense index.
+    pub(crate) fn intern(&mut self, tag: TagId) -> u32 {
+        if let Some(&idx) = self.index_of.get(&tag) {
+            return idx;
+        }
+        let idx = u32::try_from(self.tags.len()).expect("more than u32::MAX distinct tags");
+        self.index_of.insert(tag, idx);
+        self.tags.push(tag);
+        self.by_tag.push(InlineVec::new());
+        self.known.push(false);
+        idx
+    }
+
+    /// The tag ID behind a dense index.
+    pub(crate) fn tag_of(&self, idx: u32) -> TagId {
+        self.tags[idx as usize]
+    }
+
+    fn mark_known(&mut self, idx: u32) -> bool {
+        let slot = &mut self.known[idx as usize];
+        if *slot {
+            return false;
+        }
+        *slot = true;
+        self.known_count += 1;
+        true
     }
 
     /// Whether the reader already knows `tag`.
     #[must_use]
     pub fn is_known(&self, tag: TagId) -> bool {
-        self.known.contains(&tag)
+        self.index_of
+            .get(&tag)
+            .is_some_and(|&idx| self.known[idx as usize])
     }
 
     /// Number of IDs the reader has learned.
     #[must_use]
     pub fn known_count(&self) -> usize {
-        self.known.len()
+        self.known_count
     }
 
     /// Lifetime statistics.
@@ -159,7 +228,7 @@ impl CollisionRecordStore {
     pub fn prune_consumed(&mut self) {
         for record in &mut self.records {
             if record.consumed {
-                record.participants = Vec::new();
+                record.participants.clear();
                 record.signal = None;
             }
         }
@@ -183,23 +252,54 @@ impl CollisionRecordStore {
     pub fn add_record(
         &mut self,
         slot: u64,
-        mut participants: Vec<TagId>,
+        participants: Vec<TagId>,
         usable: bool,
         signal: Option<Vec<Complex>>,
     ) -> Vec<Resolved> {
+        let dense: Vec<u32> = participants.iter().map(|&t| self.intern(t)).collect();
+        let mut resolved = Vec::new();
+        self.add_record_dense(slot, &dense, usable, signal, &mut resolved);
+        resolved.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Dense-index core of [`Self::add_record`]: participants are dense
+    /// indices (duplicates allowed; collapsed here) and resolutions are
+    /// *appended* to `resolved` as `(dense_index, Resolved)` pairs, reusing
+    /// the caller's buffer. The hot slot loop calls this directly with its
+    /// transmitter scratch so a collision slot allocates nothing beyond the
+    /// record itself.
+    pub(crate) fn add_record_dense(
+        &mut self,
+        slot: u64,
+        participants: &[u32],
+        usable: bool,
+        signal: Option<Vec<Complex>>,
+        resolved: &mut Vec<(u32, Resolved)>,
+    ) {
         debug_assert!(!participants.is_empty(), "a record needs participants");
-        let mut seen = HashSet::with_capacity(participants.len());
-        participants.retain(|&t| seen.insert(t));
+        // Collapse duplicates, keeping first-seen order (k is tiny; the
+        // quadratic scan beats hashing and allocates nothing).
+        let mut distinct: InlineVec<INLINE_PARTICIPANTS> = InlineVec::new();
+        for &t in participants {
+            if !distinct.contains(t) {
+                distinct.push(t);
+            }
+        }
         self.stats.created += 1;
-        let usable = self.usable_at_insert(participants.len(), usable);
+        let usable = self.usable_at_insert(distinct.len(), usable);
         let idx = self.records.len();
-        for &tag in &participants {
-            self.by_tag.entry(tag).or_default().push(idx);
+        let rec = u32::try_from(idx).expect("more than u32::MAX records");
+        for &t in distinct.as_slice() {
+            // Known tags' lists are never consulted again (a tag is learned
+            // at most once, and it is already learned) — skip indexing them.
+            if !self.known[t as usize] {
+                self.by_tag[t as usize].push(rec);
+            }
         }
         self.outstanding += 1;
         self.records.push(Record {
             slot,
-            participants,
+            participants: distinct,
             usable,
             signal,
             consumed: false,
@@ -207,14 +307,11 @@ impl CollisionRecordStore {
 
         // Participants the reader already knows count as known right away;
         // the record may be immediately resolvable (or already exhausted).
-        let mut resolved = Vec::new();
-        if let Some(first) = self.try_resolve(idx) {
-            self.known.insert(first.tag);
-            resolved.push(first);
-            let mut cascade = self.cascade_from(first.tag);
-            resolved.append(&mut cascade);
+        if let Some((first_idx, first)) = self.try_resolve(idx) {
+            self.mark_known(first_idx);
+            resolved.push((first_idx, first));
+            self.cascade_from(first_idx, resolved);
         }
-        resolved
     }
 
     /// Registers that the reader learned `tag` and runs the resolution
@@ -223,10 +320,19 @@ impl CollisionRecordStore {
     ///
     /// Calling this for an already-known tag is a no-op.
     pub fn learn(&mut self, tag: TagId) -> Vec<Resolved> {
-        if !self.known.insert(tag) {
-            return Vec::new();
+        let idx = self.intern(tag);
+        let mut resolved = Vec::new();
+        self.learn_dense(idx, &mut resolved);
+        resolved.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Dense-index core of [`Self::learn`]: resolutions are appended to
+    /// `resolved`, reusing the caller's buffer.
+    pub(crate) fn learn_dense(&mut self, idx: u32, resolved: &mut Vec<(u32, Resolved)>) {
+        if !self.mark_known(idx) {
+            return;
         }
-        self.cascade_from(tag)
+        self.cascade_from(idx, resolved);
     }
 
     /// Revisits the records of every tag on the worklist, resolving any
@@ -234,54 +340,60 @@ impl CollisionRecordStore {
     /// enter [`Self::known`] immediately — exactly the `while S ≠ ∅` loop
     /// of the reader pseudocode, where an ID extracted from one record is
     /// fed back to mark and resolve the others.
-    fn cascade_from(&mut self, tag: TagId) -> Vec<Resolved> {
-        debug_assert!(self.known.contains(&tag));
-        let mut resolved = Vec::new();
-        let mut worklist = vec![tag];
+    fn cascade_from(&mut self, idx: u32, resolved: &mut Vec<(u32, Resolved)>) {
+        debug_assert!(self.known[idx as usize]);
+        let mut worklist = std::mem::take(&mut self.worklist);
+        debug_assert!(worklist.is_empty());
+        worklist.push(idx);
         while let Some(current) = worklist.pop() {
-            let indices = self.by_tag.get(&current).cloned().unwrap_or_default();
-            for idx in indices {
-                if let Some(r) = self.try_resolve(idx) {
-                    self.known.insert(r.tag);
-                    resolved.push(r);
-                    worklist.push(r.tag);
+            // `current` was just learned, so this is the one and only time
+            // its record list is consulted (nothing is appended to a known
+            // tag's list) — take it instead of cloning it.
+            let records = std::mem::take(&mut self.by_tag[current as usize]);
+            for &rec in records.as_slice() {
+                if let Some((tag_idx, r)) = self.try_resolve(rec as usize) {
+                    self.mark_known(tag_idx);
+                    resolved.push((tag_idx, r));
+                    worklist.push(tag_idx);
                 }
             }
         }
-        resolved
+        self.worklist = worklist;
     }
 
-    /// Attempts to resolve record `idx`; returns the recovered ID, if any.
+    /// Attempts to resolve record `idx`; returns the recovered tag (as
+    /// dense index + [`Resolved`]), if any.
     ///
     /// The reader's `known` set is authoritative: the record resolves when
     /// exactly one participant is unknown. A record whose participants are
     /// all known is consumed as exhausted.
-    fn try_resolve(&mut self, idx: usize) -> Option<Resolved> {
+    fn try_resolve(&mut self, idx: usize) -> Option<(u32, Resolved)> {
         let record = &self.records[idx];
         if record.consumed {
             return None;
         }
-        let mut unknowns = record
-            .participants
-            .iter()
-            .copied()
-            .filter(|t| !self.known.contains(t));
-        let first_unknown = unknowns.next();
-        let Some(last) = first_unknown else {
+        let mut last = None;
+        for &t in record.participants.as_slice() {
+            if !self.known[t as usize] {
+                if last.is_some() {
+                    // Two or more unknowns: not resolvable yet.
+                    return None;
+                }
+                last = Some(t);
+            }
+        }
+        let Some(last) = last else {
             // Every participant learned elsewhere; nothing left to extract.
             self.records[idx].consumed = true;
             self.outstanding -= 1;
             self.stats.exhausted += 1;
             return None;
         };
-        if unknowns.next().is_some() {
-            // Two or more unknowns: not resolvable yet.
-            return None;
-        }
         if !record.usable {
             return None;
         }
         let slot = record.slot;
+        let last_tag = self.tags[last as usize];
         let recovered: Option<TagId> = match (&self.msk, &record.signal) {
             (Some(msk), Some(signal)) => {
                 // Signal-level: subtract the known components, decode,
@@ -293,29 +405,30 @@ impl CollisionRecordStore {
                 // attempts (mirrors the engine's singleton-path guard).
                 let knowns: Vec<TagId> = record
                     .participants
+                    .as_slice()
                     .iter()
-                    .copied()
-                    .filter(|t| self.known.contains(t))
+                    .filter(|&&t| self.known[t as usize])
+                    .map(|&t| self.tags[t as usize])
                     .collect();
                 anc::resolve(signal, &knowns, msk)
                     .ok()
-                    .filter(|id| *id == last)
+                    .filter(|id| *id == last_tag)
             }
             // Slot-level: the λ gate already passed; the last unknown
             // participant is recovered.
-            _ => Some(last),
+            _ => Some(last_tag),
         };
         let record = &mut self.records[idx];
         record.consumed = true;
         self.outstanding -= 1;
         // A consumed record can never resolve again; free its payload now
         // (signal-level records hold a full waveform each).
-        record.participants = Vec::new();
+        record.participants.clear();
         record.signal = None;
         match recovered {
             Some(tag) => {
                 self.stats.resolved += 1;
-                Some(Resolved { tag, slot })
+                Some((last, Resolved { tag, slot }))
             }
             None => {
                 // Noise defeated the subtraction; the record is spent

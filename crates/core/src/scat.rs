@@ -12,7 +12,7 @@
 //! an externally supplied population size (oracle or pre-step estimate).
 
 use crate::config::{Fidelity, InitialPopulation, Membership};
-use crate::engine::Engine;
+use crate::engine::{Engine, SlotOutput};
 use rand::rngs::StdRng;
 use rfid_analysis::omega::optimal_omega;
 use rfid_obs::{EstimatorEvent, EventSink, NoopSink};
@@ -224,6 +224,7 @@ impl ObservableProtocol for Scat {
         const COLLISION_INCREMENT: f64 = 1.0 / (std::f64::consts::E - 2.0);
         let mut slack: f64 = 0.0;
         let mut empty_run: u32 = 0;
+        let mut output = SlotOutput::default();
 
         while engine.remaining() > 0 {
             let known = engine.records.known_count() as f64;
@@ -231,7 +232,7 @@ impl ObservableProtocol for Scat {
             let p = (cfg.omega / remaining_est).min(1.0);
 
             engine.report.record_overhead(advertisement_us);
-            let output = engine.run_slot(p, rng)?;
+            engine.run_slot(p, rng, &mut output)?;
             match output.class {
                 Some(rfid_types::SlotClass::Collision) => {
                     slack = (slack + COLLISION_INCREMENT).max(2.0);

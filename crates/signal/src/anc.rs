@@ -104,18 +104,55 @@ pub fn transmit_mixed<R: Rng + ?Sized>(
     model: &ChannelModel,
     rng: &mut R,
 ) -> Vec<Complex> {
+    let mut mixed = Vec::new();
+    transmit_mixed_into(
+        tags,
+        cfg,
+        model,
+        rng,
+        &mut MixScratch::default(),
+        &mut mixed,
+    );
+    mixed
+}
+
+/// Reusable working memory for [`transmit_mixed_into`]: one tag's bit
+/// vector and one channel-shaped component waveform.
+#[derive(Debug, Default)]
+pub struct MixScratch {
+    bits: Vec<bool>,
+    component: Vec<Complex>,
+}
+
+/// Allocation-free [`transmit_mixed`]: clears `mixed` and fills it with the
+/// superposed reception, reusing its capacity and `scratch`'s.
+///
+/// Draws the same RNG sequence and performs the same float operations in
+/// the same order as the allocating variant, so the two produce
+/// bit-identical waveforms — the simulation engine's hot loop relies on
+/// this for byte-identical reports.
+pub fn transmit_mixed_into<R: Rng + ?Sized>(
+    tags: &[TagId],
+    cfg: &MskConfig,
+    model: &ChannelModel,
+    rng: &mut R,
+    scratch: &mut MixScratch,
+    mixed: &mut Vec<Complex>,
+) {
     let modulator = MskModulator::new(cfg.clone());
     let len = cfg.samples_for_bits(rfid_types::TAG_ID_BITS as usize);
-    let mut mixed = vec![Complex::ZERO; len];
+    mixed.clear();
+    mixed.resize(len, Complex::ZERO);
     for &tag in tags {
         let params = model.draw(rng);
-        let wave = params.apply(&modulator.reference(&tag.to_bits()));
-        for (acc, s) in mixed.iter_mut().zip(wave) {
+        tag.write_bits(&mut scratch.bits);
+        modulator.reference_into(&scratch.bits, &mut scratch.component);
+        params.apply_in_place(&mut scratch.component);
+        for (acc, &s) in mixed.iter_mut().zip(scratch.component.iter()) {
             *acc += s;
         }
     }
-    model.add_noise(&mut mixed, rng);
-    mixed
+    model.add_noise(mixed, rng);
 }
 
 /// Attempts to decode a reception as a singleton: demodulate and verify the
@@ -268,6 +305,31 @@ mod tests {
         let tag = TagId::from_payload(0x1234_5678);
         let wave = transmit_mixed(&[tag], &cfg(), &quiet_model(), &mut rng);
         assert_eq!(decode_singleton(&wave, &cfg()), Some(tag));
+    }
+
+    #[test]
+    fn transmit_mixed_into_is_bit_identical() {
+        // Same seed, interleaved rounds with a reused scratch: the into
+        // variant must match the allocating one sample for sample (exact
+        // float equality) and leave both RNGs in the same state.
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mut scratch = MixScratch::default();
+        let mut reused = vec![Complex::ONE; 3]; // stale contents must not leak
+        let t1 = TagId::from_payload(42);
+        let t2 = TagId::from_payload(7_777);
+        for tags in [vec![], vec![t1], vec![t1, t2], vec![t2]] {
+            let wave = transmit_mixed(&tags, &cfg(), &quiet_model(), &mut rng_a);
+            transmit_mixed_into(
+                &tags,
+                &cfg(),
+                &quiet_model(),
+                &mut rng_b,
+                &mut scratch,
+                &mut reused,
+            );
+            assert_eq!(wave, reused, "k = {}", tags.len());
+        }
     }
 
     #[test]

@@ -64,20 +64,24 @@ impl ChannelParams {
     /// multiplied by `h·e^{i(γ + n·freq_offset)}`.
     #[must_use]
     pub fn apply(&self, samples: &[Complex]) -> Vec<Complex> {
+        let mut out = samples.to_vec();
+        self.apply_in_place(&mut out);
+        out
+    }
+
+    /// In-place [`ChannelParams::apply`]: bit-identical samples, no
+    /// allocation.
+    pub fn apply_in_place(&self, samples: &mut [Complex]) {
         if self.freq_offset == 0.0 {
             let g = self.gain();
-            samples.iter().map(|&s| s * g).collect()
+            for s in samples.iter_mut() {
+                *s *= g;
+            }
         } else {
-            samples
-                .iter()
-                .enumerate()
-                .map(|(n, &s)| {
-                    s * Complex::from_polar(
-                        self.attenuation,
-                        self.phase + n as f64 * self.freq_offset,
-                    )
-                })
-                .collect()
+            for (n, s) in samples.iter_mut().enumerate() {
+                *s *=
+                    Complex::from_polar(self.attenuation, self.phase + n as f64 * self.freq_offset);
+            }
         }
     }
 }

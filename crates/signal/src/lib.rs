@@ -63,7 +63,7 @@ pub mod energy_resolve;
 pub mod linalg;
 pub mod msk;
 
-pub use anc::{resolve, transmit_mixed, AncError, EnergyEstimate};
+pub use anc::{resolve, transmit_mixed, transmit_mixed_into, AncError, EnergyEstimate, MixScratch};
 pub use channel::{ChannelModel, ChannelParams};
 pub use complex::Complex;
 pub use energy_resolve::resolve_two_energy;

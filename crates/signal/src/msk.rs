@@ -104,19 +104,34 @@ impl MskModulator {
     /// into a single complex gain per component.
     #[must_use]
     pub fn modulate(&self, bits: &[bool], amplitude: f64, theta0: f64) -> Vec<Complex> {
+        let mut samples = Vec::new();
+        self.modulate_into(bits, amplitude, theta0, &mut samples);
+        samples
+    }
+
+    /// Allocation-free [`MskModulator::modulate`]: clears `out` and fills
+    /// it with the waveform, reusing its capacity. Produces bit-identical
+    /// samples (same arithmetic, same order).
+    pub fn modulate_into(
+        &self,
+        bits: &[bool],
+        amplitude: f64,
+        theta0: f64,
+        out: &mut Vec<Complex>,
+    ) {
         let spb = self.config.samples_per_bit as usize;
         let step_per_sample = FRAC_PI_2 / spb as f64;
-        let mut samples = Vec::with_capacity(self.config.samples_for_bits(bits.len()));
+        out.clear();
+        out.reserve(self.config.samples_for_bits(bits.len()));
         let mut phase = theta0;
-        samples.push(Complex::from_polar(amplitude, phase));
+        out.push(Complex::from_polar(amplitude, phase));
         for &bit in bits {
             let dir = if bit { 1.0 } else { -1.0 };
             for _ in 0..spb {
                 phase += dir * step_per_sample;
-                samples.push(Complex::from_polar(amplitude, phase));
+                out.push(Complex::from_polar(amplitude, phase));
             }
         }
-        samples
     }
 
     /// The reference (unit-amplitude, zero-phase) waveform for `bits`, used
@@ -124,6 +139,11 @@ impl MskModulator {
     #[must_use]
     pub fn reference(&self, bits: &[bool]) -> Vec<Complex> {
         self.modulate(bits, 1.0, 0.0)
+    }
+
+    /// Allocation-free [`MskModulator::reference`].
+    pub fn reference_into(&self, bits: &[bool], out: &mut Vec<Complex>) {
+        self.modulate_into(bits, 1.0, 0.0, out);
     }
 }
 

@@ -157,11 +157,18 @@ pub struct SimConfig {
     errors: ErrorModel,
     max_slots: u64,
     trace: bool,
+    #[cfg_attr(feature = "serde", serde(default = "default_hash_bits"))]
+    hash_bits: u32,
+}
+
+#[cfg(feature = "serde")]
+fn default_hash_bits() -> u32 {
+    16
 }
 
 impl SimConfig {
     /// Default configuration: seed 0, Philips I-Code timing, clean channel,
-    /// and a 10-million-slot runaway cap.
+    /// a 10-million-slot runaway cap, and a 16-bit membership hash.
     #[must_use]
     pub fn new() -> Self {
         SimConfig {
@@ -170,6 +177,7 @@ impl SimConfig {
             errors: ErrorModel::none(),
             max_slots: 10_000_000,
             trace: false,
+            hash_bits: 16,
         }
     }
 
@@ -245,6 +253,29 @@ impl SimConfig {
     #[must_use]
     pub fn trace_enabled(&self) -> bool {
         self.trace
+    }
+
+    /// Returns this configuration with a different advertisement hash width
+    /// `l` (§IV-A): probabilities quantize to `⌊p·2^l⌋` and the membership
+    /// hash reduces to `l` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_bits` is outside `1..=32`.
+    #[must_use]
+    pub fn with_hash_bits(mut self, hash_bits: u32) -> Self {
+        assert!(
+            (1..=32).contains(&hash_bits),
+            "hash_bits must be in 1..=32, got {hash_bits}"
+        );
+        self.hash_bits = hash_bits;
+        self
+    }
+
+    /// The advertisement hash width `l` (default 16, the paper's setting).
+    #[must_use]
+    pub fn hash_bits(&self) -> u32 {
+        self.hash_bits
     }
 }
 
@@ -330,5 +361,24 @@ mod tests {
     #[should_panic(expected = "max_slots must be positive")]
     fn zero_max_slots_panics() {
         let _ = SimConfig::default().with_max_slots(0);
+    }
+
+    #[test]
+    fn hash_bits_default_and_builder() {
+        assert_eq!(SimConfig::default().hash_bits(), 16);
+        assert_eq!(SimConfig::default().with_hash_bits(8).hash_bits(), 8);
+        assert_eq!(SimConfig::default().with_hash_bits(32).hash_bits(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash_bits must be in 1..=32")]
+    fn zero_hash_bits_panics() {
+        let _ = SimConfig::default().with_hash_bits(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash_bits must be in 1..=32")]
+    fn oversized_hash_bits_panics() {
+        let _ = SimConfig::default().with_hash_bits(33);
     }
 }

@@ -104,6 +104,12 @@ impl InventoryReport {
         }
     }
 
+    /// Pre-sizes the identified-ID set for `n` tags so a full inventory
+    /// does not rehash mid-run.
+    pub fn reserve_identified(&mut self, n: usize) {
+        self.ids.reserve(n);
+    }
+
     /// Records one slot of class `class` costing `duration_us`.
     pub fn record_slot(&mut self, class: SlotClass, duration_us: f64) {
         self.slots.record(class);

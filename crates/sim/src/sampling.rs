@@ -52,6 +52,18 @@ pub fn pick_distinct_indices(len: usize, k: usize, rng: &mut StdRng) -> Vec<usiz
     rand::seq::index::sample(rng, len, k).into_vec()
 }
 
+/// Allocation-free [`pick_distinct_indices`]: clears `out` and fills it with
+/// `k` distinct indices from `0..len`, reusing its capacity. Draws the exact
+/// same RNG sequence as the allocating variant.
+///
+/// # Panics
+///
+/// Panics if `k > len`.
+pub fn pick_distinct_indices_into(len: usize, k: usize, rng: &mut StdRng, out: &mut Vec<usize>) {
+    assert!(k <= len, "cannot pick {k} of {len}");
+    rand::seq::index::sample_into(rng, len, k, out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +130,19 @@ mod tests {
         }
         assert!(pick_distinct_indices(3, 0, &mut rng).is_empty());
         assert_eq!(pick_distinct_indices(3, 3, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn distinct_indices_into_matches_allocating_variant() {
+        let mut scratch = Vec::new();
+        for (len, k) in [(50, 7), (10_000, 2), (3, 0), (3, 3)] {
+            let mut rng_a = StdRng::seed_from_u64(6);
+            let mut rng_b = StdRng::seed_from_u64(6);
+            for _ in 0..20 {
+                let picks = pick_distinct_indices(len, k, &mut rng_a);
+                pick_distinct_indices_into(len, k, &mut rng_b, &mut scratch);
+                assert_eq!(picks, scratch);
+            }
+        }
     }
 }

@@ -27,6 +27,67 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The per-tag prefix of the slot-membership hash, precomputed once.
+///
+/// `slot_hash(id, slot)` is three SplitMix64 rounds, but the inner two mix
+/// only the ID. Engines that evaluate the membership test for every tag in
+/// every slot (Hash membership, §IV-A) cache this state per tag so the
+/// per-slot cost drops to a single finalizer round.
+///
+/// Equivalence with the free functions is exact — see
+/// [`TagHashState::slot_hash`] — and enforced by a property test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagHashState {
+    prefix: u64,
+}
+
+impl TagHashState {
+    /// Precomputes the ID-only mixing rounds of [`slot_hash`].
+    #[inline]
+    #[must_use]
+    pub fn new(id: TagId) -> Self {
+        let raw = id.raw_bits();
+        let lo = raw as u64;
+        let hi = (raw >> 64) as u64;
+        let h = splitmix64(lo ^ 0xA076_1D64_78BD_642F);
+        TagHashState {
+            prefix: splitmix64(h ^ hi),
+        }
+    }
+
+    /// The full-width hash `H(ID|slot)`; identical to
+    /// [`slot_hash`]`(id, slot)` at one round of mixing.
+    #[inline]
+    #[must_use]
+    pub fn slot_hash(self, slot: u64) -> u64 {
+        splitmix64(self.prefix ^ slot)
+    }
+
+    /// The `l`-bit reduction; identical to [`slot_hash_bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0` or `l > 32`.
+    #[inline]
+    #[must_use]
+    pub fn slot_hash_bits(self, slot: u64, l: u32) -> u64 {
+        assert!((1..=32).contains(&l), "l must be in 1..=32, got {l}");
+        self.slot_hash(slot) >> (64 - l)
+    }
+
+    /// The membership test against a precomputed `l`-bit threshold;
+    /// identical to [`transmits`].
+    ///
+    /// Callers on the hot path compute the threshold once per slot with
+    /// [`probability_threshold`] (and handle `p <= 0` themselves, as
+    /// [`transmits_with_probability`] does).
+    #[inline]
+    #[must_use]
+    pub fn transmits(self, slot: u64, threshold: u64, l: u32) -> bool {
+        self.slot_hash_bits(slot, l) <= threshold
+    }
+}
+
 /// Computes the full-width 64-bit hash `H(ID|slot)`.
 ///
 /// Both halves of the 96-bit ID and the slot index go through independent
@@ -35,12 +96,7 @@ pub fn splitmix64(mut x: u64) -> u64 {
 #[inline]
 #[must_use]
 pub fn slot_hash(id: TagId, slot: u64) -> u64 {
-    let raw = id.raw_bits();
-    let lo = raw as u64;
-    let hi = (raw >> 64) as u64;
-    let mut h = splitmix64(lo ^ 0xA076_1D64_78BD_642F);
-    h = splitmix64(h ^ hi);
-    splitmix64(h ^ slot)
+    TagHashState::new(id).slot_hash(slot)
 }
 
 /// Reduces [`slot_hash`] to the `l`-bit range `[0, 2^l)` used by the
@@ -234,6 +290,42 @@ mod tests {
         ) {
             let id = TagId::from_payload(payload);
             prop_assert!(slot_hash_bits(id, slot, l) < (1u64 << l));
+        }
+
+        #[test]
+        fn prop_cached_state_matches_free_functions(
+            raw in any::<u128>(),
+            slot in any::<u64>(),
+            l in 1u32..=32,
+            threshold in any::<u64>(),
+        ) {
+            // The cached fast path must be bit-identical to the reference
+            // three-round functions for arbitrary (even CRC-invalid) IDs.
+            let id = TagId::from_raw_bits(raw);
+            let state = TagHashState::new(id);
+            prop_assert_eq!(state.slot_hash(slot), slot_hash(id, slot));
+            prop_assert_eq!(state.slot_hash_bits(slot, l), slot_hash_bits(id, slot, l));
+            let threshold = threshold & ((1u64 << l) - 1);
+            prop_assert_eq!(
+                state.transmits(slot, threshold, l),
+                transmits(id, slot, threshold, l)
+            );
+        }
+
+        #[test]
+        fn prop_cached_state_matches_probability_path(
+            payload in any::<u128>(),
+            slot in any::<u64>(),
+            p in -0.25f64..1.25,
+            l in 1u32..=32,
+        ) {
+            // The engine's hot path: threshold hoisted out of the loop,
+            // p <= 0 handled before the hash. Must equal the reference
+            // `transmits_with_probability` for every (ID, slot, p, l).
+            let id = TagId::from_payload(payload);
+            let fast = p > 0.0
+                && TagHashState::new(id).transmits(slot, probability_threshold(p, l), l);
+            prop_assert_eq!(fast, transmits_with_probability(id, slot, p, l));
         }
     }
 }

@@ -113,10 +113,16 @@ impl TagId {
     /// The ID as a 96-element MSB-first bit vector, ready for modulation.
     #[must_use]
     pub fn to_bits(self) -> Vec<bool> {
-        (0..TAG_ID_BITS)
-            .rev()
-            .map(|i| (self.0 >> i) & 1 == 1)
-            .collect()
+        let mut bits = Vec::new();
+        self.write_bits(&mut bits);
+        bits
+    }
+
+    /// Allocation-free [`TagId::to_bits`]: clears `out` and fills it with
+    /// the 96 MSB-first bits, reusing its capacity.
+    pub fn write_bits(self, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend((0..TAG_ID_BITS).rev().map(|i| (self.0 >> i) & 1 == 1));
     }
 }
 

@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if name == "FCAT-2" {
             fcat2 = agg.throughput.mean;
         }
-        if !name.starts_with("FCAT") && !name.starts_with("SCAT") {
+        if !name.starts_with("FCAT") && !name.starts_with("SCAT") && name != "CRDSA" {
             best_baseline = best_baseline.max(agg.throughput.mean);
         }
     }

@@ -1,0 +1,194 @@
+//! Golden-report regression guard for the collision-aware protocols.
+//!
+//! Every optimization of the slot loop must keep reports **byte-identical**
+//! for identical seeds. This test runs a matrix of SCAT/FCAT configurations
+//! (both membership modes, clean and errored channels, slot- and signal-
+//! level fidelity) and compares a canonical text serialization of each
+//! report against checked-in golden files.
+//!
+//! To (re)bless the goldens after an *intentional* behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_reports
+//! ```
+//!
+//! The files under `tests/goldens/` were captured before the PR 2 hot-path
+//! overhaul; the optimized code must reproduce them exactly.
+
+use anc_rfid::anc::{Fcat, FcatConfig, Membership, Scat, ScatConfig, SignalLevelConfig};
+use anc_rfid::prelude::*;
+use anc_rfid::sim::ErrorModel;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const SEEDS: std::ops::Range<u64> = 0..5;
+
+/// Canonical, locale-free text form of a report. `{:?}` on `f64` prints the
+/// shortest representation that round-trips, so any drift in floating-point
+/// accumulation order shows up as a byte difference.
+fn canonical(report: &InventoryReport) -> String {
+    let mut s = String::new();
+    writeln!(s, "protocol: {}", report.protocol).unwrap();
+    writeln!(s, "population: {}", report.population).unwrap();
+    writeln!(s, "identified: {}", report.identified).unwrap();
+    writeln!(
+        s,
+        "slots: empty={} singleton={} collision={}",
+        report.slots.empty, report.slots.singleton, report.slots.collision
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "resolved_from_collisions: {}",
+        report.resolved_from_collisions
+    )
+    .unwrap();
+    writeln!(s, "duplicates_discarded: {}", report.duplicates_discarded).unwrap();
+    writeln!(s, "elapsed_us: {:?}", report.elapsed_us).unwrap();
+    writeln!(
+        s,
+        "throughput_tags_per_sec: {:?}",
+        report.throughput_tags_per_sec
+    )
+    .unwrap();
+    let mut ids: Vec<TagId> = report.ids.iter().copied().collect();
+    ids.sort_unstable();
+    write!(s, "ids:").unwrap();
+    for id in ids {
+        write!(s, " {id}").unwrap();
+    }
+    writeln!(s).unwrap();
+    s
+}
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+/// Runs `protocol` for every seed and either compares against or blesses
+/// the named golden file.
+fn check<P: AntiCollisionProtocol>(name: &str, protocol: &P, n_tags: usize, errors: ErrorModel) {
+    let mut actual = String::new();
+    for seed in SEEDS {
+        let tags = population::uniform(&mut seeded_rng(100 + seed), n_tags);
+        let config = SimConfig::default()
+            .with_seed(seed)
+            .with_errors(errors.clone());
+        let report = run_inventory(protocol, &tags, &config).expect("inventory completes");
+        writeln!(actual, "# seed {seed}").unwrap();
+        actual.push_str(&canonical(&report));
+    }
+
+    let path = goldens_dir().join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); bless with UPDATE_GOLDENS=1 cargo test --test golden_reports",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "report for {name} drifted from the pre-optimization golden {}.\n\
+         If this change is intentional, re-bless with UPDATE_GOLDENS=1.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+#[test]
+fn scat2_sampled_matches_golden() {
+    check(
+        "scat2_sampled",
+        &Scat::new(ScatConfig::default()),
+        400,
+        ErrorModel::none(),
+    );
+}
+
+#[test]
+fn scat2_hash_matches_golden() {
+    check(
+        "scat2_hash",
+        &Scat::new(ScatConfig::default().with_membership(Membership::Hash)),
+        400,
+        ErrorModel::none(),
+    );
+}
+
+#[test]
+fn fcat2_sampled_matches_golden() {
+    check(
+        "fcat2_sampled",
+        &Fcat::new(FcatConfig::default()),
+        400,
+        ErrorModel::none(),
+    );
+}
+
+#[test]
+fn fcat2_hash_matches_golden() {
+    check(
+        "fcat2_hash",
+        &Fcat::new(FcatConfig::default().with_membership(Membership::Hash)),
+        400,
+        ErrorModel::none(),
+    );
+}
+
+#[test]
+fn fcat3_sampled_matches_golden() {
+    // λ = 3 exercises multi-participant records (k ≤ 3) in the cascade.
+    check(
+        "fcat3_sampled",
+        &Fcat::new(FcatConfig::default().with_lambda(3)),
+        400,
+        ErrorModel::none(),
+    );
+}
+
+#[test]
+fn scat2_sampled_errors_matches_golden() {
+    // Errored channel pins the order of every error-model RNG draw
+    // (ack loss, corruption, capture) in the slot loop.
+    check(
+        "scat2_sampled_errors",
+        &Scat::new(ScatConfig::default()),
+        400,
+        ErrorModel::new(0.1, 0.05, 0.1).with_capture(0.2),
+    );
+}
+
+#[test]
+fn fcat2_hash_errors_matches_golden() {
+    check(
+        "fcat2_hash_errors",
+        &Fcat::new(FcatConfig::default().with_membership(Membership::Hash)),
+        400,
+        ErrorModel::new(0.1, 0.05, 0.1).with_capture(0.2),
+    );
+}
+
+#[test]
+fn fcat2_signal_matches_golden() {
+    // Signal-level fidelity pins the RNG draw order and floating-point
+    // accumulation order of the MSK waveform synthesis path.
+    check(
+        "fcat2_signal",
+        &Fcat::new(
+            FcatConfig::default()
+                .with_fidelity(anc_rfid::anc::Fidelity::SignalLevel(
+                    SignalLevelConfig::default(),
+                ))
+                .with_initial(anc_rfid::anc::InitialPopulation::Known),
+        ),
+        60,
+        ErrorModel::none(),
+    );
+}

@@ -123,6 +123,62 @@ impl From<&str> for BenchmarkId {
     }
 }
 
+/// Result of timing one routine with [`measure_with_budget`]: the best
+/// observed per-iteration wall time and the total number of iterations run.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Best observed nanoseconds per iteration across all batches.
+    pub best_ns_per_iter: f64,
+    /// Total iterations executed (including the calibration call).
+    pub iters: u64,
+}
+
+/// Times `routine` under an explicit time budget and returns the best
+/// observed per-iteration cost.
+///
+/// This is the measurement core behind [`Bencher::iter`], exposed so that
+/// programmatic harnesses (e.g. a JSON-emitting perf runner) can reuse the
+/// exact same timing discipline as the registered `criterion_group!`
+/// benchmarks: one calibration call, then batches sized for ~10 batches
+/// within `budget`, keeping the minimum batch mean.
+pub fn measure_with_budget<O, R>(budget: Duration, mut routine: R) -> Measurement
+where
+    R: FnMut() -> O,
+{
+    // Warm-up + calibration: one untimed call.
+    let start = Instant::now();
+    black_box(routine());
+    let single = start.elapsed();
+    let mut iters = 1u64;
+
+    let deadline = Instant::now() + budget;
+    // Pick a batch size that aims for ~10 batches within the budget.
+    let batch = if single.is_zero() {
+        1_000
+    } else {
+        (budget.as_nanos() / 10 / single.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+    let mut best = f64::INFINITY;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64 / batch as f64;
+        if elapsed < best {
+            best = elapsed;
+        }
+        iters += batch;
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    Measurement {
+        best_ns_per_iter: best,
+        iters,
+    }
+}
+
 /// Timing loop handle passed to benchmark closures.
 #[derive(Debug)]
 pub struct Bencher {
@@ -132,40 +188,13 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `routine`, keeping the best observed per-iteration cost.
-    pub fn iter<O, R>(&mut self, mut routine: R)
+    pub fn iter<O, R>(&mut self, routine: R)
     where
         R: FnMut() -> O,
     {
-        // Warm-up + calibration: one untimed call.
-        let start = Instant::now();
-        black_box(routine());
-        let single = start.elapsed();
-        self.iters = 1;
-
-        let budget = budget();
-        let deadline = Instant::now() + budget;
-        // Pick a batch size that aims for ~10 batches within the budget.
-        let batch = if single.is_zero() {
-            1_000
-        } else {
-            (budget.as_nanos() / 10 / single.as_nanos().max(1)).clamp(1, 1_000_000) as u64
-        };
-        let mut best = f64::INFINITY;
-        loop {
-            let start = Instant::now();
-            for _ in 0..batch {
-                black_box(routine());
-            }
-            let elapsed = start.elapsed().as_nanos() as f64 / batch as f64;
-            if elapsed < best {
-                best = elapsed;
-            }
-            self.iters += batch;
-            if Instant::now() >= deadline {
-                break;
-            }
-        }
-        self.best_ns_per_iter = best;
+        let m = measure_with_budget(budget(), routine);
+        self.best_ns_per_iter = m.best_ns_per_iter;
+        self.iters = m.iters;
     }
 }
 
@@ -222,6 +251,18 @@ mod tests {
             });
         });
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn measure_with_budget_reports() {
+        let mut runs = 0u64;
+        let m = measure_with_budget(Duration::from_millis(2), || {
+            runs += 1;
+            black_box(runs)
+        });
+        assert!(m.iters > 0);
+        assert!(m.best_ns_per_iter.is_finite());
+        assert_eq!(runs, m.iters);
     }
 
     #[test]

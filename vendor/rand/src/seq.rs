@@ -77,32 +77,51 @@ pub mod index {
     ///
     /// Panics if `amount > length`.
     pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        let mut picked = Vec::new();
+        sample_into(rng, length, amount, &mut picked);
+        IndexVec(picked)
+    }
+
+    /// Allocation-free variant of [`sample`]: clears `out` and fills it with
+    /// `amount` distinct indices from `0..length`, reusing its capacity.
+    ///
+    /// Draws the exact same RNG value sequence as [`sample`] (the hot slot
+    /// loops rely on this for byte-identical reports); the large-draw branch
+    /// reuses `out` itself as the Fisher–Yates pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample_into<R: RngCore + ?Sized>(
+        rng: &mut R,
+        length: usize,
+        amount: usize,
+        out: &mut Vec<usize>,
+    ) {
         assert!(
             amount <= length,
             "cannot sample {amount} indices from {length}"
         );
+        out.clear();
         if amount == 0 {
-            return IndexVec(Vec::new());
+            return;
         }
         if amount * 8 <= length {
             // Small draw: rejection against the already-picked set.
-            let mut picked: Vec<usize> = Vec::with_capacity(amount);
-            while picked.len() < amount {
+            while out.len() < amount {
                 let candidate = rng.gen_range(0..length);
-                if !picked.contains(&candidate) {
-                    picked.push(candidate);
+                if !out.contains(&candidate) {
+                    out.push(candidate);
                 }
             }
-            IndexVec(picked)
         } else {
             // Large draw: partial Fisher–Yates over the full index range.
-            let mut pool: Vec<usize> = (0..length).collect();
+            out.extend(0..length);
             for i in 0..amount {
                 let j = rng.gen_range(i..length);
-                pool.swap(i, j);
+                out.swap(i, j);
             }
-            pool.truncate(amount);
-            IndexVec(pool)
+            out.truncate(amount);
         }
     }
 }
@@ -165,5 +184,24 @@ mod tests {
     fn oversample_panics() {
         let mut rng = StdRng::seed_from_u64(5);
         let _ = index::sample(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn sample_into_matches_sample_draw_for_draw() {
+        // Both branches (rejection and Fisher–Yates), same seed: identical
+        // picks AND identical RNG state afterwards.
+        for (length, amount) in [(10_000, 3), (10_000, 0), (50, 40), (5, 5), (16, 2)] {
+            let mut rng_a = StdRng::seed_from_u64(42);
+            let mut rng_b = StdRng::seed_from_u64(42);
+            let mut reused = vec![7usize; 3]; // stale contents must not leak
+            for round in 0..3 {
+                let picks = index::sample(&mut rng_a, length, amount).into_vec();
+                index::sample_into(&mut rng_b, length, amount, &mut reused);
+                assert_eq!(
+                    picks, reused,
+                    "length={length} amount={amount} round={round}"
+                );
+            }
+        }
     }
 }
