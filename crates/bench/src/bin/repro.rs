@@ -8,7 +8,7 @@
 //!
 //! experiments:
 //!   table1 table2 table3 table4 fig3 fig4 fig5 fig6
-//!   ablation-estimator ablation-snr ablation-noise
+//!   ablation-estimator ablation-snr ablation-noise snr-sweep
 //!   extension-crdsa extension-model extension-rounds extension-signal bounds
 //!   all        (everything above)
 //! ```
@@ -81,6 +81,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-estimator",
     "ablation-snr",
     "ablation-noise",
+    "snr-sweep",
     "extension-crdsa",
     "extension-model",
     "extension-rounds",
@@ -113,7 +114,7 @@ fn main() -> ExitCode {
                  [--trace FILE.jsonl [--trace-tags N]] <experiment>..."
             );
             eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6");
-            eprintln!("             ablation-estimator ablation-snr ablation-noise");
+            eprintln!("             ablation-estimator ablation-snr ablation-noise snr-sweep");
             eprintln!(
                 "             extension-crdsa extension-model extension-rounds extension-signal"
             );
@@ -246,6 +247,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "ablation-noise" => {
                 experiments::run_ablation_noise(&opts).map_err(|e| e.to_string())?
             }
+            "snr-sweep" => experiments::run_snr_sweep(&opts).map_err(|e| e.to_string())?,
             "extension-crdsa" => {
                 experiments::run_extension_crdsa(&opts).map_err(|e| e.to_string())?
             }
@@ -262,7 +264,7 @@ fn run(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown experiment {other}")),
         };
         println!("{}", table.render());
-        if name.starts_with("fig") || name == "ablation-snr" {
+        if name.starts_with("fig") || name == "ablation-snr" || name == "snr-sweep" {
             let lines = rfid_bench::output::table_sparklines(&table);
             if !lines.is_empty() {
                 println!("{lines}");

@@ -20,19 +20,41 @@
 //!   buffers owned by the engine and reused across slots.
 
 use crate::config::{Fidelity, Membership};
-use crate::records::{CollisionRecordStore, Resolved};
+use crate::records::{
+    CollisionRecordStore, FailedResolution, RecordStats, ResolutionAttemptLog, Resolved,
+};
+use crate::resolution::{RecoveryPolicy, ResolutionModel};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rfid_obs::{EstimatorEvent, EventSink, RecordEvent, RecordEventKind, SlotEvent};
 use rfid_signal::anc;
 use rfid_signal::complex::Complex;
 use rfid_sim::sampling::{pick_distinct_indices_into, sample_binomial};
-use rfid_sim::{ErrorModel, InventoryReport, SimConfig, SimError, TraceEvent};
+use rfid_sim::{derive_seed, ErrorModel, InventoryReport, SimConfig, SimError, TraceEvent};
 use rfid_types::hash::{effective_probability, probability_threshold, TagHashState};
 use rfid_types::{SlotClass, TagId};
 
 /// Sentinel in the dense position map for "not active".
 const NOT_ACTIVE: u32 = u32::MAX;
+
+/// Stream tag for the signal-backed resolution RNG, derived from the run
+/// seed. `u64::MAX` is the rounds population stream and `index*2(+1)` the
+/// per-run streams, so `u64::MAX - 2` cannot collide with either.
+const RESOLUTION_RNG_STREAM: u64 = u64::MAX - 2;
+
+/// A re-query slot scheduled by [`RecoveryPolicy::Requery`] after a failed
+/// signal-backed resolution.
+#[derive(Debug, Clone, Copy)]
+struct PendingRequery {
+    /// Dense index of the unresolved tag.
+    idx: u32,
+    /// Slot index of the record whose resolution failed (for obs events).
+    record_slot: u64,
+    /// 1-based attempt counter.
+    attempt: u32,
+    /// Earliest slot index at which the re-query may run.
+    due_slot: u64,
+}
 
 /// What one slot produced, as seen by the protocol layer. The protocol
 /// loops keep one instance alive and pass it back in; [`Engine::run_slot`]
@@ -70,6 +92,10 @@ pub(crate) struct Engine<'a, S: EventSink> {
     pub records: CollisionRecordStore,
     membership: Membership,
     fidelity: &'a Fidelity,
+    /// Failure handling for signal-backed resolutions.
+    recovery: RecoveryPolicy,
+    /// Re-query slots awaiting execution ([`RecoveryPolicy::Requery`]).
+    requeries: Vec<PendingRequery>,
     errors: ErrorModel,
     slot_us: f64,
     max_slots: u64,
@@ -91,22 +117,41 @@ pub(crate) struct Engine<'a, S: EventSink> {
     wave_scratch: Vec<Complex>,
     /// Signal-level: per-component modulation workspace.
     mix_scratch: anc::MixScratch,
+    /// Drain buffer for the store's resolution-attempt log.
+    attempt_scratch: Vec<ResolutionAttemptLog>,
+    /// Drain buffer for the store's resolution-failure log.
+    failure_scratch: Vec<FailedResolution>,
 }
 
 impl<'a, S: EventSink> Engine<'a, S> {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         tags: &[TagId],
         lambda: u32,
         membership: Membership,
         fidelity: &'a Fidelity,
+        resolution: &ResolutionModel,
+        recovery: RecoveryPolicy,
         config: &SimConfig,
         sink: S,
     ) -> Self {
         let mut records = match fidelity {
-            Fidelity::SlotLevel => CollisionRecordStore::slot_level(lambda),
+            // The resolution model only has meaning at slot level; at
+            // signal level the records carry waveforms recorded off the
+            // simulated air and physics already decides every resolution.
+            Fidelity::SlotLevel => match resolution {
+                ResolutionModel::Ideal => CollisionRecordStore::slot_level(lambda),
+                ResolutionModel::SignalBacked(cfg) => CollisionRecordStore::signal_backed(
+                    lambda,
+                    cfg.clone(),
+                    recovery,
+                    derive_seed(config.seed(), RESOLUTION_RNG_STREAM),
+                ),
+            },
             Fidelity::SignalLevel(sig) => CollisionRecordStore::signal_level(sig.msk.clone()),
         };
+        records.set_attempt_logging(S::ENABLED);
         records.reserve_tags(tags.len());
         let mut active = Vec::with_capacity(tags.len());
         let mut active_states = Vec::with_capacity(tags.len());
@@ -131,6 +176,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             records,
             membership,
             fidelity,
+            recovery,
+            requeries: Vec::new(),
             errors: config.errors().clone(),
             slot_us: config.timing().basic_slot_us(),
             max_slots: config.max_slots(),
@@ -146,6 +193,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             id_scratch: Vec::new(),
             wave_scratch: Vec::new(),
             mix_scratch: anc::MixScratch::default(),
+            attempt_scratch: Vec::new(),
+            failure_scratch: Vec::new(),
         }
     }
 
@@ -261,25 +310,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 learned: (self.report.identified - identified_before) as u32,
             });
         }
+        let slot = self.slot_index - 1;
+        self.emit_store_deltas(slot, stats_before);
         if S::ENABLED {
-            let slot = self.slot_index - 1;
-            // Exhaustions and failed resolution attempts happen deep inside
-            // the cascade; surface them from the store's counter deltas.
-            let stats = self.records.stats();
-            for _ in stats_before.exhausted..stats.exhausted {
-                self.sink.record(&RecordEvent {
-                    slot,
-                    record_slot: slot,
-                    kind: RecordEventKind::Exhausted,
-                });
-            }
-            for _ in stats_before.failed_attempts..stats.failed_attempts {
-                self.sink.record(&RecordEvent {
-                    slot,
-                    record_slot: slot,
-                    kind: RecordEventKind::Failed,
-                });
-            }
             let learned = (self.report.identified - identified_before) as u32;
             let learned_resolved = (self.report.resolved_from_collisions - resolved_before) as u32;
             self.sink.slot(&SlotEvent {
@@ -292,7 +325,206 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 records_outstanding: self.records.outstanding() as u64,
             });
         }
+        self.harvest_resolutions(slot);
         Ok(())
+    }
+
+    /// Surfaces exhaustions and failed resolution attempts that happened
+    /// deep inside the cascade, from the store's counter deltas.
+    fn emit_store_deltas(&mut self, slot: u64, before: RecordStats) {
+        if S::ENABLED {
+            let stats = self.records.stats();
+            for _ in before.exhausted..stats.exhausted {
+                self.sink.record(&RecordEvent {
+                    slot,
+                    record_slot: slot,
+                    kind: RecordEventKind::Exhausted,
+                });
+            }
+            for _ in before.failed_attempts..stats.failed_attempts {
+                self.sink.record(&RecordEvent {
+                    slot,
+                    record_slot: slot,
+                    kind: RecordEventKind::Failed,
+                });
+            }
+        }
+    }
+
+    /// Drains the store's per-attempt and failure logs accumulated during
+    /// `slot`: attempts become [`RecordEventKind::Attempted`] events, and
+    /// failures become pending re-query slots when the recovery policy
+    /// asks for them.
+    fn harvest_resolutions(&mut self, slot: u64) {
+        if S::ENABLED {
+            let mut attempts = std::mem::take(&mut self.attempt_scratch);
+            debug_assert!(attempts.is_empty());
+            self.records.swap_attempt_log(&mut attempts);
+            for a in &attempts {
+                self.sink.record(&RecordEvent {
+                    slot,
+                    record_slot: a.record_slot,
+                    kind: RecordEventKind::Attempted {
+                        hop: a.hop,
+                        residual_snr_db: a.residual_snr_db,
+                        success: a.success,
+                    },
+                });
+            }
+            attempts.clear();
+            self.attempt_scratch = attempts;
+        }
+        if let RecoveryPolicy::Requery { backoff_slots, .. } = self.recovery {
+            let mut failures = std::mem::take(&mut self.failure_scratch);
+            debug_assert!(failures.is_empty());
+            self.records.swap_failed_log(&mut failures);
+            for f in &failures {
+                let due_slot = self.slot_index + u64::from(backoff_slots.max(1));
+                self.requeries.push(PendingRequery {
+                    idx: f.unknown,
+                    record_slot: f.record_slot,
+                    attempt: 1,
+                    due_slot,
+                });
+                if S::ENABLED {
+                    self.sink.record(&RecordEvent {
+                        slot,
+                        record_slot: f.record_slot,
+                        kind: RecordEventKind::RequeryScheduled {
+                            attempt: 1,
+                            due_slot,
+                        },
+                    });
+                }
+            }
+            failures.clear();
+            self.failure_scratch = failures;
+        }
+    }
+
+    /// Executes every due re-query slot: the reader addresses one
+    /// unresolved tag (by the failed record's slot index), the tag
+    /// retransmits alone, and the reader attempts a singleton decode.
+    /// Success identifies the tag (and cascades); failure backs off
+    /// linearly and retries up to the policy's bound, after which the tag
+    /// simply stays in open contention — completeness never depends on a
+    /// re-query succeeding.
+    ///
+    /// Returns the number of re-query slots executed (each charged one
+    /// basic slot of air time; the caller layers command overhead on top).
+    /// Resolved tags accumulate in `output` for ack accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ExceededMaxSlots`] when the safety cap is hit.
+    pub fn drain_requeries(
+        &mut self,
+        rng: &mut StdRng,
+        output: &mut SlotOutput,
+    ) -> Result<u32, SimError> {
+        output.clear();
+        if self.requeries.is_empty() {
+            return Ok(0);
+        }
+        let RecoveryPolicy::Requery {
+            max_retries,
+            backoff_slots,
+        } = self.recovery
+        else {
+            return Ok(0);
+        };
+        let mut executed = 0u32;
+        while let Some(pos) = self
+            .requeries
+            .iter()
+            .position(|r| r.due_slot <= self.slot_index)
+        {
+            let pending = self.requeries.swap_remove(pos);
+            if self.records.is_known_dense(pending.idx) {
+                // Identified through open contention in the meantime; the
+                // reader cancels the re-query for free.
+                continue;
+            }
+            if self.slot_index >= self.max_slots {
+                return Err(SimError::ExceededMaxSlots {
+                    max_slots: self.max_slots,
+                    identified: self.report.identified,
+                    total: self.total_tags,
+                });
+            }
+            self.slot_index += 1;
+            executed += 1;
+            let slot = self.slot_index - 1;
+            let identified_before = self.report.identified;
+            let resolved_before = self.report.resolved_from_collisions;
+            let stats_before = self.records.stats();
+            let success = self.records.requery_singleton(pending.idx);
+            let class = if success {
+                self.report.record_slot(SlotClass::Singleton, self.slot_us);
+                self.process_singleton(pending.idx, rng, output);
+                SlotClass::Singleton
+            } else {
+                // The addressed retransmission came back undecodable; the
+                // reader observes garbage, i.e. a collision-class slot.
+                self.report.record_slot(SlotClass::Collision, self.slot_us);
+                if pending.attempt < max_retries {
+                    let attempt = pending.attempt + 1;
+                    let due_slot =
+                        self.slot_index + u64::from(backoff_slots.max(1)) * u64::from(attempt);
+                    self.requeries.push(PendingRequery {
+                        attempt,
+                        due_slot,
+                        ..pending
+                    });
+                    if S::ENABLED {
+                        self.sink.record(&RecordEvent {
+                            slot,
+                            record_slot: pending.record_slot,
+                            kind: RecordEventKind::RequeryScheduled { attempt, due_slot },
+                        });
+                    }
+                }
+                SlotClass::Collision
+            };
+            self.report.requery_slots += 1;
+            if S::ENABLED {
+                self.sink.record(&RecordEvent {
+                    slot,
+                    record_slot: pending.record_slot,
+                    kind: RecordEventKind::Requeried {
+                        attempt: pending.attempt,
+                        success,
+                    },
+                });
+            }
+            if self.trace {
+                self.report.record_trace_event(TraceEvent {
+                    slot,
+                    class,
+                    transmitters: 1,
+                    learned: (self.report.identified - identified_before) as u32,
+                });
+            }
+            self.emit_store_deltas(slot, stats_before);
+            if S::ENABLED {
+                let learned = (self.report.identified - identified_before) as u32;
+                let learned_resolved =
+                    (self.report.resolved_from_collisions - resolved_before) as u32;
+                self.sink.slot(&SlotEvent {
+                    slot,
+                    class,
+                    transmitters: 1,
+                    p: 1.0,
+                    learned_direct: learned - learned_resolved,
+                    learned_resolved,
+                    records_outstanding: self.records.outstanding() as u64,
+                });
+            }
+            // A successful re-query's cascade can fail *other* records;
+            // harvest so those failures get their own re-query slots.
+            self.harvest_resolutions(slot);
+        }
+        Ok(executed)
     }
 
     /// Emits a [`RecordEventKind::Created`] for the record about to be
@@ -532,6 +764,8 @@ mod tests {
             2,
             Membership::Sampled,
             fidelity,
+            &ResolutionModel::Ideal,
+            RecoveryPolicy::DropRecord,
             &SimConfig::default(),
             NoopSink,
         )
@@ -593,6 +827,8 @@ mod tests {
             2,
             Membership::Hash,
             &fidelity,
+            &ResolutionModel::Ideal,
+            RecoveryPolicy::DropRecord,
             &SimConfig::default(),
             NoopSink,
         );
@@ -651,6 +887,8 @@ mod tests {
             2,
             Membership::Sampled,
             &fidelity,
+            &ResolutionModel::Ideal,
+            RecoveryPolicy::DropRecord,
             &config,
             NoopSink,
         );
@@ -679,6 +917,8 @@ mod tests {
             2,
             Membership::Hash,
             &fidelity,
+            &ResolutionModel::Ideal,
+            RecoveryPolicy::DropRecord,
             &config,
             NoopSink,
         );

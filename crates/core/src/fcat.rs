@@ -14,6 +14,7 @@
 
 use crate::config::{Fidelity, InitialPopulation, Membership};
 use crate::engine::{Engine, SlotOutput};
+use crate::resolution::{RecoveryPolicy, ResolutionModel};
 use rand::rngs::StdRng;
 use rfid_analysis::estimator::{
     estimate_remaining_from_collisions, estimate_remaining_from_empties,
@@ -62,6 +63,8 @@ pub struct FcatConfig {
     ack_mode: AckMode,
     membership: Membership,
     fidelity: Fidelity,
+    resolution: ResolutionModel,
+    recovery: RecoveryPolicy,
 }
 
 impl FcatConfig {
@@ -79,6 +82,8 @@ impl FcatConfig {
             ack_mode: AckMode::SlotIndex,
             membership: Membership::Sampled,
             fidelity: Fidelity::SlotLevel,
+            resolution: ResolutionModel::Ideal,
+            recovery: RecoveryPolicy::DropRecord,
         }
     }
 
@@ -155,6 +160,23 @@ impl FcatConfig {
         self
     }
 
+    /// Sets the collision-record resolution model (only consulted under
+    /// [`Fidelity::SlotLevel`]; signal-level fidelity already runs real
+    /// waveforms end to end).
+    #[must_use]
+    pub fn with_resolution(mut self, resolution: ResolutionModel) -> Self {
+        self.resolution = resolution;
+        self
+    }
+
+    /// Sets the recovery policy applied when a signal-backed resolution
+    /// attempt fails.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// Configured λ.
     #[must_use]
     pub fn lambda(&self) -> u32 {
@@ -189,6 +211,18 @@ impl FcatConfig {
     #[must_use]
     pub fn ack_mode(&self) -> AckMode {
         self.ack_mode
+    }
+
+    /// Configured resolution model.
+    #[must_use]
+    pub fn resolution(&self) -> &ResolutionModel {
+        &self.resolution
+    }
+
+    /// Configured recovery policy.
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 }
 
@@ -296,6 +330,8 @@ impl ObservableProtocol for Fcat {
             cfg.lambda,
             cfg.membership,
             &cfg.fidelity,
+            &cfg.resolution,
+            cfg.recovery,
             config,
             sink,
         );
@@ -312,8 +348,26 @@ impl ObservableProtocol for Fcat {
             AckMode::FullId => config.timing().id_ack_us(),
         };
 
+        let index_ack_us = config.timing().index_ack_us();
         let mut output = SlotOutput::default();
         while engine.remaining() > 0 {
+            // Due re-query slots run between frames: each is an addressed
+            // command (paid as a 23-bit index announcement, like a record
+            // ack) plus one basic slot, charged inside the engine.
+            let requeried = engine.drain_requeries(rng, &mut output)?;
+            if requeried > 0 {
+                engine
+                    .report
+                    .record_overhead(index_ack_us * f64::from(requeried));
+                if !output.resolved.is_empty() {
+                    engine
+                        .report
+                        .record_overhead(resolved_ack_us * output.resolved.len() as f64);
+                }
+                if engine.remaining() == 0 {
+                    break;
+                }
+            }
             let p = (cfg.omega / estimate.max(1.0)).clamp(1e-9, 1.0);
             engine.report.record_overhead(frame_adv_us);
 

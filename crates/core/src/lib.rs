@@ -52,11 +52,13 @@ mod engine;
 mod fcat;
 mod inline_vec;
 mod records;
+mod resolution;
 mod scat;
 mod session;
 
 pub use config::{Fidelity, InitialPopulation, Membership, SignalLevelConfig};
 pub use fcat::{AckMode, EstimatorInput, Fcat, FcatConfig};
 pub use records::{CollisionRecordStore, RecordStats};
+pub use resolution::{RecoveryPolicy, ResolutionModel, SignalResolutionConfig};
 pub use scat::{Scat, ScatConfig};
 pub use session::FcatSession;

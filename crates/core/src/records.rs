@@ -10,8 +10,11 @@
 //! worklist of the pseudocode).
 
 use crate::inline_vec::InlineVec;
+use crate::resolution::{RecoveryPolicy, SignalResolutionConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rfid_signal::complex::Complex;
-use rfid_signal::{anc, MskConfig};
+use rfid_signal::{anc, cascade, MskConfig};
 use rfid_types::TagId;
 use std::collections::HashMap;
 
@@ -62,6 +65,65 @@ pub struct RecordStats {
     pub exhausted: u64,
     /// Signal-level resolution attempts that failed CRC (noise defeats).
     pub failed_attempts: u64,
+    /// Cascade failures rescued by [`RecoveryPolicy::SalvagePartial`]'s
+    /// direct depth-1 re-subtraction.
+    pub salvaged: u64,
+}
+
+/// One signal-backed resolution attempt, logged for the observability
+/// layer (the engine drains this into [`rfid_obs`] record events).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ResolutionAttemptLog {
+    /// Slot index of the record attempted.
+    pub record_slot: u64,
+    /// Cascade depth of the attempt (1 = resolved from fresh knowledge).
+    pub hop: u32,
+    /// Residual SNR the subtraction left behind, in dB.
+    pub residual_snr_db: f64,
+    /// Whether the attempt recovered the record's remaining ID.
+    pub success: bool,
+}
+
+/// A resolution failure the [`RecoveryPolicy::Requery`] policy turns into
+/// a dedicated re-query slot (drained by the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FailedResolution {
+    /// Slot index of the spent record.
+    pub record_slot: u64,
+    /// Dense index of the record's one unknown participant.
+    pub unknown: u32,
+}
+
+/// How resolutions are decided: the store-internal realization of
+/// [`crate::ResolutionModel`] and [`crate::Fidelity`].
+#[derive(Debug)]
+enum Backend {
+    /// Slot-level λ gate with ideal recovery (the paper's §VI model).
+    Ideal,
+    /// Signal-level fidelity: records carry waveforms recorded off the
+    /// simulated air; resolution runs the real ANC chain on them.
+    Recorded(MskConfig),
+    /// Slot-level protocol with signal-backed resolution: usable records
+    /// get waveforms *synthesized at deposit time* on a dedicated RNG
+    /// stream, and every resolution runs the real ANC chain with per-hop
+    /// residual accumulation.
+    Synthesized(Box<SignalBackend>),
+}
+
+/// State of the [`Backend::Synthesized`] resolution path.
+#[derive(Debug)]
+struct SignalBackend {
+    cfg: SignalResolutionConfig,
+    policy: RecoveryPolicy,
+    /// Dedicated stream for waveform synthesis and residual noise — kept
+    /// separate from the protocol RNG so the contention trajectory is
+    /// identical to the ideal model's.
+    rng: StdRng,
+    scratch: anc::MixScratch,
+    /// Scratch: participant IDs for synthesis / known IDs for subtraction.
+    ids: Vec<TagId>,
+    /// Scratch: re-query singleton waveform.
+    wave: Vec<Complex>,
 }
 
 /// The reader's set of outstanding collision records plus its set of known
@@ -101,15 +163,25 @@ pub struct CollisionRecordStore {
     known: Vec<bool>,
     known_count: usize,
     lambda: u32,
-    /// MSK configuration for signal-level resolution; `None` = slot level.
-    msk: Option<MskConfig>,
+    /// How resolutions are decided (ideal λ gate, recorded waveforms, or
+    /// deposit-time synthesis).
+    backend: Backend,
     /// Records not yet consumed, maintained incrementally so
     /// [`Self::outstanding`] is O(1) (the observability layer reads it
     /// every slot).
     outstanding: usize,
     stats: RecordStats,
-    /// Reusable cascade worklist (kept empty between calls).
-    worklist: Vec<u32>,
+    /// Reusable cascade worklist of `(tag index, resolution depth)` pairs
+    /// (kept empty between calls). Depth rides along so signal-backed
+    /// attempts know how much residual error has accumulated.
+    worklist: Vec<(u32, u32)>,
+    /// Signal-backed attempts since the engine last drained them; filled
+    /// only when [`Self::set_attempt_logging`] enabled it.
+    attempt_log: Vec<ResolutionAttemptLog>,
+    log_attempts: bool,
+    /// Failures awaiting a re-query slot; filled only under
+    /// [`RecoveryPolicy::Requery`].
+    failed_log: Vec<FailedResolution>,
 }
 
 impl CollisionRecordStore {
@@ -122,7 +194,7 @@ impl CollisionRecordStore {
     #[must_use]
     pub fn slot_level(lambda: u32) -> Self {
         assert!(lambda >= 2, "lambda must be >= 2, got {lambda}");
-        CollisionRecordStore::with_lambda(lambda, None)
+        CollisionRecordStore::with_backend(lambda, Backend::Ideal)
     }
 
     /// Creates a signal-level store: resolution runs the real ANC
@@ -130,10 +202,41 @@ impl CollisionRecordStore {
     /// resolvability.
     #[must_use]
     pub fn signal_level(msk: MskConfig) -> Self {
-        CollisionRecordStore::with_lambda(u32::MAX, Some(msk))
+        CollisionRecordStore::with_backend(u32::MAX, Backend::Recorded(msk))
     }
 
-    fn with_lambda(lambda: u32, msk: Option<MskConfig>) -> Self {
+    /// Creates a slot-level store whose resolutions are *signal-backed*
+    /// ([`crate::ResolutionModel::SignalBacked`]): usable records get
+    /// waveforms synthesized at deposit time from `seed`'s dedicated RNG
+    /// stream, and each resolution runs the real ANC subtract-and-decode
+    /// chain with per-hop residual accumulation. Failures are handled per
+    /// `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 2`.
+    #[must_use]
+    pub fn signal_backed(
+        lambda: u32,
+        cfg: SignalResolutionConfig,
+        policy: RecoveryPolicy,
+        seed: u64,
+    ) -> Self {
+        assert!(lambda >= 2, "lambda must be >= 2, got {lambda}");
+        CollisionRecordStore::with_backend(
+            lambda,
+            Backend::Synthesized(Box::new(SignalBackend {
+                cfg,
+                policy,
+                rng: StdRng::seed_from_u64(seed),
+                scratch: anc::MixScratch::default(),
+                ids: Vec::new(),
+                wave: Vec::new(),
+            })),
+        )
+    }
+
+    fn with_backend(lambda: u32, backend: Backend) -> Self {
         CollisionRecordStore {
             records: Vec::new(),
             tags: Vec::new(),
@@ -142,10 +245,60 @@ impl CollisionRecordStore {
             known: Vec::new(),
             known_count: 0,
             lambda,
-            msk,
+            backend,
             outstanding: 0,
             stats: RecordStats::default(),
             worklist: Vec::new(),
+            attempt_log: Vec::new(),
+            log_attempts: false,
+            failed_log: Vec::new(),
+        }
+    }
+
+    /// Enables (or disables) per-attempt logging for the observability
+    /// layer; the engine drains the log with [`Self::swap_attempt_log`].
+    pub(crate) fn set_attempt_logging(&mut self, enabled: bool) {
+        self.log_attempts = enabled;
+    }
+
+    /// Swaps the accumulated attempt log with `buf` (typically an empty
+    /// scratch vector), handing the entries to the caller allocation-free.
+    pub(crate) fn swap_attempt_log(&mut self, buf: &mut Vec<ResolutionAttemptLog>) {
+        std::mem::swap(&mut self.attempt_log, buf);
+    }
+
+    /// Swaps the pending resolution-failure log with `buf`; entries exist
+    /// only under [`RecoveryPolicy::Requery`].
+    pub(crate) fn swap_failed_log(&mut self, buf: &mut Vec<FailedResolution>) {
+        std::mem::swap(&mut self.failed_log, buf);
+    }
+
+    /// Whether the tag behind a dense index has been learned.
+    pub(crate) fn is_known_dense(&self, idx: u32) -> bool {
+        self.known[idx as usize]
+    }
+
+    /// Executes a dedicated re-query slot addressed at the tag behind
+    /// `idx`: the tag retransmits alone through the channel and the reader
+    /// attempts a singleton decode. Ideal and recorded backends always
+    /// succeed (re-query slots only arise signal-backed).
+    pub(crate) fn requery_singleton(&mut self, idx: u32) -> bool {
+        match &mut self.backend {
+            Backend::Synthesized(b) => {
+                let tag = self.tags[idx as usize];
+                b.ids.clear();
+                b.ids.push(tag);
+                anc::transmit_mixed_into(
+                    &b.ids,
+                    &b.cfg.msk,
+                    &b.cfg.channel,
+                    &mut b.rng,
+                    &mut b.scratch,
+                    &mut b.wave,
+                );
+                anc::decode_singleton(&b.wave, &b.cfg.msk) == Some(tag)
+            }
+            _ => true,
         }
     }
 
@@ -219,7 +372,8 @@ impl CollisionRecordStore {
     /// effective flag without duplicating the rule.
     #[must_use]
     pub fn usable_at_insert(&self, participants: usize, usable: bool) -> bool {
-        usable && (self.msk.is_some() || participants as u32 <= self.lambda)
+        usable
+            && (matches!(self.backend, Backend::Recorded(_)) || participants as u32 <= self.lambda)
     }
 
     /// Releases the memory held by consumed records (their participant
@@ -296,6 +450,29 @@ impl CollisionRecordStore {
                 self.by_tag[t as usize].push(rec);
             }
         }
+        // Signal-backed stores synthesize the mixed waveform the reader
+        // "recorded" this slot, on the dedicated resolution RNG stream.
+        // Only usable records are synthesized: spoiled or over-λ records
+        // can never be attempted, so their waveform would be dead weight.
+        let signal = match &mut self.backend {
+            Backend::Synthesized(b) if usable && signal.is_none() => {
+                b.ids.clear();
+                for &t in distinct.as_slice() {
+                    b.ids.push(self.tags[t as usize]);
+                }
+                let mut wave = Vec::new();
+                anc::transmit_mixed_into(
+                    &b.ids,
+                    &b.cfg.msk,
+                    &b.cfg.channel,
+                    &mut b.rng,
+                    &mut b.scratch,
+                    &mut wave,
+                );
+                Some(wave)
+            }
+            _ => signal,
+        };
         self.outstanding += 1;
         self.records.push(Record {
             slot,
@@ -307,10 +484,11 @@ impl CollisionRecordStore {
 
         // Participants the reader already knows count as known right away;
         // the record may be immediately resolvable (or already exhausted).
-        if let Some((first_idx, first)) = self.try_resolve(idx) {
+        // The attempt runs at depth 1 (fresh knowledge, no chain).
+        if let Some((first_idx, first)) = self.try_resolve(idx, 1) {
             self.mark_known(first_idx);
             resolved.push((first_idx, first));
-            self.cascade_from(first_idx, resolved);
+            self.cascade_from(first_idx, 1, resolved);
         }
     }
 
@@ -332,7 +510,7 @@ impl CollisionRecordStore {
         if !self.mark_known(idx) {
             return;
         }
-        self.cascade_from(idx, resolved);
+        self.cascade_from(idx, 0, resolved);
     }
 
     /// Revisits the records of every tag on the worklist, resolving any
@@ -340,34 +518,40 @@ impl CollisionRecordStore {
     /// enter [`Self::known`] immediately — exactly the `while S ≠ ∅` loop
     /// of the reader pseudocode, where an ID extracted from one record is
     /// fed back to mark and resolve the others.
-    fn cascade_from(&mut self, idx: u32, resolved: &mut Vec<(u32, Resolved)>) {
+    ///
+    /// `depth` is how many resolution hops produced the knowledge of
+    /// `idx`: 0 for a directly decoded singleton, `d` for a tag pulled out
+    /// of a record at hop `d`. Records unlocked by a depth-`d` tag are
+    /// attempted at hop `d + 1`, which is what lets the signal-backed
+    /// backend accumulate per-hop residual error.
+    fn cascade_from(&mut self, idx: u32, depth: u32, resolved: &mut Vec<(u32, Resolved)>) {
         debug_assert!(self.known[idx as usize]);
         let mut worklist = std::mem::take(&mut self.worklist);
         debug_assert!(worklist.is_empty());
-        worklist.push(idx);
-        while let Some(current) = worklist.pop() {
+        worklist.push((idx, depth));
+        while let Some((current, d)) = worklist.pop() {
             // `current` was just learned, so this is the one and only time
             // its record list is consulted (nothing is appended to a known
             // tag's list) — take it instead of cloning it.
             let records = std::mem::take(&mut self.by_tag[current as usize]);
             for &rec in records.as_slice() {
-                if let Some((tag_idx, r)) = self.try_resolve(rec as usize) {
+                if let Some((tag_idx, r)) = self.try_resolve(rec as usize, d + 1) {
                     self.mark_known(tag_idx);
                     resolved.push((tag_idx, r));
-                    worklist.push(tag_idx);
+                    worklist.push((tag_idx, d + 1));
                 }
             }
         }
         self.worklist = worklist;
     }
 
-    /// Attempts to resolve record `idx`; returns the recovered tag (as
-    /// dense index + [`Resolved`]), if any.
+    /// Attempts to resolve record `idx` at cascade depth `hop`; returns
+    /// the recovered tag (as dense index + [`Resolved`]), if any.
     ///
     /// The reader's `known` set is authoritative: the record resolves when
     /// exactly one participant is unknown. A record whose participants are
     /// all known is consumed as exhausted.
-    fn try_resolve(&mut self, idx: usize) -> Option<(u32, Resolved)> {
+    fn try_resolve(&mut self, idx: usize, hop: u32) -> Option<(u32, Resolved)> {
         let record = &self.records[idx];
         if record.consumed {
             return None;
@@ -394,29 +578,97 @@ impl CollisionRecordStore {
         }
         let slot = record.slot;
         let last_tag = self.tags[last as usize];
-        let recovered: Option<TagId> = match (&self.msk, &record.signal) {
-            (Some(msk), Some(signal)) => {
-                // Signal-level: subtract the known components, decode,
-                // CRC — and require the decoded word to be the record's
-                // actual remaining participant. A noise-corrupted residual
-                // can demodulate into a different CRC-valid ghost word
-                // (2^-16 per attempt); acknowledging a tag nobody owns
-                // would corrupt the inventory, so ghosts count as failed
-                // attempts (mirrors the engine's singleton-path guard).
-                let knowns: Vec<TagId> = record
-                    .participants
-                    .as_slice()
-                    .iter()
-                    .filter(|&&t| self.known[t as usize])
-                    .map(|&t| self.tags[t as usize])
-                    .collect();
-                anc::resolve(signal, &knowns, msk)
-                    .ok()
-                    .filter(|id| *id == last_tag)
+        let recovered: Option<TagId> = match &mut self.backend {
+            // Slot-level ideal: the λ gate already passed; the last
+            // unknown participant is recovered.
+            Backend::Ideal => Some(last_tag),
+            Backend::Recorded(msk) => {
+                let record = &self.records[idx];
+                match &record.signal {
+                    // Signal-level: subtract the known components, decode,
+                    // CRC — and require the decoded word to be the record's
+                    // actual remaining participant. A noise-corrupted residual
+                    // can demodulate into a different CRC-valid ghost word
+                    // (2^-16 per attempt); acknowledging a tag nobody owns
+                    // would corrupt the inventory, so ghosts count as failed
+                    // attempts (mirrors the engine's singleton-path guard).
+                    Some(signal) => {
+                        let knowns: Vec<TagId> = record
+                            .participants
+                            .as_slice()
+                            .iter()
+                            .filter(|&&t| self.known[t as usize])
+                            .map(|&t| self.tags[t as usize])
+                            .collect();
+                        anc::resolve(signal, &knowns, msk)
+                            .ok()
+                            .filter(|id| *id == last_tag)
+                    }
+                    None => Some(last_tag),
+                }
             }
-            // Slot-level: the λ gate already passed; the last unknown
-            // participant is recovered.
-            _ => Some(last_tag),
+            Backend::Synthesized(b) => {
+                let record = &self.records[idx];
+                match &record.signal {
+                    Some(signal) => {
+                        b.ids.clear();
+                        for &t in record.participants.as_slice() {
+                            if self.known[t as usize] {
+                                b.ids.push(self.tags[t as usize]);
+                            }
+                        }
+                        let base = b.cfg.channel.noise_std();
+                        let extra = cascade::cascade_noise_std(base, b.cfg.residual_per_hop, hop);
+                        let attempt = cascade::resolve_cascaded(
+                            signal, &b.ids, &b.cfg.msk, base, extra, &mut b.rng,
+                        );
+                        // Same ghost-ID guard as the recorded backend.
+                        let mut ok = attempt.recovered.ok().filter(|id| *id == last_tag);
+                        if self.log_attempts {
+                            self.attempt_log.push(ResolutionAttemptLog {
+                                record_slot: slot,
+                                hop,
+                                residual_snr_db: attempt.residual_snr_db,
+                                success: ok.is_some(),
+                            });
+                        }
+                        if ok.is_none()
+                            && hop > 1
+                            && matches!(b.policy, RecoveryPolicy::SalvagePartial)
+                        {
+                            // Salvage the partial cascade: redo the
+                            // subtraction directly against the stored
+                            // record, without the chain's accumulated
+                            // residual (a depth-1 retry).
+                            let retry = cascade::resolve_cascaded(
+                                signal, &b.ids, &b.cfg.msk, base, 0.0, &mut b.rng,
+                            );
+                            ok = retry.recovered.ok().filter(|id| *id == last_tag);
+                            if self.log_attempts {
+                                self.attempt_log.push(ResolutionAttemptLog {
+                                    record_slot: slot,
+                                    hop: 1,
+                                    residual_snr_db: retry.residual_snr_db,
+                                    success: ok.is_some(),
+                                });
+                            }
+                            if ok.is_some() {
+                                self.stats.salvaged += 1;
+                            }
+                        }
+                        if ok.is_none() && matches!(b.policy, RecoveryPolicy::Requery { .. }) {
+                            self.failed_log.push(FailedResolution {
+                                record_slot: slot,
+                                unknown: last,
+                            });
+                        }
+                        ok
+                    }
+                    // Usable records are always synthesized at deposit;
+                    // treat a missing waveform as the ideal gate.
+                    None => Some(last_tag),
+                }
+            }
         };
         let record = &mut self.records[idx];
         record.consumed = true;

@@ -13,6 +13,7 @@
 
 use crate::config::{Fidelity, InitialPopulation, Membership};
 use crate::engine::{Engine, SlotOutput};
+use crate::resolution::{RecoveryPolicy, ResolutionModel};
 use rand::rngs::StdRng;
 use rfid_analysis::omega::optimal_omega;
 use rfid_obs::{EstimatorEvent, EventSink, NoopSink};
@@ -27,6 +28,8 @@ pub struct ScatConfig {
     initial: InitialPopulation,
     membership: Membership,
     fidelity: Fidelity,
+    resolution: ResolutionModel,
+    recovery: RecoveryPolicy,
     empty_streak: u32,
 }
 
@@ -41,6 +44,8 @@ impl ScatConfig {
             initial: InitialPopulation::Known,
             membership: Membership::Sampled,
             fidelity: Fidelity::SlotLevel,
+            resolution: ResolutionModel::Ideal,
+            recovery: RecoveryPolicy::DropRecord,
             empty_streak: 5,
         }
     }
@@ -90,6 +95,23 @@ impl ScatConfig {
     #[must_use]
     pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
         self.fidelity = fidelity;
+        self
+    }
+
+    /// Sets the collision-record resolution model (only consulted under
+    /// [`Fidelity::SlotLevel`]; signal-level fidelity already runs real
+    /// waveforms end to end).
+    #[must_use]
+    pub fn with_resolution(mut self, resolution: ResolutionModel) -> Self {
+        self.resolution = resolution;
+        self
+    }
+
+    /// Sets the recovery policy applied when a signal-backed resolution
+    /// attempt fails.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -190,6 +212,8 @@ impl ObservableProtocol for Scat {
             cfg.lambda,
             cfg.membership,
             &cfg.fidelity,
+            &cfg.resolution,
+            cfg.recovery,
             config,
             sink,
         );
@@ -227,6 +251,23 @@ impl ObservableProtocol for Scat {
         let mut output = SlotOutput::default();
 
         while engine.remaining() > 0 {
+            // Due re-query slots run first: each carries its own addressed
+            // advertisement (SCAT advertises every slot) and any resolved
+            // IDs it unlocks are re-broadcast in full, as usual.
+            let requeried = engine.drain_requeries(rng, &mut output)?;
+            if requeried > 0 {
+                engine
+                    .report
+                    .record_overhead(advertisement_us * f64::from(requeried));
+                if !output.resolved.is_empty() {
+                    engine
+                        .report
+                        .record_overhead(id_ack_us * output.resolved.len() as f64);
+                }
+                if engine.remaining() == 0 {
+                    break;
+                }
+            }
             let known = engine.records.known_count() as f64;
             let remaining_est = (population - known).max(slack).max(1.0);
             let p = (cfg.omega / remaining_est).min(1.0);

@@ -27,7 +27,7 @@ pub struct SlotEvent {
 }
 
 /// What happened to a collision record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RecordEventKind {
     /// A collision slot deposited a new record.
@@ -54,6 +54,33 @@ pub enum RecordEventKind {
     /// A signal-level resolution attempt failed (noise defeated the
     /// subtraction); the record is spent.
     Failed,
+    /// A signal-backed resolution attempt ran against this record
+    /// (successful or not), with its measured residual quality.
+    Attempted {
+        /// Cascade depth of the attempt (1 = resolved directly from fresh
+        /// knowledge; higher hops carry accumulated residual error).
+        hop: u32,
+        /// SNR of the post-subtraction residual in dB (`-inf`/`+inf`
+        /// possible: pure-noise residual / noiseless channel).
+        residual_snr_db: f64,
+        /// Whether the attempt recovered the record's remaining ID.
+        success: bool,
+    },
+    /// A failed resolution scheduled a dedicated re-query slot (the core
+    /// crate's `RecoveryPolicy::Requery`).
+    RequeryScheduled {
+        /// 1-based re-query attempt this schedules.
+        attempt: u32,
+        /// Earliest slot index at which the re-query may run.
+        due_slot: u64,
+    },
+    /// A scheduled re-query slot executed.
+    Requeried {
+        /// 1-based attempt counter.
+        attempt: u32,
+        /// Whether the addressed singleton decode succeeded.
+        success: bool,
+    },
 }
 
 /// A collision-record lifecycle event.

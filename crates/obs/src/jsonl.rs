@@ -147,6 +147,27 @@ impl<W: Write> EventSink for JsonlSink<W> {
                 "{{\"type\":\"record\",\"event\":\"failed\",\"slot\":{},\"record_slot\":{}}}",
                 event.slot, event.record_slot,
             ),
+            RecordEventKind::Attempted {
+                hop,
+                residual_snr_db,
+                success,
+            } => format!(
+                "{{\"type\":\"record\",\"event\":\"attempted\",\"slot\":{},\"record_slot\":{},\
+                 \"hop\":{hop},\"residual_snr_db\":{},\"success\":{success}}}",
+                event.slot,
+                event.record_slot,
+                fmt_f64(residual_snr_db),
+            ),
+            RecordEventKind::RequeryScheduled { attempt, due_slot } => format!(
+                "{{\"type\":\"record\",\"event\":\"requery_scheduled\",\"slot\":{},\
+                 \"record_slot\":{},\"attempt\":{attempt},\"due_slot\":{due_slot}}}",
+                event.slot, event.record_slot,
+            ),
+            RecordEventKind::Requeried { attempt, success } => format!(
+                "{{\"type\":\"record\",\"event\":\"requeried\",\"slot\":{},\"record_slot\":{},\
+                 \"attempt\":{attempt},\"success\":{success}}}",
+                event.slot, event.record_slot,
+            ),
         };
         self.write_line(&line);
     }
@@ -346,6 +367,47 @@ mod tests {
         assert_eq!(fmt_f64(f64::NAN), "null");
         assert_eq!(fmt_f64(f64::INFINITY), "null");
         assert_eq!(fmt_f64(1e-9), "0.000000001");
+    }
+
+    #[test]
+    fn resolution_events_serialize() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&RecordEvent {
+            slot: 3,
+            record_slot: 1,
+            kind: RecordEventKind::Attempted {
+                hop: 2,
+                residual_snr_db: f64::INFINITY,
+                success: true,
+            },
+        });
+        sink.record(&RecordEvent {
+            slot: 4,
+            record_slot: 1,
+            kind: RecordEventKind::RequeryScheduled {
+                attempt: 1,
+                due_slot: 8,
+            },
+        });
+        sink.record(&RecordEvent {
+            slot: 8,
+            record_slot: 1,
+            kind: RecordEventKind::Requeried {
+                attempt: 1,
+                success: false,
+            },
+        });
+        let text = String::from_utf8(sink.finish().expect("write")).expect("utf8");
+        assert!(text.contains("\"event\":\"attempted\""));
+        assert!(text.contains("\"residual_snr_db\":null"));
+        assert!(text.contains("\"event\":\"requery_scheduled\""));
+        assert!(text.contains("\"due_slot\":8"));
+        assert!(text.contains("\"event\":\"requeried\""));
+        assert!(text.contains("\"success\":false"));
+        // Old readers treat the new record events as unknown and skip them.
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.lines, 3);
+        assert_eq!(summary.records_created, 0);
     }
 
     #[test]

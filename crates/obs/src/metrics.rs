@@ -171,6 +171,18 @@ pub struct Metrics {
     pub max_cascade_depth: u32,
     /// Deposit-to-resolution latency of resolved records, in slots.
     pub resolution_latency: LatencyHistogram,
+    /// Signal-backed resolution attempts (successful or not).
+    pub resolution_attempts: u64,
+    /// Signal-backed attempts that succeeded.
+    pub resolution_successes: u64,
+    /// Deepest hop at which a signal-backed attempt ran.
+    pub max_attempt_hop: u32,
+    /// Re-query slots scheduled by the recovery policy.
+    pub requeries_scheduled: u64,
+    /// Re-query slots executed.
+    pub requeries_executed: u64,
+    /// Executed re-queries whose addressed decode succeeded.
+    pub requeries_succeeded: u64,
     /// Estimator revisions observed.
     pub estimator_updates: u64,
     /// The last estimate `N̂` each run ended with, summed over runs
@@ -216,6 +228,12 @@ impl Metrics {
         self.max_outstanding = self.max_outstanding.max(other.max_outstanding);
         self.max_cascade_depth = self.max_cascade_depth.max(other.max_cascade_depth);
         self.resolution_latency.merge(&other.resolution_latency);
+        self.resolution_attempts += other.resolution_attempts;
+        self.resolution_successes += other.resolution_successes;
+        self.max_attempt_hop = self.max_attempt_hop.max(other.max_attempt_hop);
+        self.requeries_scheduled += other.requeries_scheduled;
+        self.requeries_executed += other.requeries_executed;
+        self.requeries_succeeded += other.requeries_succeeded;
         self.estimator_updates += other.estimator_updates;
         self.final_estimate_sum += other.final_estimate_sum;
     }
@@ -318,6 +336,36 @@ impl fmt::Display for Metrics {
         )?;
         writeln!(
             f,
+            "resolution attempts             {:>12}",
+            self.resolution_attempts
+        )?;
+        writeln!(
+            f,
+            "  succeeded                     {:>12}",
+            self.resolution_successes
+        )?;
+        writeln!(
+            f,
+            "  max hop                       {:>12}",
+            self.max_attempt_hop
+        )?;
+        writeln!(
+            f,
+            "re-queries scheduled            {:>12}",
+            self.requeries_scheduled
+        )?;
+        writeln!(
+            f,
+            "re-queries executed             {:>12}",
+            self.requeries_executed
+        )?;
+        writeln!(
+            f,
+            "  succeeded                     {:>12}",
+            self.requeries_succeeded
+        )?;
+        writeln!(
+            f,
             "estimator revisions             {:>12}",
             self.estimator_updates
         )?;
@@ -383,6 +431,20 @@ impl EventSink for MetricsSink {
             }
             RecordEventKind::Exhausted => m.records_exhausted += 1,
             RecordEventKind::Failed => m.records_failed += 1,
+            RecordEventKind::Attempted { hop, success, .. } => {
+                m.resolution_attempts += 1;
+                if success {
+                    m.resolution_successes += 1;
+                }
+                m.max_attempt_hop = m.max_attempt_hop.max(hop);
+            }
+            RecordEventKind::RequeryScheduled { .. } => m.requeries_scheduled += 1,
+            RecordEventKind::Requeried { success, .. } => {
+                m.requeries_executed += 1;
+                if success {
+                    m.requeries_succeeded += 1;
+                }
+            }
         }
     }
 

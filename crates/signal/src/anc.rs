@@ -81,14 +81,14 @@ impl From<SolveError> for AncError {
 }
 
 /// Absolute power floor below which a reception counts as silence.
-const EMPTY_RESIDUAL_POWER: f64 = 1e-6;
+pub(crate) const EMPTY_RESIDUAL_POWER: f64 = 1e-6;
 
 /// A residual is "empty" when its power drops below this fraction of the
 /// original mixture's power — i.e. the subtraction explained essentially
 /// everything, so there is no further component to decode. The relative
 /// form keeps the check meaningful under receiver noise (whose power is
 /// absolute, not proportional to the mixture).
-const EMPTY_RESIDUAL_FRACTION: f64 = 2e-3;
+pub(crate) const EMPTY_RESIDUAL_FRACTION: f64 = 2e-3;
 
 /// Synthesizes the mixed signal a reader records during a `k`-collision
 /// slot: each tag's ID is MSK-modulated, passed through an independently

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod anc;
+pub mod cascade;
 pub mod channel;
 pub mod complex;
 pub mod energy_resolve;
@@ -64,6 +65,7 @@ pub mod linalg;
 pub mod msk;
 
 pub use anc::{resolve, transmit_mixed, transmit_mixed_into, AncError, EnergyEstimate, MixScratch};
+pub use cascade::{cascade_noise_std, resolve_cascaded, ResolutionAttempt};
 pub use channel::{ChannelModel, ChannelParams};
 pub use complex::Complex;
 pub use energy_resolve::resolve_two_energy;

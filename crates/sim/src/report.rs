@@ -72,6 +72,10 @@ pub struct InventoryReport {
     pub resolved_from_collisions: u64,
     /// Duplicate receptions discarded (only nonzero under ack loss).
     pub duplicates_discarded: u64,
+    /// Dedicated re-query slots spent recovering failed resolutions (only
+    /// nonzero under `RecoveryPolicy::Requery`).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub requery_slots: u64,
     /// Total simulated air time in microseconds, including advertisements
     /// and any extended acknowledgements.
     pub elapsed_us: f64,
@@ -97,6 +101,7 @@ impl InventoryReport {
             slots: SlotCounts::default(),
             resolved_from_collisions: 0,
             duplicates_discarded: 0,
+            requery_slots: 0,
             elapsed_us: 0.0,
             throughput_tags_per_sec: 0.0,
             ids: HashSet::new(),
@@ -192,6 +197,18 @@ pub struct Aggregate {
 }
 
 impl Aggregate {
+    /// The all-zero aggregate, used as the deserialization default for
+    /// statistics absent from older serialized reports.
+    #[must_use]
+    pub fn zero() -> Self {
+        Aggregate {
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
     /// Aggregates a non-empty sample.
     ///
     /// Returns `None` for an empty slice.
@@ -244,6 +261,9 @@ pub struct MultiRunReport {
     pub collision_slots: Aggregate,
     /// IDs resolved from collision records.
     pub resolved_from_collisions: Aggregate,
+    /// Dedicated re-query slots spent on failed resolutions.
+    #[cfg_attr(feature = "serde", serde(default = "Aggregate::zero"))]
+    pub requery_slots: Aggregate,
     /// Total elapsed air time (µs).
     pub elapsed_us: Aggregate,
 }
@@ -270,6 +290,7 @@ impl MultiRunReport {
             singleton_slots: pull(&|r| r.slots.singleton as f64),
             collision_slots: pull(&|r| r.slots.collision as f64),
             resolved_from_collisions: pull(&|r| r.resolved_from_collisions as f64),
+            requery_slots: pull(&|r| r.requery_slots as f64),
             elapsed_us: pull(&|r| r.elapsed_us),
         })
     }

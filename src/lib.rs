@@ -47,7 +47,9 @@ pub use rfid_types as types;
 /// Commonly used items, importable with a single `use anc_rfid::prelude::*`.
 pub mod prelude {
     pub use rfid_anc::device::MessageLevelFcat;
-    pub use rfid_anc::{Fcat, FcatConfig, Scat, ScatConfig};
+    pub use rfid_anc::{
+        Fcat, FcatConfig, RecoveryPolicy, ResolutionModel, Scat, ScatConfig, SignalResolutionConfig,
+    };
     pub use rfid_protocols::{
         Abs, Aqs, Crdsa, Dfsa, DfsaConfig, Edfsa, EdfsaConfig, FramedSlottedAloha, QueryTree,
         SlottedAloha,

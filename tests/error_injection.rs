@@ -103,3 +103,55 @@ fn fully_spoiled_fcat_still_beats_nothing_and_terminates() {
     assert_eq!(report.identified, 800);
     assert_eq!(report.resolved_from_collisions, 0);
 }
+
+#[test]
+fn certain_capture_deposits_no_collision_records() {
+    // With capture probability 1 every collision slot resolves to its
+    // dominant component as a singleton and the losing transmissions go
+    // unrecorded: the store must never see a record, so nothing can be
+    // resolved from collisions either.
+    use anc_rfid::sim::obs::MetricsSink;
+    use anc_rfid::sim::run_inventory_observed;
+
+    let tags = population::uniform(&mut seeded_rng(97), 400);
+    let config = SimConfig::default()
+        .with_seed(97)
+        .with_errors(ErrorModel::none().with_capture(1.0));
+    let mut sink = MetricsSink::new();
+    let report =
+        run_inventory_observed(&Fcat::new(FcatConfig::default()), &tags, &config, &mut sink)
+            .unwrap();
+    assert_eq!(report.identified, 400);
+    assert_eq!(report.resolved_from_collisions, 0);
+    let metrics = sink.into_metrics();
+    assert_eq!(metrics.records_created, 0, "capture must bypass the store");
+    assert_eq!(metrics.records_resolved, 0);
+    // Captured collisions classify as singletons for the reader, so some
+    // true multi-transmitter slots must have been observed as singletons.
+    assert!(metrics.transmissions > metrics.slots.singleton + metrics.slots.collision);
+}
+
+#[test]
+fn partial_capture_still_records_uncaptured_collisions() {
+    // Interior capture probabilities split collision slots between the
+    // capture path (no record) and the store; both must stay consistent.
+    use anc_rfid::sim::obs::MetricsSink;
+    use anc_rfid::sim::run_inventory_observed;
+
+    let tags = population::uniform(&mut seeded_rng(98), 400);
+    let config = SimConfig::default()
+        .with_seed(98)
+        .with_errors(ErrorModel::none().with_capture(0.5));
+    let mut sink = MetricsSink::new();
+    let report =
+        run_inventory_observed(&Fcat::new(FcatConfig::default()), &tags, &config, &mut sink)
+            .unwrap();
+    assert_eq!(report.identified, 400);
+    let metrics = sink.into_metrics();
+    assert!(
+        metrics.records_created > 0,
+        "p=0.5 cannot capture every collision"
+    );
+    assert_eq!(metrics.records_created, report.slots.collision);
+    assert!(report.resolved_from_collisions > 0);
+}

@@ -85,3 +85,30 @@ fn session_trajectories_are_comparable() {
     let rb = run_rounds(&mut b, 300, 3, &churn, &config).expect("b");
     assert_eq!(ra.population_per_round, rb.population_per_round);
 }
+
+#[test]
+fn churned_rounds_are_deterministic_per_seed() {
+    // Same seed ⇒ identical population trajectory AND identical per-round
+    // reports, slot for slot — churn draws (departures, arrivals) and the
+    // per-round protocol RNG all derive from the run seed.
+    let run = |seed: u64| {
+        let mut session = StatelessSession::new(Fcat::new(FcatConfig::default()));
+        run_rounds(
+            &mut session,
+            300,
+            4,
+            &ChurnModel::new(0.3, 40),
+            &SimConfig::default().with_seed(seed),
+        )
+        .expect("rounds complete")
+    };
+    let a = run(19);
+    let b = run(19);
+    assert_eq!(a.population_per_round, b.population_per_round);
+    assert_eq!(a.per_round, b.per_round, "same seed must replay exactly");
+    let c = run(20);
+    assert_ne!(
+        a.per_round, c.per_round,
+        "different seeds should churn differently"
+    );
+}
