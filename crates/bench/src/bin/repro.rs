@@ -9,6 +9,7 @@
 //! experiments:
 //!   table1 table2 table3 table4 fig3 fig4 fig5 fig6
 //!   ablation-estimator ablation-snr ablation-noise snr-sweep
+//!   calibrate lambda-sweep
 //!   extension-crdsa extension-model extension-rounds extension-signal bounds
 //!   all        (everything above)
 //! ```
@@ -82,6 +83,8 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-snr",
     "ablation-noise",
     "snr-sweep",
+    "calibrate",
+    "lambda-sweep",
     "extension-crdsa",
     "extension-model",
     "extension-rounds",
@@ -115,6 +118,7 @@ fn main() -> ExitCode {
             );
             eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6");
             eprintln!("             ablation-estimator ablation-snr ablation-noise snr-sweep");
+            eprintln!("             calibrate lambda-sweep");
             eprintln!(
                 "             extension-crdsa extension-model extension-rounds extension-signal"
             );
@@ -248,6 +252,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 experiments::run_ablation_noise(&opts).map_err(|e| e.to_string())?
             }
             "snr-sweep" => experiments::run_snr_sweep(&opts).map_err(|e| e.to_string())?,
+            "calibrate" => experiments::run_calibrate(&opts),
+            "lambda-sweep" => experiments::run_lambda_sweep(&opts).map_err(|e| e.to_string())?,
             "extension-crdsa" => {
                 experiments::run_extension_crdsa(&opts).map_err(|e| e.to_string())?
             }
@@ -264,14 +270,24 @@ fn run(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown experiment {other}")),
         };
         println!("{}", table.render());
-        if name.starts_with("fig") || name == "ablation-snr" || name == "snr-sweep" {
+        if name.starts_with("fig")
+            || name == "ablation-snr"
+            || name == "snr-sweep"
+            || name == "lambda-sweep"
+        {
             let lines = rfid_bench::output::table_sparklines(&table);
             if !lines.is_empty() {
                 println!("{lines}");
             }
         }
+        // The calibrate experiment's artifact is the calibration table.
+        let csv_name = if name == "calibrate" {
+            "calibration"
+        } else {
+            name
+        };
         let path = table
-            .write_csv(&out_dir, name)
+            .write_csv(&out_dir, csv_name)
             .map_err(|e| format!("writing csv: {e}"))?;
         println!(
             "[{name}: {:.1}s, csv -> {}]\n",

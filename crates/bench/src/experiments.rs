@@ -10,9 +10,10 @@ use rfid_anc::{
     SignalResolutionConfig,
 };
 use rfid_protocols::{Abs, Aqs, Dfsa, Edfsa};
-use rfid_signal::{anc, ChannelModel, MskConfig};
+use rfid_signal::{anc, cascade, ChannelModel, MskConfig};
 use rfid_sim::{
-    run_many, seeded_rng, AntiCollisionProtocol, ErrorModel, MultiRunReport, SimConfig, SimError,
+    run_inventory, run_many, seeded_rng, AntiCollisionProtocol, ErrorModel, LambdaPolicy,
+    MultiRunReport, SimConfig, SimError,
 };
 use rfid_types::TagId;
 
@@ -627,6 +628,227 @@ pub fn run_snr_sweep(opts: &ExperimentOptions) -> Result<Table, SimError> {
         table.push_row(row);
     }
     Ok(table)
+}
+
+/// **Calibration** — fits the closed-form cascade-residual model against
+/// the faithful waveform path.
+///
+/// The signal-backed resolution tier compresses cascaded subtraction error
+/// into one constant: a hop at depth `d` suffers extra noise variance
+/// `σ²·((1+r)^(d−1) − 1)` ([`cascade::cascade_noise_std`]). This
+/// experiment measures the *actual* decode-failure rate of sequential
+/// peeling ([`cascade::peel_sequential`] — each hop's scalar gain fit
+/// error rides into the next) over a (noise, depth) grid, re-runs matched
+/// trials through the model tier for candidate `r` values, and keeps the
+/// `r` minimizing the summed squared failure-rate gap.
+///
+/// The fitted value is committed as
+/// [`rfid_anc::CALIBRATED_RESIDUAL_PER_HOP`] (the default
+/// `residual_per_hop` of [`SignalResolutionConfig`]); `tests/fidelity.rs`
+/// asserts the two tiers keep agreeing under that constant.
+#[must_use]
+pub fn run_calibrate(opts: &ExperimentOptions) -> Table {
+    let trials: u64 = if opts.quick { 60 } else { 240 };
+    let sigmas: &[f64] = if opts.quick {
+        &[0.1, 0.15, 0.2]
+    } else {
+        &[0.05, 0.1, 0.15, 0.2, 0.25]
+    };
+    let depths: &[u32] = &[2, 3];
+    let msk = MskConfig::default();
+
+    // Waveform tier: a (d+1)-mixture with d components peeled one at a
+    // time; failure = the last ID does not decode from the residual.
+    let mut wave_fail = vec![vec![0.0f64; depths.len()]; sigmas.len()];
+    for (si, &sigma) in sigmas.iter().enumerate() {
+        let model = ChannelModel::default().with_noise_std(sigma);
+        for (di, &depth) in depths.iter().enumerate() {
+            let k = depth as usize + 1;
+            let mut failures = 0u32;
+            for t in 0..trials {
+                let mut rng = seeded_rng(opts.seed ^ (((si * 16 + di) as u64) << 32 | t));
+                let ids: Vec<TagId> = rfid_types::population::uniform(&mut rng, k);
+                let mixed = anc::transmit_mixed(&ids, &msk, &model, &mut rng);
+                let attempt = cascade::peel_sequential(&mixed, &ids[..k - 1], &msk, sigma);
+                if attempt.recovered != Ok(ids[k - 1]) {
+                    failures += 1;
+                }
+            }
+            wave_fail[si][di] = f64::from(failures) / trials as f64;
+        }
+    }
+
+    // Model tier: 2-mixtures (precomputed once per noise level) resolved
+    // with the candidate r's depth-dependent extra noise injected.
+    let mixtures: Vec<Vec<(Vec<rfid_signal::Complex>, Vec<TagId>)>> = sigmas
+        .iter()
+        .enumerate()
+        .map(|(si, &sigma)| {
+            let model = ChannelModel::default().with_noise_std(sigma);
+            (0..trials)
+                .map(|t| {
+                    let mut rng = seeded_rng(opts.seed ^ 0xCA11 ^ ((si as u64) << 32 | t));
+                    let ids: Vec<TagId> = rfid_types::population::uniform(&mut rng, 2);
+                    (anc::transmit_mixed(&ids, &msk, &model, &mut rng), ids)
+                })
+                .collect()
+        })
+        .collect();
+    let model_fail = |r: f64, si: usize, depth: u32| -> f64 {
+        let sigma = sigmas[si];
+        let extra = cascade::cascade_noise_std(sigma, r, depth);
+        let mut failures = 0u32;
+        for (t, (mixed, ids)) in mixtures[si].iter().enumerate() {
+            // Common random numbers across candidate r values: the same
+            // seed per trial keeps the fit deterministic and low-variance.
+            let mut rng = seeded_rng(opts.seed ^ 0x0DE1 ^ (u64::from(depth) << 48 | t as u64));
+            let attempt = cascade::resolve_cascaded(mixed, &ids[..1], &msk, sigma, extra, &mut rng);
+            if attempt.recovered != Ok(ids[1]) {
+                failures += 1;
+            }
+        }
+        f64::from(failures) / trials as f64
+    };
+
+    let step = if opts.quick { 0.1 } else { 0.05 };
+    let mut best = (0.0f64, f64::INFINITY);
+    let mut r = step;
+    while r <= 1.6 + 1e-9 {
+        let mut loss = 0.0;
+        for (si, wave_row) in wave_fail.iter().enumerate() {
+            for (di, &depth) in depths.iter().enumerate() {
+                let gap = model_fail(r, si, depth) - wave_row[di];
+                loss += gap * gap;
+            }
+        }
+        if loss < best.1 {
+            best = (r, loss);
+        }
+        r += step;
+    }
+    let r_fit = best.0;
+
+    let mut table = Table::new(
+        &format!("Calibration: waveform-path vs model-tier decode failure (fitted r = {r_fit:.2})"),
+        &[
+            "noise_std",
+            "depth",
+            "waveform fail %",
+            "model fail %",
+            "gap pp",
+            "r_fit",
+        ],
+    );
+    for (si, &sigma) in sigmas.iter().enumerate() {
+        for (di, &depth) in depths.iter().enumerate() {
+            let m = model_fail(r_fit, si, depth);
+            let w = wave_fail[si][di];
+            table.push_row(vec![
+                fx(sigma, 2),
+                depth.to_string(),
+                f1(100.0 * w),
+                f1(100.0 * m),
+                f1(100.0 * (m - w).abs()),
+                fx(r_fit, 2),
+            ]);
+        }
+    }
+    table
+}
+
+/// **Lambda sweep** — adaptive λ against every fixed λ across the SNR
+/// range of the `snr-sweep` experiment.
+///
+/// Fixed columns run signal-backed FCAT at λ ∈ {2, 3, 4}; the adaptive
+/// column enables [`LambdaPolicy::snr_window`], whose
+/// [`rfid_anc::LambdaController`] re-selects λ (and the matching ω*) from
+/// the windowed residual-SNR mean at every frame boundary. The `mean λ` /
+/// `final λ` columns come from one representative run's λ trajectory,
+/// weighted by slots spent at each setting.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_lambda_sweep(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let n = if opts.quick { 300 } else { 1_500 };
+    let runs = if opts.quick { 2 } else { opts.runs.min(5) };
+    let grid: &[f64] = if opts.quick {
+        &[0.01, 0.2, 0.6]
+    } else {
+        &[0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.6]
+    };
+    let mut table = Table::new(
+        &format!("Lambda sweep: adaptive vs fixed lambda, signal-backed FCAT (N = {n})"),
+        &[
+            "noise_std",
+            "SNR(dB)@a=0.75",
+            "lambda=2",
+            "lambda=3",
+            "lambda=4",
+            "best fixed",
+            "adaptive",
+            "mean lambda",
+            "final lambda",
+        ],
+    );
+    for &noise in grid {
+        let model = ChannelModel::default().with_noise_std(noise);
+        let mut row = vec![fx(noise, 2), f1(model.snr_db(0.75))];
+        let mut best_fixed = f64::NEG_INFINITY;
+        for lambda in 2..=4u32 {
+            let cfg = FcatConfig::default()
+                .with_lambda(lambda)
+                .with_omega(optimal_omega(lambda))
+                .with_resolution(ResolutionModel::SignalBacked(
+                    SignalResolutionConfig::default().with_noise_std(noise),
+                ));
+            let agg = run_many(&Fcat::new(cfg), n, runs, &opts.sim())?;
+            best_fixed = best_fixed.max(agg.throughput.mean);
+            row.push(f1(agg.throughput.mean));
+        }
+        row.push(f1(best_fixed));
+
+        // The adaptive run starts from the middle of the tabulated λ range
+        // (a maximum-entropy prior): one promotion from the top, one
+        // demotion-plus-one from the bottom, so the convergence cost is
+        // balanced whichever way the channel points.
+        let adaptive_cfg = FcatConfig::default()
+            .with_lambda(3)
+            .with_omega(optimal_omega(3))
+            .with_resolution(ResolutionModel::SignalBacked(
+                SignalResolutionConfig::default().with_noise_std(noise),
+            ));
+        let adaptive_sim = opts.sim().with_lambda_policy(LambdaPolicy::snr_window());
+        let agg = run_many(&Fcat::new(adaptive_cfg.clone()), n, runs, &adaptive_sim)?;
+        row.push(f1(agg.throughput.mean));
+
+        // One representative run for the λ trajectory.
+        let tags = rfid_types::population::uniform(&mut seeded_rng(opts.seed ^ 0x5EED), n);
+        let report = run_inventory(&Fcat::new(adaptive_cfg), &tags, &adaptive_sim)?;
+        let (mean_lambda, final_lambda) = trajectory_stats(&report);
+        row.push(fx(mean_lambda, 2));
+        row.push(final_lambda.to_string());
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// Slot-weighted mean and final λ of a report's λ trajectory. Returns the
+/// protocol's fixed configuration as a degenerate trajectory when the
+/// adaptive controller was off.
+fn trajectory_stats(report: &rfid_sim::InventoryReport) -> (f64, u32) {
+    let points = &report.lambda_trajectory;
+    let Some(first) = points.first() else {
+        return (0.0, 0);
+    };
+    let total_slots = report.slots.total().max(1);
+    let mut weighted = 0.0f64;
+    for (i, p) in points.iter().enumerate() {
+        let until = points.get(i + 1).map_or(total_slots, |next| next.slot);
+        weighted += f64::from(p.lambda) * until.saturating_sub(p.slot) as f64;
+    }
+    let final_lambda = points.last().map_or(first.lambda, |p| p.lambda);
+    (weighted / total_slots as f64, final_lambda)
 }
 
 /// Reference throughput ceilings (§I/§VII), for annotating output.

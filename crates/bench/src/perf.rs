@@ -21,7 +21,9 @@
 //! output.
 
 use criterion::measure_with_budget;
-use rfid_anc::{Fcat, FcatConfig, Membership, Scat, ScatConfig};
+use rfid_anc::{
+    Fcat, FcatConfig, Membership, ResolutionModel, Scat, ScatConfig, SignalResolutionConfig,
+};
 use rfid_protocols::{Abs, Aqs, Dfsa, Edfsa};
 use rfid_sim::{run_inventory, seeded_rng, InventoryReport, SimConfig, SimError};
 use rfid_types::{population, TagId};
@@ -29,12 +31,21 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
 
-/// Steady-state allocation tolerance for the slot-level loop, in allocations
-/// per slot. The loop itself must be allocation-free; this allowance covers
-/// strictly amortized growth outside the loop (report `Vec`/`HashSet`
-/// doublings, the rare spill of an unusable k > λ record) which shrinks
-/// toward zero as the run gets longer.
+/// Steady-state allocation tolerance for the ideal-resolution slot-level
+/// loop, in allocations per slot. The loop itself must be allocation-free;
+/// this allowance covers strictly amortized growth outside the loop (report
+/// `Vec`/`HashSet` doublings, the rare spill of an unusable k > λ record)
+/// which shrinks toward zero as the run gets longer.
 pub const MAX_ALLOCS_PER_SLOT: f64 = 0.05;
+
+/// Allocation allowance for the signal-backed slot-level entry. Every
+/// resolution attempt inherently allocates inside the DSP chain (reference
+/// waveforms, the least-squares residual, demodulated bits), so this entry
+/// cannot meet [`MAX_ALLOCS_PER_SLOT`]; the gate instead pins the per-slot
+/// budget so a regression (e.g. losing the pooled record-waveform buffers)
+/// still fails the bench. Measured ≈ 2.9 allocs/slot at n = 2000 with the
+/// pool in place.
+pub const MAX_ALLOCS_PER_SLOT_SIGNAL: f64 = 8.0;
 
 /// Population size at which the allocation assertion is applied: large
 /// enough that one-time setup cost is amortized far below the tolerance.
@@ -84,51 +95,68 @@ struct Entry {
     allocs: Option<u64>,
     allocs_per_slot: Option<f64>,
     /// Whether this entry runs the optimized slot-level engine loop (and is
-    /// therefore subject to the zero-allocation assertion).
+    /// therefore subject to an allocation gate).
     slot_level: bool,
+    /// Per-entry allocation gate (allocs/slot); `None` exempts the entry.
+    alloc_limit: Option<f64>,
 }
 
 type Runner = Box<dyn Fn(&[TagId], &SimConfig) -> Result<InventoryReport, SimError>>;
 
-/// The protocol axis of the matrix: (name, slot_level_engine, runner).
-fn protocol_specs() -> Vec<(String, bool, Runner)> {
-    let mut specs: Vec<(String, bool, Runner)> = Vec::new();
+/// The protocol axis of the matrix: (name, alloc gate, runner). A `Some`
+/// gate marks a slot-level-engine entry whose allocs/slot must stay under
+/// the given limit.
+fn protocol_specs() -> Vec<(String, Option<f64>, Runner)> {
+    let mut specs: Vec<(String, Option<f64>, Runner)> = Vec::new();
     for (mname, membership) in [("hash", Membership::Hash), ("sampled", Membership::Sampled)] {
         let scat = Scat::new(ScatConfig::default().with_membership(membership));
         specs.push((
             format!("scat2/{mname}"),
-            true,
+            Some(MAX_ALLOCS_PER_SLOT),
             Box::new(move |tags, cfg| run_inventory(&scat, tags, cfg)),
         ));
         let fcat = Fcat::new(FcatConfig::default().with_membership(membership));
         specs.push((
             format!("fcat2/{mname}"),
-            true,
+            Some(MAX_ALLOCS_PER_SLOT),
             Box::new(move |tags, cfg| run_inventory(&fcat, tags, cfg)),
         ));
     }
+    // Signal-backed resolution: same slot-level engine, but every collision
+    // deposit synthesizes a waveform and every resolution runs the DSP
+    // chain. Gated by its own (much larger) allowance.
+    let signal = Fcat::new(
+        FcatConfig::default().with_resolution(ResolutionModel::SignalBacked(
+            SignalResolutionConfig::default().with_noise_std(0.1),
+        )),
+    );
+    specs.push((
+        "fcat2/signal".into(),
+        Some(MAX_ALLOCS_PER_SLOT_SIGNAL),
+        Box::new(move |tags, cfg| run_inventory(&signal, tags, cfg)),
+    ));
     let dfsa = Dfsa::new();
     specs.push((
         "dfsa".into(),
-        false,
+        None,
         Box::new(move |tags, cfg| run_inventory(&dfsa, tags, cfg)),
     ));
     let edfsa = Edfsa::new();
     specs.push((
         "edfsa".into(),
-        false,
+        None,
         Box::new(move |tags, cfg| run_inventory(&edfsa, tags, cfg)),
     ));
     let abs = Abs::new();
     specs.push((
         "abs".into(),
-        false,
+        None,
         Box::new(move |tags, cfg| run_inventory(&abs, tags, cfg)),
     ));
     let aqs = Aqs::new();
     specs.push((
         "aqs".into(),
-        false,
+        None,
         Box::new(move |tags, cfg| run_inventory(&aqs, tags, cfg)),
     ));
     specs
@@ -146,7 +174,8 @@ pub fn run(opts: &BenchOptions, alloc_count: Option<&dyn Fn() -> u64>) -> Result
     let budget = Duration::from_millis(opts.budget_ms.unwrap_or(if opts.smoke { 5 } else { 200 }));
 
     let mut entries: Vec<Entry> = Vec::new();
-    for (name, slot_level, runner) in protocol_specs() {
+    for (name, alloc_limit, runner) in protocol_specs() {
+        let slot_level = alloc_limit.is_some();
         for &n in sizes {
             // Smoke mode only needs the big population on the entries the
             // allocation assertion covers (and only when it is enforced).
@@ -195,6 +224,7 @@ pub fn run(opts: &BenchOptions, alloc_count: Option<&dyn Fn() -> u64>) -> Result
                 allocs,
                 allocs_per_slot,
                 slot_level,
+                alloc_limit,
             });
         }
     }
@@ -235,15 +265,16 @@ pub fn run(opts: &BenchOptions, alloc_count: Option<&dyn Fn() -> u64>) -> Result
         }
         let violations: Vec<String> = entries
             .iter()
-            .filter(|e| e.slot_level && e.n >= ALLOC_CHECK_MIN_TAGS)
-            .filter(|e| e.allocs_per_slot.unwrap_or(0.0) > MAX_ALLOCS_PER_SLOT)
-            .map(|e| {
-                format!(
-                    "{} n={}: {:.4} allocs/slot (limit {MAX_ALLOCS_PER_SLOT})",
-                    e.name,
-                    e.n,
-                    e.allocs_per_slot.unwrap_or(0.0)
-                )
+            .filter(|e| e.n >= ALLOC_CHECK_MIN_TAGS)
+            .filter_map(|e| {
+                let limit = e.alloc_limit?;
+                let aps = e.allocs_per_slot.unwrap_or(0.0);
+                (aps > limit).then(|| {
+                    format!(
+                        "{} n={}: {:.4} allocs/slot (limit {limit})",
+                        e.name, e.n, aps
+                    )
+                })
             })
             .collect();
         if !violations.is_empty() {
@@ -254,7 +285,8 @@ pub fn run(opts: &BenchOptions, alloc_count: Option<&dyn Fn() -> u64>) -> Result
         }
         println!(
             "alloc check: slot-level entries at n >= {ALLOC_CHECK_MIN_TAGS} stay under \
-             {MAX_ALLOCS_PER_SLOT} allocs/slot"
+             their per-entry allocs/slot limits ({MAX_ALLOCS_PER_SLOT} ideal, \
+             {MAX_ALLOCS_PER_SLOT_SIGNAL} signal-backed)"
         );
     }
     Ok(())
@@ -364,6 +396,9 @@ fn render_json(opts: &BenchOptions, entries: &[Entry], speedups: Option<&[Speedu
         if let (Some(a), Some(aps)) = (e.allocs, e.allocs_per_slot) {
             write!(s, ",\"allocs\":{a},\"allocs_per_slot\":{}", jf(aps)).unwrap();
         }
+        if let Some(limit) = e.alloc_limit {
+            write!(s, ",\"alloc_limit\":{}", jf(limit)).unwrap();
+        }
         s.push('}');
         if i + 1 < entries.len() {
             s.push(',');
@@ -424,6 +459,7 @@ mod tests {
             allocs: None,
             allocs_per_slot: None,
             slot_level: true,
+            alloc_limit: Some(MAX_ALLOCS_PER_SLOT),
         }];
         let baseline = r#"{
 "entries":[

@@ -4,7 +4,7 @@
 use rfid_anc::{Fcat, FcatConfig};
 use rfid_sim::obs::jsonl::replay;
 use rfid_sim::obs::{
-    EstimatorEvent, EventSink, JsonlSink, Metrics, MetricsSink, RecordEvent, SlotEvent,
+    EstimatorEvent, EventSink, JsonlSink, LambdaEvent, Metrics, MetricsSink, RecordEvent, SlotEvent,
 };
 use rfid_sim::{run_inventory_observed, InventoryReport, SimConfig};
 use rfid_types::population;
@@ -31,6 +31,11 @@ impl<A: EventSink, B: EventSink> EventSink for Tee<'_, A, B> {
     fn estimator(&mut self, event: &EstimatorEvent) {
         self.0.estimator(event);
         self.1.estimator(event);
+    }
+
+    fn lambda(&mut self, event: &LambdaEvent) {
+        self.0.lambda(event);
+        self.1.lambda(event);
     }
 }
 

@@ -39,10 +39,12 @@ pub struct MessageLevelFcat {
 }
 
 impl MessageLevelFcat {
-    /// Creates the protocol. Only the λ, ω, frame-size, estimator-input,
-    /// ack-mode and initial-population parts of the configuration apply
-    /// (membership is inherently hash-gated and fidelity inherently
-    /// slot-level here). [`crate::EstimatorInput::Oracle`] is downgraded
+    /// Creates the protocol. The λ, ω, frame-size, estimator-input,
+    /// ack-mode, initial-population, resolution-model and recovery-policy
+    /// parts of the configuration apply (membership is inherently
+    /// hash-gated and fidelity inherently slot-level here; see
+    /// [`ReaderDevice::with_resolution`] for how the recovery policy is
+    /// honored). [`crate::EstimatorInput::Oracle`] is downgraded
     /// to the collision-count estimator: the self-contained reader has no
     /// ground truth to consult, and a frozen estimate would livelock.
     #[must_use]
@@ -88,6 +90,11 @@ impl AntiCollisionProtocol for MessageLevelFcat {
             cfg.frame_size(),
             cfg.estimator(),
             initial_estimate,
+        )
+        .with_resolution(
+            cfg.resolution(),
+            cfg.recovery(),
+            rfid_sim::derive_seed(config.seed(), crate::engine::RESOLUTION_RNG_STREAM),
         );
         let mut field: Vec<TagDevice> = tags.iter().map(|&t| TagDevice::new(t)).collect();
         let mut slots_used: u64 = 0;
@@ -218,6 +225,17 @@ mod tests {
         let report = run_inventory(&proto, &tags, &config).unwrap();
         assert_eq!(report.identified, 150);
         assert!(report.duplicates_discarded > 0);
+    }
+
+    #[test]
+    fn signal_backed_resolution_completes_under_noise() {
+        use crate::{ResolutionModel, SignalResolutionConfig};
+        let tags = population::uniform(&mut seeded_rng(6), 80);
+        let cfg = FcatConfig::default().with_resolution(ResolutionModel::SignalBacked(
+            SignalResolutionConfig::default().with_noise_std(0.3),
+        ));
+        let report = run_inventory(&MessageLevelFcat::new(cfg), &tags, &SimConfig::default());
+        assert_eq!(report.unwrap().identified, 80);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use super::messages::{AckPayload, FrameAdvertisement, SlotObservation};
 use crate::fcat::update_estimate;
 use crate::records::CollisionRecordStore;
+use crate::resolution::{RecoveryPolicy, ResolutionModel};
 use crate::EstimatorInput;
 use rfid_types::hash::probability_threshold;
 use rfid_types::TagId;
@@ -88,6 +89,36 @@ impl ReaderDevice {
             n0: 0,
             nc: 0,
         }
+    }
+
+    /// Rebuilds the record store under the given resolution model (a
+    /// fresh λ-gate-only store for [`ResolutionModel::Ideal`]). Call
+    /// before the first frame: any already-deposited records are lost.
+    ///
+    /// [`RecoveryPolicy::Requery`] is downgraded to
+    /// [`RecoveryPolicy::DropRecord`]: this reader has no dedicated
+    /// re-query slots, and under either policy the unresolved tag stays
+    /// active and re-contends in later slots — completeness is unaffected,
+    /// only throughput.
+    #[must_use]
+    pub fn with_resolution(
+        mut self,
+        resolution: &ResolutionModel,
+        recovery: RecoveryPolicy,
+        seed: u64,
+    ) -> Self {
+        self.records = match resolution {
+            ResolutionModel::Ideal => CollisionRecordStore::slot_level(self.lambda),
+            ResolutionModel::SignalBacked(cfg) => {
+                let policy = if matches!(recovery, RecoveryPolicy::Requery { .. }) {
+                    RecoveryPolicy::DropRecord
+                } else {
+                    recovery
+                };
+                CollisionRecordStore::signal_backed(self.lambda, cfg.clone(), policy, seed)
+            }
+        };
+        self
     }
 
     /// The reader's phase.

@@ -20,13 +20,14 @@
 //!   buffers owned by the engine and reused across slots.
 
 use crate::config::{Fidelity, Membership};
+use crate::lambda::LambdaController;
 use crate::records::{
     CollisionRecordStore, FailedResolution, RecordStats, ResolutionAttemptLog, Resolved,
 };
 use crate::resolution::{RecoveryPolicy, ResolutionModel};
 use rand::rngs::StdRng;
 use rand::Rng;
-use rfid_obs::{EstimatorEvent, EventSink, RecordEvent, RecordEventKind, SlotEvent};
+use rfid_obs::{EstimatorEvent, EventSink, LambdaEvent, RecordEvent, RecordEventKind, SlotEvent};
 use rfid_signal::anc;
 use rfid_signal::complex::Complex;
 use rfid_sim::sampling::{pick_distinct_indices_into, sample_binomial};
@@ -39,8 +40,10 @@ const NOT_ACTIVE: u32 = u32::MAX;
 
 /// Stream tag for the signal-backed resolution RNG, derived from the run
 /// seed. `u64::MAX` is the rounds population stream and `index*2(+1)` the
-/// per-run streams, so `u64::MAX - 2` cannot collide with either.
-const RESOLUTION_RNG_STREAM: u64 = u64::MAX - 2;
+/// per-run streams, so `u64::MAX - 2` cannot collide with either. Shared
+/// with the message-level device reader so both layers draw the same
+/// synthesis stream.
+pub(crate) const RESOLUTION_RNG_STREAM: u64 = u64::MAX - 2;
 
 /// A re-query slot scheduled by [`RecoveryPolicy::Requery`] after a failed
 /// signal-backed resolution.
@@ -121,6 +124,9 @@ pub(crate) struct Engine<'a, S: EventSink> {
     attempt_scratch: Vec<ResolutionAttemptLog>,
     /// Drain buffer for the store's resolution-failure log.
     failure_scratch: Vec<FailedResolution>,
+    /// Adaptive-λ control loop, when the run's `LambdaPolicy` asks for
+    /// one. Fed from the same attempt log the observability layer reads.
+    lambda_ctl: Option<LambdaController>,
 }
 
 impl<'a, S: EventSink> Engine<'a, S> {
@@ -195,7 +201,64 @@ impl<'a, S: EventSink> Engine<'a, S> {
             mix_scratch: anc::MixScratch::default(),
             attempt_scratch: Vec::new(),
             failure_scratch: Vec::new(),
+            lambda_ctl: None,
         }
+    }
+
+    /// Attaches an adaptive-λ controller (built by the protocol from the
+    /// run's [`rfid_sim::LambdaPolicy`]). The store's attempt log is the
+    /// controller's food, so logging turns on even when the sink is a
+    /// no-op; [`Self::harvest_resolutions`] drains it either way.
+    pub fn set_lambda_controller(&mut self, ctl: Option<LambdaController>) {
+        self.records
+            .set_attempt_logging(S::ENABLED || ctl.is_some());
+        self.lambda_ctl = ctl;
+        if let Some(ctl) = &self.lambda_ctl {
+            // Seed the trajectory (and the store's gate, in case the
+            // policy's bounds clamped the configured λ) with the starting
+            // selection, so consumers always see the full λ history.
+            let (lambda, omega) = (ctl.lambda(), ctl.omega());
+            self.records.set_lambda(lambda);
+            self.report
+                .record_lambda_point(rfid_sim::LambdaTrajectoryPoint {
+                    slot: self.slot_index,
+                    lambda,
+                    omega,
+                });
+            if S::ENABLED {
+                self.sink.lambda(&LambdaEvent {
+                    slot: self.slot_index,
+                    lambda,
+                    omega,
+                });
+            }
+        }
+    }
+
+    /// Protocol decision point for the adaptive-λ loop (FCAT calls this at
+    /// frame boundaries, SCAT per round): asks the controller for a
+    /// decision and, when λ changes, re-gates the record store, emits a
+    /// [`LambdaEvent`], and appends to the report's λ trajectory. Returns
+    /// the new `(λ, ω*)` so the caller can re-derive its report
+    /// probability.
+    pub fn maybe_adjust_lambda(&mut self) -> Option<(u32, f64)> {
+        let (lambda, omega) = self.lambda_ctl.as_mut()?.decide()?;
+        self.records.set_lambda(lambda);
+        let slot = self.slot_index;
+        self.report
+            .record_lambda_point(rfid_sim::LambdaTrajectoryPoint {
+                slot,
+                lambda,
+                omega,
+            });
+        if S::ENABLED {
+            self.sink.lambda(&LambdaEvent {
+                slot,
+                lambda,
+                omega,
+            });
+        }
+        Some((lambda, omega))
     }
 
     /// Forwards a population-estimate revision to the sink. Callers should
@@ -356,20 +419,28 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// failures become pending re-query slots when the recovery policy
     /// asks for them.
     fn harvest_resolutions(&mut self, slot: u64) {
-        if S::ENABLED {
+        // The attempt log feeds two consumers: the sink (when enabled) and
+        // the adaptive-λ controller (when attached). Drain it whenever
+        // either is present.
+        if S::ENABLED || self.lambda_ctl.is_some() {
             let mut attempts = std::mem::take(&mut self.attempt_scratch);
             debug_assert!(attempts.is_empty());
             self.records.swap_attempt_log(&mut attempts);
             for a in &attempts {
-                self.sink.record(&RecordEvent {
-                    slot,
-                    record_slot: a.record_slot,
-                    kind: RecordEventKind::Attempted {
-                        hop: a.hop,
-                        residual_snr_db: a.residual_snr_db,
-                        success: a.success,
-                    },
-                });
+                if S::ENABLED {
+                    self.sink.record(&RecordEvent {
+                        slot,
+                        record_slot: a.record_slot,
+                        kind: RecordEventKind::Attempted {
+                            hop: a.hop,
+                            residual_snr_db: a.residual_snr_db,
+                            success: a.success,
+                        },
+                    });
+                }
+                if let Some(ctl) = self.lambda_ctl.as_mut() {
+                    ctl.observe(a.residual_snr_db);
+                }
             }
             attempts.clear();
             self.attempt_scratch = attempts;

@@ -14,6 +14,7 @@
 
 use crate::config::{Fidelity, InitialPopulation, Membership};
 use crate::engine::{Engine, SlotOutput};
+use crate::lambda::LambdaController;
 use crate::resolution::{RecoveryPolicy, ResolutionModel};
 use rand::rngs::StdRng;
 use rfid_analysis::estimator::{
@@ -336,6 +337,14 @@ impl ObservableProtocol for Fcat {
             sink,
         );
 
+        // Adaptive λ: the controller (if the run's policy asks for one)
+        // re-selects λ at frame boundaries from the residual-SNR stream,
+        // and ω* follows λ. A fixed policy leaves ω at the configured
+        // value for the whole run.
+        let ctl = LambdaController::from_policy(config.lambda_policy(), cfg.lambda);
+        let mut omega = ctl.as_ref().map_or(cfg.omega, LambdaController::omega);
+        engine.set_lambda_controller(ctl);
+
         let mut estimate = cfg
             .initial
             .bootstrap(tags.len(), config, rng, &mut engine.report);
@@ -368,7 +377,7 @@ impl ObservableProtocol for Fcat {
                     break;
                 }
             }
-            let p = (cfg.omega / estimate.max(1.0)).clamp(1e-9, 1.0);
+            let p = (omega / estimate.max(1.0)).clamp(1e-9, 1.0);
             engine.report.record_overhead(frame_adv_us);
 
             let mut n0: u32 = 0;
@@ -397,7 +406,7 @@ impl ObservableProtocol for Fcat {
             // Per-frame estimator update (§V-C).
             estimate = match cfg.estimator {
                 EstimatorInput::Oracle => engine.remaining() as f64,
-                input => update_estimate(input, estimate, n0, nc, f, p, cfg.omega),
+                input => update_estimate(input, estimate, n0, nc, f, p, omega),
             };
             if S::ENABLED {
                 engine.emit_estimator(EstimatorEvent {
@@ -409,6 +418,11 @@ impl ObservableProtocol for Fcat {
                     nc,
                     estimate,
                 });
+            }
+            // Frame boundary: the adaptive-λ controller may re-select λ,
+            // and the next frame's p follows the new ω*.
+            if let Some((_, new_omega)) = engine.maybe_adjust_lambda() {
+                omega = new_omega;
             }
             frame += 1;
         }

@@ -1,0 +1,218 @@
+//! Adaptive-λ control loop.
+//!
+//! The paper fixes λ — the maximum collision size the ANC hardware can
+//! resolve — per §IV-C and derives the optimal report probability from it
+//! (ω* = (λ!)^{1/λ}). Multi-packet-reception analyses (Pudasaini et al.)
+//! and physical-layer recovery measurements (Fyhn et al.) both show the
+//! *sustainable* collision depth is a function of SNR, not a constant. The
+//! signal-backed resolution path measures exactly that signal: every
+//! attempt reports the residual SNR left after subtraction.
+//!
+//! [`LambdaController`] closes the loop. It ingests the per-hop residual
+//! SNR stream, keeps a rolling window, and at each protocol decision point
+//! (FCAT frame boundary / SCAT round) compares the window mean against
+//! demote/promote thresholds. λ moves by at most one step per decision and
+//! is clamped to the range with tabulated ω* entries (2..=4 today), so the
+//! protocol can always advertise a matching ω*.
+
+use rfid_analysis::omega::optimal_omega;
+use rfid_sim::LambdaPolicy;
+
+/// Largest λ the controller will ever select: the ω* table
+/// (`rfid_analysis::omega`) carries dedicated constants for λ ∈ {2, 3, 4},
+/// matching the collision depths today's ANC readers resolve.
+pub const MAX_TABULATED_LAMBDA: u32 = 4;
+
+/// Smallest meaningful λ: a 1-collision "record" is just a singleton.
+const MIN_LAMBDA: u32 = 2;
+
+/// Non-finite residual SNRs are clamped to ±`SNR_CAP_DB` before entering
+/// the window: a noiseless channel reports `+inf` per attempt, which must
+/// count as "very good" without poisoning the window mean.
+const SNR_CAP_DB: f64 = 60.0;
+
+/// Windowed-threshold λ controller (see module docs).
+///
+/// Construct with [`LambdaController::from_policy`]; feed it attempts via
+/// [`observe`](LambdaController::observe) and poll it at protocol decision
+/// points via [`decide`](LambdaController::decide).
+#[derive(Debug, Clone)]
+pub struct LambdaController {
+    lambda: u32,
+    min_lambda: u32,
+    max_lambda: u32,
+    window: usize,
+    demote_below_db: f64,
+    promote_above_db: f64,
+    samples: Vec<f64>,
+}
+
+impl LambdaController {
+    /// Builds a controller from a [`LambdaPolicy`], or `None` for
+    /// [`LambdaPolicy::Fixed`] (no control loop).
+    ///
+    /// The policy's λ bounds are clamped to the tabulated range `2..=4`
+    /// (with `max` additionally clamped to at least `min`), and the
+    /// starting λ is the protocol's configured `initial_lambda` clamped
+    /// into those bounds.
+    #[must_use]
+    pub fn from_policy(policy: &LambdaPolicy, initial_lambda: u32) -> Option<Self> {
+        match *policy {
+            LambdaPolicy::Fixed => None,
+            LambdaPolicy::SnrWindow {
+                min_lambda,
+                max_lambda,
+                window,
+                demote_below_db,
+                promote_above_db,
+            } => {
+                let min = min_lambda.clamp(MIN_LAMBDA, MAX_TABULATED_LAMBDA);
+                let max = max_lambda.clamp(min, MAX_TABULATED_LAMBDA);
+                let window = window.max(1);
+                Some(LambdaController {
+                    lambda: initial_lambda.clamp(min, max),
+                    min_lambda: min,
+                    max_lambda: max,
+                    window,
+                    demote_below_db,
+                    promote_above_db: promote_above_db.max(demote_below_db),
+                    samples: Vec::with_capacity(window),
+                })
+            }
+        }
+    }
+
+    /// The λ currently selected.
+    #[must_use]
+    pub fn lambda(&self) -> u32 {
+        self.lambda
+    }
+
+    /// The ω* matching the current λ.
+    #[must_use]
+    pub fn omega(&self) -> f64 {
+        optimal_omega(self.lambda)
+    }
+
+    /// Feeds one resolution attempt's residual SNR into the window.
+    /// Non-finite values clamp to ±60 dB; `NaN` (never produced by the
+    /// resolution layer) is dropped.
+    pub fn observe(&mut self, residual_snr_db: f64) {
+        if residual_snr_db.is_nan() {
+            return;
+        }
+        self.samples
+            .push(residual_snr_db.clamp(-SNR_CAP_DB, SNR_CAP_DB));
+    }
+
+    /// Protocol decision point (FCAT frame boundary / SCAT round). With a
+    /// full window, compares the window mean against the thresholds, moves
+    /// λ by at most one step, and clears the window. Returns the new
+    /// `(λ, ω*)` when λ actually changed.
+    pub fn decide(&mut self) -> Option<(u32, f64)> {
+        if self.samples.len() < self.window {
+            return None;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        self.samples.clear();
+        let next = if mean < self.demote_below_db {
+            self.lambda.saturating_sub(1).max(self.min_lambda)
+        } else if mean >= self.promote_above_db {
+            (self.lambda + 1).min(self.max_lambda)
+        } else {
+            self.lambda
+        };
+        if next == self.lambda {
+            return None;
+        }
+        self.lambda = next;
+        Some((next, optimal_omega(next)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(window: usize) -> LambdaPolicy {
+        LambdaPolicy::SnrWindow {
+            min_lambda: 2,
+            max_lambda: 4,
+            window,
+            demote_below_db: 3.0,
+            promote_above_db: 14.0,
+        }
+    }
+
+    #[test]
+    fn fixed_policy_yields_no_controller() {
+        assert!(LambdaController::from_policy(&LambdaPolicy::Fixed, 2).is_none());
+    }
+
+    #[test]
+    fn bounds_clamp_to_tabulated_range() {
+        let wild = LambdaPolicy::SnrWindow {
+            min_lambda: 0,
+            max_lambda: 99,
+            window: 0,
+            demote_below_db: 3.0,
+            promote_above_db: 14.0,
+        };
+        let ctl = LambdaController::from_policy(&wild, 7).expect("adaptive");
+        assert_eq!(ctl.lambda(), MAX_TABULATED_LAMBDA);
+        let mut ctl = ctl;
+        for _ in 0..10 {
+            ctl.observe(f64::INFINITY);
+            ctl.decide();
+            assert!((2..=MAX_TABULATED_LAMBDA).contains(&ctl.lambda()));
+        }
+    }
+
+    #[test]
+    fn promotes_on_clean_channel_and_demotes_under_noise() {
+        let mut ctl = LambdaController::from_policy(&policy(4), 2).expect("adaptive");
+        assert_eq!(ctl.lambda(), 2);
+        // Clean channel: every attempt reports +inf → promote step by step.
+        for _ in 0..4 {
+            ctl.observe(f64::INFINITY);
+        }
+        assert_eq!(ctl.decide(), Some((3, optimal_omega(3))));
+        for _ in 0..4 {
+            ctl.observe(50.0);
+        }
+        assert_eq!(ctl.decide(), Some((4, optimal_omega(4))));
+        // Saturated at max: no further change.
+        for _ in 0..4 {
+            ctl.observe(50.0);
+        }
+        assert_eq!(ctl.decide(), None);
+        // Noise floor: pure-noise residuals (−inf) demote back down.
+        for _ in 0..4 {
+            ctl.observe(f64::NEG_INFINITY);
+        }
+        assert_eq!(ctl.decide(), Some((3, optimal_omega(3))));
+    }
+
+    #[test]
+    fn partial_window_defers_decision() {
+        let mut ctl = LambdaController::from_policy(&policy(8), 2).expect("adaptive");
+        for _ in 0..7 {
+            ctl.observe(55.0);
+        }
+        assert_eq!(ctl.decide(), None);
+        ctl.observe(55.0);
+        assert!(ctl.decide().is_some());
+    }
+
+    #[test]
+    fn mid_band_mean_holds_lambda_and_clears_window() {
+        let mut ctl = LambdaController::from_policy(&policy(2), 3).expect("adaptive");
+        ctl.observe(8.0);
+        ctl.observe(9.0);
+        assert_eq!(ctl.decide(), None);
+        assert_eq!(ctl.lambda(), 3);
+        // Window was cleared: a single new sample is not enough to decide.
+        ctl.observe(f64::NEG_INFINITY);
+        assert_eq!(ctl.decide(), None);
+    }
+}

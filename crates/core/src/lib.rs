@@ -51,6 +51,7 @@ pub mod device;
 mod engine;
 mod fcat;
 mod inline_vec;
+mod lambda;
 mod records;
 mod resolution;
 mod scat;
@@ -58,7 +59,10 @@ mod session;
 
 pub use config::{Fidelity, InitialPopulation, Membership, SignalLevelConfig};
 pub use fcat::{AckMode, EstimatorInput, Fcat, FcatConfig};
+pub use lambda::{LambdaController, MAX_TABULATED_LAMBDA};
 pub use records::{CollisionRecordStore, RecordStats};
-pub use resolution::{RecoveryPolicy, ResolutionModel, SignalResolutionConfig};
+pub use resolution::{
+    RecoveryPolicy, ResolutionModel, SignalResolutionConfig, CALIBRATED_RESIDUAL_PER_HOP,
+};
 pub use scat::{Scat, ScatConfig};
 pub use session::FcatSession;

@@ -124,7 +124,15 @@ struct SignalBackend {
     ids: Vec<TagId>,
     /// Scratch: re-query singleton waveform.
     wave: Vec<Complex>,
+    /// Waveform buffers reclaimed from consumed records, reused by
+    /// deposit-time synthesis so the steady state allocates nothing.
+    pool: Vec<Vec<Complex>>,
 }
+
+/// Upper bound on pooled waveform buffers; beyond this, freed buffers are
+/// dropped (bounds memory if records are consumed much faster than
+/// deposited).
+const WAVE_POOL_MAX: usize = 64;
 
 /// The reader's set of outstanding collision records plus its set of known
 /// IDs, with cascade resolution.
@@ -232,6 +240,7 @@ impl CollisionRecordStore {
                 scratch: anc::MixScratch::default(),
                 ids: Vec::new(),
                 wave: Vec::new(),
+                pool: Vec::new(),
             })),
         )
     }
@@ -376,6 +385,25 @@ impl CollisionRecordStore {
             && (matches!(self.backend, Backend::Recorded(_)) || participants as u32 <= self.lambda)
     }
 
+    /// The current λ gate (maximum resolvable collision size).
+    #[must_use]
+    pub fn lambda(&self) -> u32 {
+        self.lambda
+    }
+
+    /// Changes the λ gate applied to *future* deposits (the adaptive-λ
+    /// control loop re-selects λ per frame/round). Records already stored
+    /// keep their insert-time usability: the reader committed to keeping
+    /// (or discarding) their waveforms when they were deposited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 2`.
+    pub fn set_lambda(&mut self, lambda: u32) {
+        assert!(lambda >= 2, "lambda must be >= 2, got {lambda}");
+        self.lambda = lambda;
+    }
+
     /// Releases the memory held by consumed records (their participant
     /// lists and recorded signals). Index structures stay valid; useful in
     /// long signal-level runs where each record holds a full waveform.
@@ -460,7 +488,10 @@ impl CollisionRecordStore {
                 for &t in distinct.as_slice() {
                     b.ids.push(self.tags[t as usize]);
                 }
-                let mut wave = Vec::new();
+                // Reuse a reclaimed buffer when one is available — in the
+                // steady state every usable record's synthesis is
+                // allocation-free.
+                let mut wave = b.pool.pop().unwrap_or_default();
                 anc::transmit_mixed_into(
                     &b.ids,
                     &b.cfg.msk,
@@ -545,6 +576,23 @@ impl CollisionRecordStore {
         self.worklist = worklist;
     }
 
+    /// Marks record `idx` consumed and frees its payload. A synthesized
+    /// waveform buffer goes back to the backend's pool (bounded by
+    /// [`WAVE_POOL_MAX`]) so later deposits reuse it instead of
+    /// allocating.
+    fn consume_record(&mut self, idx: usize) {
+        let record = &mut self.records[idx];
+        record.consumed = true;
+        record.participants.clear();
+        let freed = record.signal.take();
+        self.outstanding -= 1;
+        if let (Some(wave), Backend::Synthesized(b)) = (freed, &mut self.backend) {
+            if b.pool.len() < WAVE_POOL_MAX {
+                b.pool.push(wave);
+            }
+        }
+    }
+
     /// Attempts to resolve record `idx` at cascade depth `hop`; returns
     /// the recovered tag (as dense index + [`Resolved`]), if any.
     ///
@@ -568,8 +616,7 @@ impl CollisionRecordStore {
         }
         let Some(last) = last else {
             // Every participant learned elsewhere; nothing left to extract.
-            self.records[idx].consumed = true;
-            self.outstanding -= 1;
+            self.consume_record(idx);
             self.stats.exhausted += 1;
             return None;
         };
@@ -670,13 +717,9 @@ impl CollisionRecordStore {
                 }
             }
         };
-        let record = &mut self.records[idx];
-        record.consumed = true;
-        self.outstanding -= 1;
         // A consumed record can never resolve again; free its payload now
         // (signal-level records hold a full waveform each).
-        record.participants.clear();
-        record.signal = None;
+        self.consume_record(idx);
         match recovered {
             Some(tag) => {
                 self.stats.resolved += 1;

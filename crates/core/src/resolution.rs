@@ -38,6 +38,15 @@ pub enum ResolutionModel {
     SignalBacked(SignalResolutionConfig),
 }
 
+/// Per-hop residual growth factor `r` fitted by the `repro calibrate`
+/// experiment: the value that best matches the closed-form model tier's
+/// decode-failure curve ([`rfid_signal::cascade_noise_std`]) to the
+/// actual waveform-path cascade ([`rfid_signal::cascade::peel_sequential`])
+/// over a grid of channel noise levels and cascade depths. See
+/// `results/calibration.csv` and `tests/fidelity.rs` for the agreement
+/// this value is held to.
+pub const CALIBRATED_RESIDUAL_PER_HOP: f64 = 0.15;
+
 /// Parameters of [`ResolutionModel::SignalBacked`].
 #[derive(Debug, Clone)]
 pub struct SignalResolutionConfig {
@@ -58,7 +67,7 @@ impl Default for SignalResolutionConfig {
         SignalResolutionConfig {
             msk: MskConfig::default(),
             channel: ChannelModel::default(),
-            residual_per_hop: 0.25,
+            residual_per_hop: CALIBRATED_RESIDUAL_PER_HOP,
         }
     }
 }

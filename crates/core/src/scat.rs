@@ -13,6 +13,7 @@
 
 use crate::config::{Fidelity, InitialPopulation, Membership};
 use crate::engine::{Engine, SlotOutput};
+use crate::lambda::LambdaController;
 use crate::resolution::{RecoveryPolicy, ResolutionModel};
 use rand::rngs::StdRng;
 use rfid_analysis::omega::optimal_omega;
@@ -218,6 +219,13 @@ impl ObservableProtocol for Scat {
             sink,
         );
 
+        // Adaptive λ: SCAT advertises per slot, so its "round" decision
+        // point is every slot — the controller's window gates how often λ
+        // can actually move.
+        let ctl = LambdaController::from_policy(config.lambda_policy(), cfg.lambda);
+        let mut omega = ctl.as_ref().map_or(cfg.omega, LambdaController::omega);
+        engine.set_lambda_controller(ctl);
+
         // Population bootstrap.
         let mut population = cfg
             .initial
@@ -230,7 +238,7 @@ impl ObservableProtocol for Scat {
             engine.emit_estimator(EstimatorEvent {
                 slot: engine.slot_index,
                 frame: revision,
-                p: (cfg.omega / population.max(1.0)).min(1.0),
+                p: (omega / population.max(1.0)).min(1.0),
                 n0: 0,
                 n1: 0,
                 nc: 0,
@@ -270,7 +278,7 @@ impl ObservableProtocol for Scat {
             }
             let known = engine.records.known_count() as f64;
             let remaining_est = (population - known).max(slack).max(1.0);
-            let p = (cfg.omega / remaining_est).min(1.0);
+            let p = (omega / remaining_est).min(1.0);
 
             engine.report.record_overhead(advertisement_us);
             engine.run_slot(p, rng, &mut output)?;
@@ -312,6 +320,11 @@ impl ObservableProtocol for Scat {
                 engine
                     .report
                     .record_overhead(id_ack_us * output.resolved.len() as f64);
+            }
+            // Round boundary: the adaptive-λ controller may re-select λ,
+            // and the next advertisement follows the new ω*.
+            if let Some((_, new_omega)) = engine.maybe_adjust_lambda() {
+                omega = new_omega;
             }
         }
 

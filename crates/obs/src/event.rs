@@ -97,6 +97,23 @@ pub struct RecordEvent {
     pub kind: RecordEventKind,
 }
 
+/// An adaptive-λ controller re-selected the collision-resolution depth.
+///
+/// Emitted when a `LambdaPolicy` other than `Fixed` is active and the
+/// windowed residual-SNR statistic crossed a threshold: the protocol
+/// switches to `lambda` and starts advertising the matching optimal report
+/// probability numerator ω* = (λ!)^{1/λ}.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LambdaEvent {
+    /// Global slot index at which the new λ takes effect.
+    pub slot: u64,
+    /// The newly selected λ.
+    pub lambda: u32,
+    /// The matching ω* = (λ!)^{1/λ}.
+    pub omega: f64,
+}
+
 /// A population-estimate revision.
 ///
 /// FCAT emits one per frame (the §V-C estimator inverting the frame's

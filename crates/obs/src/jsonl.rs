@@ -15,14 +15,15 @@
 //! reads the same subset back for post-hoc verification — see
 //! [`replay::summarize`].
 
-use crate::event::{EstimatorEvent, RecordEvent, RecordEventKind, SlotEvent};
+use crate::event::{EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, SlotEvent};
 use crate::metrics::SlotTotals;
 use crate::EventSink;
 use rfid_types::SlotClass;
 use std::io::{self, BufWriter, Write};
 
 /// Formats an `f64` so the JSON stays finite and parseable: non-finite
-/// values (which no event currently produces) become `null`.
+/// values (which only the SNR field produces — see [`fmt_snr`]) become
+/// `null`.
 fn fmt_f64(value: f64) -> String {
     if value.is_finite() {
         let mut s = format!("{value}");
@@ -32,6 +33,18 @@ fn fmt_f64(value: f64) -> String {
         s
     } else {
         "null".to_owned()
+    }
+}
+
+/// Formats a residual SNR so non-finite values survive the round trip:
+/// `+inf` (noiseless channel) becomes `null` — the documented wire encoding
+/// — and `-inf` (pure-noise residual) becomes `-1e999`, a valid JSON number
+/// that saturates back to `-inf` when parsed as `f64`.
+fn fmt_snr(value: f64) -> String {
+    if value == f64::NEG_INFINITY {
+        "-1e999".to_owned()
+    } else {
+        fmt_f64(value)
     }
 }
 
@@ -156,7 +169,7 @@ impl<W: Write> EventSink for JsonlSink<W> {
                  \"hop\":{hop},\"residual_snr_db\":{},\"success\":{success}}}",
                 event.slot,
                 event.record_slot,
-                fmt_f64(residual_snr_db),
+                fmt_snr(residual_snr_db),
             ),
             RecordEventKind::RequeryScheduled { attempt, due_slot } => format!(
                 "{{\"type\":\"record\",\"event\":\"requery_scheduled\",\"slot\":{},\
@@ -186,15 +199,26 @@ impl<W: Write> EventSink for JsonlSink<W> {
         );
         self.write_line(&line);
     }
+
+    fn lambda(&mut self, event: &LambdaEvent) {
+        let line = format!(
+            "{{\"type\":\"lambda\",\"slot\":{},\"lambda\":{},\"omega\":{}}}",
+            event.slot,
+            event.lambda,
+            fmt_f64(event.omega),
+        );
+        self.write_line(&line);
+    }
 }
 
 /// Reading traces back, for post-hoc verification and tooling.
 pub mod replay {
     use super::SlotTotals;
+    use crate::metrics::SnrByHop;
     use std::io::{self, BufRead};
 
     /// Roll-up of one replayed JSONL trace.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    #[derive(Debug, Clone, PartialEq, Default)]
     pub struct TraceSummary {
         /// Per-class totals over the trace's slot events.
         pub slots: SlotTotals,
@@ -206,6 +230,17 @@ pub mod replay {
         pub records_created: u64,
         /// `record` events with `event == "resolved"`.
         pub records_resolved: u64,
+        /// `record` events with `event == "attempted"`.
+        pub resolution_attempts: u64,
+        /// Residual-SNR samples per hop depth, rebuilt from `attempted`
+        /// events (same aggregation type as the live
+        /// [`crate::Metrics::snr_by_hop`], so replay == live is
+        /// structural).
+        pub snr_by_hop: SnrByHop,
+        /// `lambda` events (adaptive-λ re-selections).
+        pub lambda_adjustments: u64,
+        /// λ of the last `lambda` event (0 when none occurred).
+        pub lambda_current: u32,
         /// `estimator` events.
         pub estimator_updates: u64,
         /// Total lines parsed.
@@ -239,6 +274,16 @@ pub mod replay {
             .unwrap_or(0)
     }
 
+    /// Parses a residual SNR back from the wire encoding: `null` is the
+    /// writer's spelling of `+inf` (noiseless channel), and `-1e999`
+    /// saturates to `-inf` through the standard `f64` parser.
+    fn snr(line: &str) -> Option<f64> {
+        match field(line, "residual_snr_db")? {
+            "null" => Some(f64::INFINITY),
+            raw => raw.parse::<f64>().ok(),
+        }
+    }
+
     /// Replays a JSONL trace and rolls it up into a [`TraceSummary`].
     ///
     /// Unknown line types are counted in `lines` and otherwise ignored, so
@@ -269,9 +314,19 @@ pub mod replay {
                 Some("record") => match field(&line, "event") {
                     Some("created") => summary.records_created += 1,
                     Some("resolved") => summary.records_resolved += 1,
+                    Some("attempted") => {
+                        summary.resolution_attempts += 1;
+                        if let Some(db) = snr(&line) {
+                            summary.snr_by_hop.observe(num(&line, "hop") as u32, db);
+                        }
+                    }
                     _ => {}
                 },
                 Some("estimator") => summary.estimator_updates += 1,
+                Some("lambda") => {
+                    summary.lambda_adjustments += 1;
+                    summary.lambda_current = num(&line, "lambda") as u32;
+                }
                 _ => {}
             }
         }
@@ -408,6 +463,67 @@ mod tests {
         let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
         assert_eq!(summary.lines, 3);
         assert_eq!(summary.records_created, 0);
+    }
+
+    #[test]
+    fn snr_round_trips_through_writer_and_reader() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for (hop, db) in [
+            (1u32, f64::INFINITY),
+            (1, f64::NEG_INFINITY),
+            (2, 12.5),
+            (2, -3.25),
+        ] {
+            sink.record(&RecordEvent {
+                slot: 0,
+                record_slot: 0,
+                kind: RecordEventKind::Attempted {
+                    hop,
+                    residual_snr_db: db,
+                    success: true,
+                },
+            });
+        }
+        let text = String::from_utf8(sink.finish().expect("write")).expect("utf8");
+        // The wire encodings pinned by the format doc: +inf → null,
+        // -inf → -1e999 (a valid JSON number saturating back to -inf).
+        assert!(text.contains("\"residual_snr_db\":null"));
+        assert!(text.contains("\"residual_snr_db\":-1e999"));
+
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.resolution_attempts, 4);
+        let h1 = summary.snr_by_hop.stats(1).unwrap();
+        assert_eq!(h1.count, 2);
+        // +inf must come back as +inf (not NaN, not an error, not a skip).
+        assert_eq!(h1.min, f64::NEG_INFINITY);
+        assert!(h1.mean.is_nan(), "inf + -inf has no defined mean");
+        let mut expected = crate::metrics::SnrByHop::default();
+        expected.observe(1, f64::INFINITY);
+        expected.observe(1, f64::NEG_INFINITY);
+        expected.observe(2, 12.5);
+        expected.observe(2, -3.25);
+        assert_eq!(summary.snr_by_hop, expected);
+    }
+
+    #[test]
+    fn lambda_events_serialize_and_replay() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.lambda(&LambdaEvent {
+            slot: 12,
+            lambda: 3,
+            omega: 1.8171205928321397,
+        });
+        sink.lambda(&LambdaEvent {
+            slot: 64,
+            lambda: 2,
+            omega: std::f64::consts::SQRT_2,
+        });
+        let text = String::from_utf8(sink.finish().expect("write")).expect("utf8");
+        assert!(text.contains("\"type\":\"lambda\""));
+        assert!(text.contains("\"lambda\":3"));
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.lambda_adjustments, 2);
+        assert_eq!(summary.lambda_current, 2);
     }
 
     #[test]

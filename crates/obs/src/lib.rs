@@ -28,9 +28,11 @@ pub mod event;
 pub mod jsonl;
 pub mod metrics;
 
-pub use event::{EstimatorEvent, RecordEvent, RecordEventKind, SlotEvent};
+pub use event::{EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, SlotEvent};
 pub use jsonl::JsonlSink;
-pub use metrics::{LatencyHistogram, Metrics, MetricsSink, SlotTotals, LATENCY_BUCKETS};
+pub use metrics::{
+    LatencyHistogram, Metrics, MetricsSink, SlotTotals, SnrByHop, SnrHopStats, LATENCY_BUCKETS,
+};
 
 /// Receives simulation events.
 ///
@@ -58,6 +60,11 @@ pub trait EventSink {
     fn estimator(&mut self, event: &EstimatorEvent) {
         let _ = event;
     }
+
+    /// An adaptive-λ controller re-selected λ (and thus ω*).
+    fn lambda(&mut self, event: &LambdaEvent) {
+        let _ = event;
+    }
 }
 
 /// The do-nothing sink: `ENABLED = false`, so engines generic over it
@@ -83,6 +90,10 @@ impl<S: EventSink> EventSink for &mut S {
 
     fn estimator(&mut self, event: &EstimatorEvent) {
         (**self).estimator(event);
+    }
+
+    fn lambda(&mut self, event: &LambdaEvent) {
+        (**self).lambda(event);
     }
 }
 

@@ -1,9 +1,103 @@
 //! Aggregate counters and histograms built from the event stream.
 
-use crate::event::{EstimatorEvent, RecordEvent, RecordEventKind, SlotEvent};
+use crate::event::{EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, SlotEvent};
 use crate::EventSink;
 use rfid_types::SlotClass;
 use std::fmt;
+
+/// Descriptive statistics of the residual SNR observed at one hop depth.
+///
+/// `min`/`mean` can be `±inf`: a noiseless channel reports every attempt at
+/// `+inf`, and an attempt whose residual is pure noise reports `-inf`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrHopStats {
+    /// Number of attempts observed at this hop depth.
+    pub count: u64,
+    /// Minimum residual SNR (dB).
+    pub min: f64,
+    /// Mean residual SNR (dB).
+    pub mean: f64,
+    /// 10th-percentile residual SNR (dB): the sample at rank
+    /// `⌊0.1·(n−1)⌋` of the sorted values.
+    pub p10: f64,
+}
+
+/// Per-hop-depth residual-SNR samples from signal-backed resolution
+/// attempts.
+///
+/// Shared by the live [`MetricsSink`] and the JSONL replay summary
+/// ([`crate::jsonl::replay::TraceSummary`]) so "replay == live" holds
+/// structurally: both sides collect raw samples and derive min/mean/p10 the
+/// same way.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SnrByHop {
+    /// `samples[d]` holds the residual SNRs observed at hop depth `d + 1`.
+    samples: Vec<Vec<f64>>,
+}
+
+impl SnrByHop {
+    /// Records one attempt's residual SNR at 1-based hop depth `hop`.
+    /// Hop 0 (never emitted) is ignored; `NaN` samples are dropped so the
+    /// derived statistics stay ordered.
+    pub fn observe(&mut self, hop: u32, residual_snr_db: f64) {
+        if hop == 0 || residual_snr_db.is_nan() {
+            return;
+        }
+        let idx = hop as usize - 1;
+        if self.samples.len() <= idx {
+            self.samples.resize(idx + 1, Vec::new());
+        }
+        self.samples[idx].push(residual_snr_db);
+    }
+
+    /// Whether no attempt has been observed at any depth.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.iter().all(Vec::is_empty)
+    }
+
+    /// Deepest hop with at least one sample (0 when empty).
+    #[must_use]
+    pub fn max_hop(&self) -> u32 {
+        self.samples
+            .iter()
+            .rposition(|s| !s.is_empty())
+            .map_or(0, |i| i as u32 + 1)
+    }
+
+    /// Statistics for 1-based hop depth `hop`, or `None` when no attempt
+    /// ran at that depth.
+    #[must_use]
+    pub fn stats(&self, hop: u32) -> Option<SnrHopStats> {
+        let samples = match hop.checked_sub(1) {
+            Some(idx) => self.samples.get(idx as usize)?,
+            None => return None,
+        };
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        Some(SnrHopStats {
+            count: n as u64,
+            min: sorted[0],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p10: sorted[(n - 1) / 10],
+        })
+    }
+
+    /// Appends another collection's samples into this one.
+    pub fn merge(&mut self, other: &SnrByHop) {
+        if self.samples.len() < other.samples.len() {
+            self.samples.resize(other.samples.len(), Vec::new());
+        }
+        for (mine, theirs) in self.samples.iter_mut().zip(other.samples.iter()) {
+            mine.extend_from_slice(theirs);
+        }
+    }
+}
 
 /// Per-class slot totals (obs-side mirror of the simulator's counters, so
 /// this crate depends only on `rfid-types`).
@@ -142,7 +236,7 @@ impl LatencyHistogram {
 /// Aggregate observability metrics for one or more runs.
 ///
 /// Built by [`MetricsSink`]; merge per-run metrics with [`Metrics::merge`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Metrics {
     /// Runs merged into this value (1 for a single run).
@@ -177,6 +271,16 @@ pub struct Metrics {
     pub resolution_successes: u64,
     /// Deepest hop at which a signal-backed attempt ran.
     pub max_attempt_hop: u32,
+    /// Residual-SNR samples per hop depth from signal-backed attempts.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub snr_by_hop: SnrByHop,
+    /// λ re-selections made by an adaptive λ controller.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub lambda_adjustments: u64,
+    /// The λ currently in effect (gauge: last λ event wins; 0 when no
+    /// λ event was ever observed).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub lambda_current: u32,
     /// Re-query slots scheduled by the recovery policy.
     pub requeries_scheduled: u64,
     /// Re-query slots executed.
@@ -231,6 +335,11 @@ impl Metrics {
         self.resolution_attempts += other.resolution_attempts;
         self.resolution_successes += other.resolution_successes;
         self.max_attempt_hop = self.max_attempt_hop.max(other.max_attempt_hop);
+        self.snr_by_hop.merge(&other.snr_by_hop);
+        self.lambda_adjustments += other.lambda_adjustments;
+        if other.lambda_current != 0 {
+            self.lambda_current = other.lambda_current;
+        }
         self.requeries_scheduled += other.requeries_scheduled;
         self.requeries_executed += other.requeries_executed;
         self.requeries_succeeded += other.requeries_succeeded;
@@ -349,6 +458,25 @@ impl fmt::Display for Metrics {
             "  max hop                       {:>12}",
             self.max_attempt_hop
         )?;
+        for hop in 1..=self.snr_by_hop.max_hop() {
+            if let Some(s) = self.snr_by_hop.stats(hop) {
+                writeln!(
+                    f,
+                    "  hop {hop} residual SNR (dB)     min {:.1}, mean {:.1}, p10 {:.1} (n={})",
+                    s.min, s.mean, s.p10, s.count
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "lambda adjustments              {:>12}",
+            self.lambda_adjustments
+        )?;
+        writeln!(
+            f,
+            "lambda current                  {:>12}",
+            self.lambda_current
+        )?;
         writeln!(
             f,
             "re-queries scheduled            {:>12}",
@@ -431,12 +559,17 @@ impl EventSink for MetricsSink {
             }
             RecordEventKind::Exhausted => m.records_exhausted += 1,
             RecordEventKind::Failed => m.records_failed += 1,
-            RecordEventKind::Attempted { hop, success, .. } => {
+            RecordEventKind::Attempted {
+                hop,
+                residual_snr_db,
+                success,
+            } => {
                 m.resolution_attempts += 1;
                 if success {
                     m.resolution_successes += 1;
                 }
                 m.max_attempt_hop = m.max_attempt_hop.max(hop);
+                m.snr_by_hop.observe(hop, residual_snr_db);
             }
             RecordEventKind::RequeryScheduled { .. } => m.requeries_scheduled += 1,
             RecordEventKind::Requeried { success, .. } => {
@@ -451,6 +584,11 @@ impl EventSink for MetricsSink {
     fn estimator(&mut self, event: &EstimatorEvent) {
         self.metrics.estimator_updates += 1;
         self.final_estimate = event.estimate;
+    }
+
+    fn lambda(&mut self, event: &LambdaEvent) {
+        self.metrics.lambda_adjustments += 1;
+        self.metrics.lambda_current = event.lambda;
     }
 }
 
@@ -537,7 +675,7 @@ mod tests {
         assert!((m.final_estimate_mean() - 123.0).abs() < 1e-12);
         assert!((m.resolution_rate() - 1.0).abs() < 1e-12);
 
-        let mut merged = m;
+        let mut merged = m.clone();
         merged.merge(&m);
         assert_eq!(merged.runs, 2);
         assert_eq!(merged.records_created, 2);
@@ -545,5 +683,87 @@ mod tests {
         let table = merged.render_table();
         assert!(table.contains("records created"));
         assert!(table.contains("resolution latency"));
+    }
+
+    #[test]
+    fn snr_by_hop_stats_and_merge() {
+        let mut snr = SnrByHop::default();
+        assert!(snr.is_empty());
+        assert_eq!(snr.max_hop(), 0);
+        assert_eq!(snr.stats(1), None);
+        for v in [10.0, 20.0, 0.0, 30.0] {
+            snr.observe(1, v);
+        }
+        snr.observe(3, f64::INFINITY);
+        snr.observe(2, f64::NEG_INFINITY);
+        snr.observe(0, 99.0); // hop 0 never happens — ignored
+        snr.observe(1, f64::NAN); // dropped
+        assert_eq!(snr.max_hop(), 3);
+        let h1 = snr.stats(1).unwrap();
+        assert_eq!(h1.count, 4);
+        assert_eq!(h1.min, 0.0);
+        assert!((h1.mean - 15.0).abs() < 1e-12);
+        assert_eq!(h1.p10, 0.0);
+        assert_eq!(snr.stats(2).unwrap().min, f64::NEG_INFINITY);
+        let h3 = snr.stats(3).unwrap();
+        assert_eq!(h3.mean, f64::INFINITY);
+        assert_eq!(h3.p10, f64::INFINITY);
+        assert_eq!(snr.stats(4), None);
+
+        let mut other = SnrByHop::default();
+        other.observe(1, 50.0);
+        snr.merge(&other);
+        assert_eq!(snr.stats(1).unwrap().count, 5);
+    }
+
+    #[test]
+    fn lambda_events_update_gauge_and_counter() {
+        let mut sink = MetricsSink::new();
+        sink.lambda(&LambdaEvent {
+            slot: 0,
+            lambda: 2,
+            omega: 1.414,
+        });
+        sink.lambda(&LambdaEvent {
+            slot: 40,
+            lambda: 3,
+            omega: 1.817,
+        });
+        let m = sink.into_metrics();
+        assert_eq!(m.lambda_adjustments, 2);
+        assert_eq!(m.lambda_current, 3);
+
+        let mut merged = Metrics::default();
+        merged.merge(&m);
+        assert_eq!(merged.lambda_current, 3);
+        assert_eq!(merged.lambda_adjustments, 2);
+        let table = merged.render_table();
+        assert!(table.contains("lambda adjustments"));
+    }
+
+    #[test]
+    fn attempted_events_feed_snr_by_hop() {
+        let mut sink = MetricsSink::new();
+        sink.record(&RecordEvent {
+            slot: 2,
+            record_slot: 1,
+            kind: RecordEventKind::Attempted {
+                hop: 1,
+                residual_snr_db: 12.5,
+                success: true,
+            },
+        });
+        sink.record(&RecordEvent {
+            slot: 3,
+            record_slot: 1,
+            kind: RecordEventKind::Attempted {
+                hop: 2,
+                residual_snr_db: f64::INFINITY,
+                success: true,
+            },
+        });
+        let m = sink.into_metrics();
+        assert_eq!(m.snr_by_hop.stats(1).unwrap().count, 1);
+        assert_eq!(m.snr_by_hop.stats(2).unwrap().mean, f64::INFINITY);
     }
 }

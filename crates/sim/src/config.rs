@@ -148,6 +148,74 @@ impl Default for ErrorModel {
     }
 }
 
+/// Policy for selecting λ (the maximum resolvable collision size) during a
+/// run.
+///
+/// The paper treats λ as a fixed hardware constant (§IV-C), but the
+/// sustainable collision depth is SNR-dependent (Pudasaini et al., Fyhn et
+/// al.): at high SNR deeper cascades still decode, at low SNR even λ = 2
+/// records fail. This policy is plain data — the control loop that consumes
+/// it (`LambdaController` in the collision-aware protocol crate) reads the
+/// per-hop residual SNR stream produced by signal-backed resolution and
+/// re-selects λ (and thus ω* = (λ!)^{1/λ}) per FCAT frame / SCAT round.
+///
+/// Under ideal (non-signal-backed) resolution no residual SNR is measured,
+/// so an adaptive policy never observes anything and λ stays at the
+/// protocol's configured value.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LambdaPolicy {
+    /// Keep λ fixed at the protocol's configured value (the paper's
+    /// setting).
+    #[default]
+    Fixed,
+    /// Windowed residual-SNR thresholding: collect the last `window`
+    /// per-hop residual SNR samples; once the window is full, demote λ when
+    /// the mean falls below `demote_below_db`, promote it when the mean
+    /// rises above `promote_above_db`, and clear the window after every
+    /// adjustment.
+    SnrWindow {
+        /// Lower bound for λ (inclusive); clamped to ≥ 2.
+        min_lambda: u32,
+        /// Upper bound for λ (inclusive); clamped to the largest λ with an
+        /// ω* table entry (4 today).
+        max_lambda: u32,
+        /// Number of residual-SNR samples required before a decision.
+        window: usize,
+        /// Mean residual SNR (dB) below which λ is demoted.
+        demote_below_db: f64,
+        /// Mean residual SNR (dB) above which λ is promoted.
+        promote_above_db: f64,
+    },
+}
+
+impl LambdaPolicy {
+    /// The default windowed-SNR policy: λ ∈ [2, 4], 4-sample window,
+    /// demote below 5.5 dB, promote above 6.5 dB. The thresholds straddle
+    /// the fixed-λ crossover measured by `results/lambda-sweep.csv`:
+    /// λ = 4 wins down to ≈ 8.5 dB channel SNR (σ = 0.2) and λ = 2 wins
+    /// from ≈ 5 dB (σ = 0.3) on, so promotion engages above the crossover
+    /// and demotion below it. The band is deliberately narrow: windowed
+    /// means inside it occur only where adjacent λ settings score within
+    /// noise of each other, so an occasional boundary flip is cheap.
+    #[must_use]
+    pub fn snr_window() -> Self {
+        LambdaPolicy::SnrWindow {
+            min_lambda: 2,
+            max_lambda: 4,
+            window: 4,
+            demote_below_db: 5.5,
+            promote_above_db: 6.5,
+        }
+    }
+
+    /// Whether this policy can ever change λ.
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        !matches!(self, LambdaPolicy::Fixed)
+    }
+}
+
 /// Configuration of one simulated inventory run.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -159,6 +227,8 @@ pub struct SimConfig {
     trace: bool,
     #[cfg_attr(feature = "serde", serde(default = "default_hash_bits"))]
     hash_bits: u32,
+    #[cfg_attr(feature = "serde", serde(default))]
+    lambda_policy: LambdaPolicy,
 }
 
 #[cfg(feature = "serde")]
@@ -178,6 +248,7 @@ impl SimConfig {
             max_slots: 10_000_000,
             trace: false,
             hash_bits: 16,
+            lambda_policy: LambdaPolicy::Fixed,
         }
     }
 
@@ -277,6 +348,22 @@ impl SimConfig {
     pub fn hash_bits(&self) -> u32 {
         self.hash_bits
     }
+
+    /// Returns this configuration with a λ-selection policy. Only the
+    /// collision-aware protocol family consults it, and only signal-backed
+    /// resolution produces the residual-SNR stream an adaptive policy
+    /// feeds on.
+    #[must_use]
+    pub fn with_lambda_policy(mut self, policy: LambdaPolicy) -> Self {
+        self.lambda_policy = policy;
+        self
+    }
+
+    /// The λ-selection policy (default [`LambdaPolicy::Fixed`]).
+    #[must_use]
+    pub fn lambda_policy(&self) -> &LambdaPolicy {
+        &self.lambda_policy
+    }
 }
 
 impl Default for SimConfig {
@@ -368,6 +455,16 @@ mod tests {
         assert_eq!(SimConfig::default().hash_bits(), 16);
         assert_eq!(SimConfig::default().with_hash_bits(8).hash_bits(), 8);
         assert_eq!(SimConfig::default().with_hash_bits(32).hash_bits(), 32);
+    }
+
+    #[test]
+    fn lambda_policy_default_and_builder() {
+        assert_eq!(SimConfig::default().lambda_policy(), &LambdaPolicy::Fixed);
+        assert!(!LambdaPolicy::Fixed.is_adaptive());
+        let adaptive = LambdaPolicy::snr_window();
+        assert!(adaptive.is_adaptive());
+        let c = SimConfig::default().with_lambda_policy(adaptive.clone());
+        assert_eq!(c.lambda_policy(), &adaptive);
     }
 
     #[test]

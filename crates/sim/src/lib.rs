@@ -69,11 +69,13 @@ pub mod rounds;
 mod runner;
 pub mod sampling;
 
-pub use config::{ErrorModel, SimConfig};
+pub use config::{ErrorModel, LambdaPolicy, SimConfig};
 pub use error::SimError;
 pub use multisite::{multi_site_inventory, Deployment, MultiSiteReport, PlacedTag};
 pub use protocol::{AntiCollisionProtocol, ObservableProtocol};
-pub use report::{Aggregate, InventoryReport, MultiRunReport, SlotCounts, TraceEvent};
+pub use report::{
+    Aggregate, InventoryReport, LambdaTrajectoryPoint, MultiRunReport, SlotCounts, TraceEvent,
+};
 pub use rng::{derive_seed, seeded_rng};
 pub use runner::{
     run_inventory, run_inventory_observed, run_many, run_many_observed, run_many_with_populations,

@@ -19,6 +19,20 @@ pub struct TraceEvent {
     pub learned: u32,
 }
 
+/// One λ re-selection made by an adaptive λ controller (see
+/// [`crate::LambdaPolicy`]): at `slot`, the controller switched to
+/// `lambda` and the protocol started advertising `omega` = ω*(λ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LambdaTrajectoryPoint {
+    /// Global slot index at which the new λ took effect.
+    pub slot: u64,
+    /// The selected λ.
+    pub lambda: u32,
+    /// The matching optimal report probability numerator ω* = (λ!)^{1/λ}.
+    pub omega: f64,
+}
+
 /// Per-class slot counters — exactly the rows of the paper's Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -88,6 +102,10 @@ pub struct InventoryReport {
     /// Per-slot trace (empty unless tracing was enabled and the protocol
     /// supports it).
     pub trace: Vec<TraceEvent>,
+    /// λ selections over the run, starting with the initial λ at slot 0.
+    /// Empty unless an adaptive [`crate::LambdaPolicy`] was active.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub lambda_trajectory: Vec<LambdaTrajectoryPoint>,
 }
 
 impl InventoryReport {
@@ -106,6 +124,7 @@ impl InventoryReport {
             throughput_tags_per_sec: 0.0,
             ids: HashSet::new(),
             trace: Vec::new(),
+            lambda_trajectory: Vec::new(),
         }
     }
 
@@ -170,6 +189,13 @@ impl InventoryReport {
     /// enabled).
     pub fn record_trace_event(&mut self, event: TraceEvent) {
         self.trace.push(event);
+    }
+
+    /// Appends a λ-trajectory point (protocols with an active adaptive λ
+    /// controller call this at every re-selection, plus once for the
+    /// initial λ).
+    pub fn record_lambda_point(&mut self, point: LambdaTrajectoryPoint) {
+        self.lambda_trajectory.push(point);
     }
 
     /// Drops the per-tag ID set and trace (e.g. before aggregating

@@ -48,7 +48,8 @@ pub use rfid_types as types;
 pub mod prelude {
     pub use rfid_anc::device::MessageLevelFcat;
     pub use rfid_anc::{
-        Fcat, FcatConfig, RecoveryPolicy, ResolutionModel, Scat, ScatConfig, SignalResolutionConfig,
+        Fcat, FcatConfig, LambdaController, RecoveryPolicy, ResolutionModel, Scat, ScatConfig,
+        SignalResolutionConfig, CALIBRATED_RESIDUAL_PER_HOP,
     };
     pub use rfid_protocols::{
         Abs, Aqs, Crdsa, Dfsa, DfsaConfig, Edfsa, EdfsaConfig, FramedSlottedAloha, QueryTree,
@@ -56,7 +57,7 @@ pub mod prelude {
     };
     pub use rfid_sim::{
         run_inventory, run_inventory_observed, run_many, run_many_observed, seeded_rng,
-        AntiCollisionProtocol, InventoryReport, ObservableProtocol, SimConfig,
+        AntiCollisionProtocol, InventoryReport, LambdaPolicy, ObservableProtocol, SimConfig,
     };
     pub use rfid_types::{population, SlotClass, TagId, TimingConfig};
 }

@@ -144,6 +144,87 @@ fn message_level_fcat_differential_against_engine() {
 }
 
 #[test]
+fn calibrated_cascade_model_tracks_waveform_path() {
+    // The model tier compresses cascaded subtraction error into one
+    // constant (CALIBRATED_RESIDUAL_PER_HOP, fitted by `repro calibrate`):
+    // extra noise variance σ²·((1+r)^(d−1) − 1) at hop depth d. This
+    // cross-check re-measures both tiers at points inside the calibration
+    // grid and holds their decode-failure rates to the fitted agreement.
+    use anc_rfid::signal::{anc, cascade};
+
+    let points = [(0.15f64, 2u32), (0.2, 2), (0.2, 3), (0.25, 2)];
+    let trials = 120u64;
+    let msk = MskConfig::default();
+    for (sigma, depth) in points {
+        let model = ChannelModel::default().with_noise_std(sigma);
+        let k = depth as usize + 1;
+
+        // Waveform tier: sequential scalar-gain peeling of a (d+1)-mixture,
+        // each hop's fit error riding into the next.
+        let mut wave_fail = 0u32;
+        for t in 0..trials {
+            let mut rng = seeded_rng(0xF1DE ^ (u64::from(depth) << 32) ^ t);
+            let ids: Vec<TagId> = population::uniform(&mut rng, k);
+            let mixed = anc::transmit_mixed(&ids, &msk, &model, &mut rng);
+            let attempt = cascade::peel_sequential(&mixed, &ids[..k - 1], &msk, sigma);
+            if attempt.recovered != Ok(ids[k - 1]) {
+                wave_fail += 1;
+            }
+        }
+
+        // Model tier: one joint subtraction plus the calibrated
+        // depth-dependent noise injection.
+        let extra = cascade::cascade_noise_std(sigma, CALIBRATED_RESIDUAL_PER_HOP, depth);
+        let mut model_fail = 0u32;
+        for t in 0..trials {
+            let mut rng = seeded_rng(0x0DE1 ^ (u64::from(depth) << 32) ^ t);
+            let ids: Vec<TagId> = population::uniform(&mut rng, 2);
+            let mixed = anc::transmit_mixed(&ids, &msk, &model, &mut rng);
+            let attempt =
+                cascade::resolve_cascaded(&mixed, &ids[..1], &msk, sigma, extra, &mut rng);
+            if attempt.recovered != Ok(ids[1]) {
+                model_fail += 1;
+            }
+        }
+
+        let gap = (f64::from(wave_fail) - f64::from(model_fail)).abs() / trials as f64;
+        assert!(
+            gap <= 0.15,
+            "sigma {sigma} depth {depth}: waveform {wave_fail}/{trials} vs model \
+             {model_fail}/{trials}, gap {gap:.3} > 0.15"
+        );
+    }
+}
+
+#[test]
+fn message_level_signal_backed_matches_ideal_at_high_snr() {
+    // The device-plane reader honors the resolution model through
+    // ReaderDevice::with_resolution. At ~43 dB SNR every signal-backed
+    // attempt succeeds, and the resolution layer draws from a dedicated RNG
+    // stream, so the run must be indistinguishable from the Ideal model —
+    // same IDs in the same order, same slot count.
+    use anc_rfid::anc::device::MessageLevelFcat;
+
+    let tags = population::uniform(&mut seeded_rng(61), 400);
+    let config = SimConfig::default().with_seed(13);
+    let ideal = run_inventory(
+        &MessageLevelFcat::new(FcatConfig::default()),
+        &tags,
+        &config,
+    )
+    .expect("ideal run");
+    let backed_cfg = FcatConfig::default().with_resolution(ResolutionModel::SignalBacked(
+        SignalResolutionConfig::default().with_noise_std(0.005),
+    ));
+    let backed =
+        run_inventory(&MessageLevelFcat::new(backed_cfg), &tags, &config).expect("backed run");
+    assert_eq!(ideal.identified, 400);
+    assert_eq!(backed.identified, 400);
+    assert_eq!(ideal.ids, backed.ids);
+    assert_eq!(ideal.slots.total(), backed.slots.total());
+}
+
+#[test]
 fn scat_and_fcat_agree_on_what_they_read() {
     // Same seed, same tags: both collision-aware protocols read the whole
     // population; FCAT is faster thanks to amortized advertisements.

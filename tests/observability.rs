@@ -76,6 +76,39 @@ fn jsonl_replay_matches_scat_report() {
 }
 
 #[test]
+fn replayed_snr_by_hop_matches_live_metrics() {
+    // Signal-backed resolution emits a residual SNR per attempt; the live
+    // MetricsSink buckets them by hop depth, and the JSONL replay must
+    // rebuild the exact same buckets from the wire (including non-finite
+    // samples, which round-trip as `null`/`-1e999`).
+    let config = SimConfig::default().with_seed(29);
+    let tags = population::uniform(&mut seeded_rng(29), 400);
+    let protocol = Fcat::new(
+        FcatConfig::default().with_resolution(ResolutionModel::SignalBacked(
+            SignalResolutionConfig::default().with_noise_std(0.2),
+        )),
+    );
+
+    let mut metrics_sink = MetricsSink::new();
+    let live = run_inventory_observed(&protocol, &tags, &config, &mut metrics_sink).expect("live");
+    let metrics = metrics_sink.into_metrics();
+
+    let mut jsonl = JsonlSink::new(Vec::new());
+    let traced = run_inventory_observed(&protocol, &tags, &config, &mut jsonl).expect("traced");
+    assert_eq!(live, traced, "sink choice perturbed the run");
+    let buffer = jsonl.finish().expect("in-memory writes cannot fail");
+    let summary = replay::summarize(buffer.as_slice()).expect("well-formed trace");
+
+    assert_eq!(summary.snr_by_hop, metrics.snr_by_hop, "replay != live");
+    assert!(!metrics.snr_by_hop.is_empty(), "no attempts observed");
+    let h1 = metrics.snr_by_hop.stats(1).expect("hop-1 attempts");
+    assert!(h1.count > 0);
+    // At σ = 0.2 residual SNRs are finite and ordered as min ≤ p10 ≤ mean.
+    assert!(h1.min <= h1.p10 && h1.p10 <= h1.mean, "{h1:?}");
+    assert!(metrics.snr_by_hop.max_hop() >= 1);
+}
+
+#[test]
 fn metrics_sink_totals_match_single_report() {
     // The aggregate counters must agree with the report they were collected
     // alongside — same slots, same split of direct vs. resolved IDs.

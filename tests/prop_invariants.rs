@@ -67,6 +67,76 @@ proptest! {
         prop_assert_eq!(report.identified, n);
     }
 
+    /// The adaptive-λ controller never leaves the tabulated ω* range
+    /// {2, 3, 4}, whatever policy bounds, window, thresholds, starting λ,
+    /// or residual-SNR stream (finite or ±inf) it is fed.
+    #[test]
+    fn lambda_controller_stays_in_tabulated_range(
+        min_lambda in 0u32..10,
+        max_lambda in 0u32..10,
+        window in 0usize..12,
+        demote in -30.0f64..30.0,
+        promote in -30.0f64..30.0,
+        initial in 0u32..10,
+        stream in proptest::collection::vec((-80.0f64..80.0, 0u8..10), 0..200),
+    ) {
+        let policy = LambdaPolicy::SnrWindow {
+            min_lambda,
+            max_lambda,
+            window,
+            demote_below_db: demote,
+            promote_above_db: promote,
+        };
+        let mut ctl = LambdaController::from_policy(&policy, initial).expect("adaptive policy");
+        prop_assert!((2..=4).contains(&ctl.lambda()));
+        for (db, kind) in stream {
+            // Mix non-finite samples in: kind 0 → −inf, kind 1 → +inf.
+            ctl.observe(match kind {
+                0 => f64::NEG_INFINITY,
+                1 => f64::INFINITY,
+                _ => db,
+            });
+            if let Some((lambda, omega)) = ctl.decide() {
+                prop_assert_eq!(lambda, ctl.lambda());
+                prop_assert!((omega - anc_rfid::analysis::omega::optimal_omega(lambda)).abs() < 1e-12);
+            }
+            prop_assert!((2..=4).contains(&ctl.lambda()));
+        }
+    }
+
+    /// On a clean channel (every attempt's residual SNR is +inf) the
+    /// controller climbs to the policy's maximum λ and stays there.
+    #[test]
+    fn lambda_controller_converges_to_max_on_clean_channel(
+        max_lambda in 2u32..8,
+        window in 1usize..10,
+        initial in 2u32..5,
+    ) {
+        let policy = LambdaPolicy::SnrWindow {
+            min_lambda: 2,
+            max_lambda,
+            window,
+            demote_below_db: 4.0,
+            promote_above_db: 6.5,
+        };
+        let clamped_max = max_lambda.min(4);
+        let mut ctl = LambdaController::from_policy(&policy, initial).expect("adaptive policy");
+        // Enough decisions to climb from the bottom of the range.
+        for _ in 0..8 {
+            for _ in 0..window {
+                ctl.observe(f64::INFINITY);
+            }
+            ctl.decide();
+        }
+        prop_assert_eq!(ctl.lambda(), clamped_max);
+        // Saturated: further clean windows never move it.
+        for _ in 0..window {
+            ctl.observe(f64::INFINITY);
+        }
+        prop_assert_eq!(ctl.decide(), None);
+        prop_assert_eq!(ctl.lambda(), clamped_max);
+    }
+
     /// DFSA and ABS agree with FCAT on the set of identified tags
     /// (they all read exactly the population).
     #[test]
