@@ -9,7 +9,7 @@
 //! experiments:
 //!   table1 table2 table3 table4 fig3 fig4 fig5 fig6
 //!   ablation-estimator ablation-snr ablation-noise snr-sweep
-//!   calibrate lambda-sweep
+//!   calibrate lambda-sweep interference-sweep
 //!   extension-crdsa extension-model extension-rounds extension-signal bounds
 //!   all        (everything above)
 //! ```
@@ -85,6 +85,7 @@ const EXPERIMENTS: &[&str] = &[
     "snr-sweep",
     "calibrate",
     "lambda-sweep",
+    "interference-sweep",
     "extension-crdsa",
     "extension-model",
     "extension-rounds",
@@ -118,7 +119,7 @@ fn main() -> ExitCode {
             );
             eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6");
             eprintln!("             ablation-estimator ablation-snr ablation-noise snr-sweep");
-            eprintln!("             calibrate lambda-sweep");
+            eprintln!("             calibrate lambda-sweep interference-sweep");
             eprintln!(
                 "             extension-crdsa extension-model extension-rounds extension-signal"
             );
@@ -254,6 +255,9 @@ fn run(args: &[String]) -> Result<(), String> {
             "snr-sweep" => experiments::run_snr_sweep(&opts).map_err(|e| e.to_string())?,
             "calibrate" => experiments::run_calibrate(&opts),
             "lambda-sweep" => experiments::run_lambda_sweep(&opts).map_err(|e| e.to_string())?,
+            "interference-sweep" => {
+                experiments::run_interference_sweep(&opts).map_err(|e| e.to_string())?
+            }
             "extension-crdsa" => {
                 experiments::run_extension_crdsa(&opts).map_err(|e| e.to_string())?
             }
@@ -274,6 +278,7 @@ fn run(args: &[String]) -> Result<(), String> {
             || name == "ablation-snr"
             || name == "snr-sweep"
             || name == "lambda-sweep"
+            || name == "interference-sweep"
         {
             let lines = rfid_bench::output::table_sparklines(&table);
             if !lines.is_empty() {

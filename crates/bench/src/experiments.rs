@@ -833,6 +833,84 @@ pub fn run_lambda_sweep(opts: &ExperimentOptions) -> Result<Table, SimError> {
     Ok(table)
 }
 
+/// **Interference sweep** — concurrent multi-reader speedup vs the
+/// reader-to-reader interference radius, for FCAT-2, SCAT-2 and DFSA.
+///
+/// A fixed seeded warehouse deployment is swept from a grid of reading
+/// positions under [`rfid_sim::multi_site_inventory_scheduled`]: the
+/// interference graph (coverage-disk overlap, or separation within the
+/// radius) is greedily colored into conflict-free time slices, and each
+/// slice pays only its slowest site. At radius 0 only coverage overlaps
+/// serialize sites, so the schedule packs many sites per slice; as the
+/// radius grows the graph densifies until every site conflicts with every
+/// other and the sweep degenerates to the serial visit (speedup exactly
+/// 1). Per-site inventories are bit-identical to the serial path at every
+/// radius — the `unique` column is invariant by construction and the
+/// oracle suite in `tests/multisite_schedule.rs` enforces it.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_interference_sweep(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    use rfid_sim::{multi_site_inventory_scheduled, Deployment, InterferenceGraph, Schedule};
+
+    let n = if opts.quick { 600 } else { 3_000 };
+    let (width, height) = (120.0, 80.0);
+    let spacing = 30.0;
+    let range = 20.0;
+    let deployment = Deployment::uniform(&mut seeded_rng(opts.seed ^ 0x517E), n, width, height);
+    let positions = deployment.grid_positions(spacing);
+    let radii: &[f64] = if opts.quick {
+        &[0.0, 45.0, 150.0]
+    } else {
+        &[0.0, 20.0, 35.0, 45.0, 60.0, 80.0, 110.0, 150.0]
+    };
+    let protocols: Vec<Box<dyn AntiCollisionProtocol + Sync>> = vec![
+        Box::new(fcat(2)),
+        Box::new(Scat::new(ScatConfig::default())),
+        Box::new(Dfsa::new()),
+    ];
+    let mut columns: Vec<String> = vec!["radius".into(), "edges".into(), "slices".into()];
+    for protocol in &protocols {
+        columns.push(format!("{} speedup", protocol.name()));
+    }
+    columns.push("unique".into());
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        &format!(
+            "Interference sweep: scheduled multi-reader speedup vs radius \
+             (N = {n}, {} sites, range {range} m)",
+            positions.len()
+        ),
+        &column_refs,
+    );
+    for &radius in radii {
+        let graph = InterferenceGraph::build(&positions, range, radius);
+        let schedule = Schedule::greedy(&graph);
+        let mut row = vec![
+            fx(radius, 0),
+            graph.edges().to_string(),
+            schedule.num_slices().to_string(),
+        ];
+        let mut unique = None;
+        for protocol in &protocols {
+            let report = multi_site_inventory_scheduled(
+                protocol.as_ref(),
+                &deployment,
+                &positions,
+                range,
+                radius,
+                &opts.sim(),
+            )?;
+            row.push(fx(report.speedup_vs_serial(), 2));
+            unique = Some(report.unique_tags);
+        }
+        row.push(unique.unwrap_or(0).to_string());
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
 /// Slot-weighted mean and final λ of a report's λ trajectory. Returns the
 /// protocol's fixed configuration as a degenerate trajectory when the
 /// adaptive controller was off.

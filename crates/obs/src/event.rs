@@ -114,6 +114,25 @@ pub struct LambdaEvent {
     pub omega: f64,
 }
 
+/// One completed time slice of a concurrent multi-reader schedule.
+///
+/// Emitted by the scheduled multi-site sweep after every conflict-free
+/// slice finishes: `sites` readers ran their inventories concurrently, the
+/// slice's wall-clock cost is its slowest site, and `serial_elapsed_us`
+/// records what a strictly serial visit of the same sites would have paid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScheduleEvent {
+    /// 0-based time-slice index within the sweep.
+    pub slice: u32,
+    /// Sites that read concurrently in this slice.
+    pub sites: u32,
+    /// Wall-clock air time of the slice, µs (the slowest site).
+    pub wall_elapsed_us: f64,
+    /// Summed air time of the slice's sites, µs.
+    pub serial_elapsed_us: f64,
+}
+
 /// A population-estimate revision.
 ///
 /// FCAT emits one per frame (the §V-C estimator inverting the frame's

@@ -15,7 +15,9 @@
 //! reads the same subset back for post-hoc verification — see
 //! [`replay::summarize`].
 
-use crate::event::{EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, SlotEvent};
+use crate::event::{
+    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SlotEvent,
+};
 use crate::metrics::SlotTotals;
 use crate::EventSink;
 use rfid_types::SlotClass;
@@ -209,6 +211,17 @@ impl<W: Write> EventSink for JsonlSink<W> {
         );
         self.write_line(&line);
     }
+
+    fn schedule(&mut self, event: &ScheduleEvent) {
+        let line = format!(
+            "{{\"type\":\"schedule\",\"slice\":{},\"sites\":{},\"wall_us\":{},\"serial_us\":{}}}",
+            event.slice,
+            event.sites,
+            fmt_f64(event.wall_elapsed_us),
+            fmt_f64(event.serial_elapsed_us),
+        );
+        self.write_line(&line);
+    }
 }
 
 /// Reading traces back, for post-hoc verification and tooling.
@@ -237,6 +250,15 @@ pub mod replay {
         /// [`crate::Metrics::snr_by_hop`], so replay == live is
         /// structural).
         pub snr_by_hop: SnrByHop,
+        /// `schedule` events (completed concurrent time slices).
+        pub schedule_slices: u64,
+        /// Sites summed over `schedule` events — the total scheduled site
+        /// count of the sweep.
+        pub scheduled_sites: u64,
+        /// Wall-clock air time summed over `schedule` events, µs.
+        pub schedule_wall_us: f64,
+        /// Serial-equivalent air time summed over `schedule` events, µs.
+        pub schedule_serial_us: f64,
         /// `lambda` events (adaptive-λ re-selections).
         pub lambda_adjustments: u64,
         /// λ of the last `lambda` event (0 when none occurred).
@@ -272,6 +294,12 @@ pub mod replay {
         field(line, key)
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(0)
+    }
+
+    fn fnum(line: &str, key: &str) -> f64 {
+        field(line, key)
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0)
     }
 
     /// Parses a residual SNR back from the wire encoding: `null` is the
@@ -323,6 +351,12 @@ pub mod replay {
                     _ => {}
                 },
                 Some("estimator") => summary.estimator_updates += 1,
+                Some("schedule") => {
+                    summary.schedule_slices += 1;
+                    summary.scheduled_sites += num(&line, "sites");
+                    summary.schedule_wall_us += fnum(&line, "wall_us");
+                    summary.schedule_serial_us += fnum(&line, "serial_us");
+                }
                 Some("lambda") => {
                     summary.lambda_adjustments += 1;
                     summary.lambda_current = num(&line, "lambda") as u32;
@@ -524,6 +558,34 @@ mod tests {
         let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
         assert_eq!(summary.lambda_adjustments, 2);
         assert_eq!(summary.lambda_current, 2);
+    }
+
+    #[test]
+    fn schedule_events_serialize_and_replay() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.schedule(&ScheduleEvent {
+            slice: 0,
+            sites: 6,
+            wall_elapsed_us: 1500.0,
+            serial_elapsed_us: 6400.5,
+        });
+        sink.schedule(&ScheduleEvent {
+            slice: 1,
+            sites: 2,
+            wall_elapsed_us: 700.25,
+            serial_elapsed_us: 900.25,
+        });
+        let text = String::from_utf8(sink.finish().expect("write")).expect("utf8");
+        assert!(text.contains("\"type\":\"schedule\""));
+        assert!(text.contains("\"slice\":1"));
+        assert!(text.contains("\"sites\":6"));
+        assert!(text.contains("\"wall_us\":1500.0"));
+        assert!(text.contains("\"serial_us\":900.25"));
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.schedule_slices, 2);
+        assert_eq!(summary.scheduled_sites, 8);
+        assert!((summary.schedule_wall_us - 2200.25).abs() < 1e-9);
+        assert!((summary.schedule_serial_us - 7300.75).abs() < 1e-9);
     }
 
     #[test]

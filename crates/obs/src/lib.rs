@@ -28,7 +28,9 @@ pub mod event;
 pub mod jsonl;
 pub mod metrics;
 
-pub use event::{EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, SlotEvent};
+pub use event::{
+    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SlotEvent,
+};
 pub use jsonl::JsonlSink;
 pub use metrics::{
     LatencyHistogram, Metrics, MetricsSink, SlotTotals, SnrByHop, SnrHopStats, LATENCY_BUCKETS,
@@ -65,6 +67,12 @@ pub trait EventSink {
     fn lambda(&mut self, event: &LambdaEvent) {
         let _ = event;
     }
+
+    /// A concurrent multi-reader sweep finished one conflict-free time
+    /// slice.
+    fn schedule(&mut self, event: &ScheduleEvent) {
+        let _ = event;
+    }
 }
 
 /// The do-nothing sink: `ENABLED = false`, so engines generic over it
@@ -94,6 +102,10 @@ impl<S: EventSink> EventSink for &mut S {
 
     fn lambda(&mut self, event: &LambdaEvent) {
         (**self).lambda(event);
+    }
+
+    fn schedule(&mut self, event: &ScheduleEvent) {
+        (**self).schedule(event);
     }
 }
 

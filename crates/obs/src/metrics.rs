@@ -1,6 +1,8 @@
 //! Aggregate counters and histograms built from the event stream.
 
-use crate::event::{EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, SlotEvent};
+use crate::event::{
+    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SlotEvent,
+};
 use crate::EventSink;
 use rfid_types::SlotClass;
 use std::fmt;
@@ -281,6 +283,15 @@ pub struct Metrics {
     /// λ event was ever observed).
     #[cfg_attr(feature = "serde", serde(default))]
     pub lambda_current: u32,
+    /// Concurrent multi-reader time slices completed.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub schedule_slices: u64,
+    /// Sites run across all completed time slices.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub scheduled_sites: u64,
+    /// Largest number of sites reading concurrently in one slice.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub max_concurrent_sites: u64,
     /// Re-query slots scheduled by the recovery policy.
     pub requeries_scheduled: u64,
     /// Re-query slots executed.
@@ -340,6 +351,9 @@ impl Metrics {
         if other.lambda_current != 0 {
             self.lambda_current = other.lambda_current;
         }
+        self.schedule_slices += other.schedule_slices;
+        self.scheduled_sites += other.scheduled_sites;
+        self.max_concurrent_sites = self.max_concurrent_sites.max(other.max_concurrent_sites);
         self.requeries_scheduled += other.requeries_scheduled;
         self.requeries_executed += other.requeries_executed;
         self.requeries_succeeded += other.requeries_succeeded;
@@ -479,6 +493,21 @@ impl fmt::Display for Metrics {
         )?;
         writeln!(
             f,
+            "schedule slices                 {:>12}",
+            self.schedule_slices
+        )?;
+        writeln!(
+            f,
+            "  sites scheduled               {:>12}",
+            self.scheduled_sites
+        )?;
+        writeln!(
+            f,
+            "  max concurrent sites          {:>12}",
+            self.max_concurrent_sites
+        )?;
+        writeln!(
+            f,
             "re-queries scheduled            {:>12}",
             self.requeries_scheduled
         )?;
@@ -589,6 +618,13 @@ impl EventSink for MetricsSink {
     fn lambda(&mut self, event: &LambdaEvent) {
         self.metrics.lambda_adjustments += 1;
         self.metrics.lambda_current = event.lambda;
+    }
+
+    fn schedule(&mut self, event: &ScheduleEvent) {
+        let m = &mut self.metrics;
+        m.schedule_slices += 1;
+        m.scheduled_sites += u64::from(event.sites);
+        m.max_concurrent_sites = m.max_concurrent_sites.max(u64::from(event.sites));
     }
 }
 
@@ -739,6 +775,30 @@ mod tests {
         assert_eq!(merged.lambda_adjustments, 2);
         let table = merged.render_table();
         assert!(table.contains("lambda adjustments"));
+    }
+
+    #[test]
+    fn schedule_events_accumulate_and_merge() {
+        let mut sink = MetricsSink::new();
+        for (slice, sites) in [(0u32, 5u32), (1, 3), (2, 1)] {
+            sink.schedule(&ScheduleEvent {
+                slice,
+                sites,
+                wall_elapsed_us: 100.0,
+                serial_elapsed_us: 100.0 * f64::from(sites),
+            });
+        }
+        let m = sink.into_metrics();
+        assert_eq!(m.schedule_slices, 3);
+        assert_eq!(m.scheduled_sites, 9);
+        assert_eq!(m.max_concurrent_sites, 5);
+
+        let mut merged = m.clone();
+        merged.merge(&m);
+        assert_eq!(merged.schedule_slices, 6);
+        assert_eq!(merged.scheduled_sites, 18);
+        assert_eq!(merged.max_concurrent_sites, 5);
+        assert!(merged.render_table().contains("schedule slices"));
     }
 
     #[test]

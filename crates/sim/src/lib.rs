@@ -71,7 +71,10 @@ pub mod sampling;
 
 pub use config::{ErrorModel, LambdaPolicy, SimConfig};
 pub use error::SimError;
-pub use multisite::{multi_site_inventory, Deployment, MultiSiteReport, PlacedTag};
+pub use multisite::{
+    multi_site_inventory, multi_site_inventory_scheduled, multi_site_inventory_scheduled_observed,
+    Deployment, InterferenceGraph, MultiSiteReport, PlacedTag, Schedule, SliceTiming,
+};
 pub use protocol::{AntiCollisionProtocol, ObservableProtocol};
 pub use report::{
     Aggregate, InventoryReport, LambdaTrajectoryPoint, MultiRunReport, SlotCounts, TraceEvent,

@@ -1,18 +1,32 @@
-//! Multi-location reading (§II-A).
+//! Multi-location reading (§II-A) and concurrent multi-reader scheduling.
 //!
 //! > "If the communication range cannot cover the whole deployment region,
 //! > the reader may have to perform the reading process at several
 //! > locations and remove the duplicate IDs when some tags are covered by
 //! > multiple readings."
 //!
-//! This module models that workflow: tags placed on a plane, a reader
-//! visiting a sequence of positions, an inventory round executed at each
-//! stop over the tags in range, and the union taken with duplicates
-//! removed. It quantifies the overlap overhead the paper's single-location
-//! evaluation abstracts away.
+//! This module models that workflow: tags placed on a plane, reading
+//! positions covering the region, an inventory round executed at each
+//! position over the tags in range, and the union taken with duplicates
+//! removed. Beyond the paper's serial sweep it also models *concurrent*
+//! multi-reader operation: an [`InterferenceGraph`] captures which
+//! positions cannot read simultaneously (overlapping coverage disks, or
+//! reader-to-reader interference within a configurable radius), a greedy
+//! graph coloring partitions the positions into conflict-free time slices
+//! ([`Schedule`]), and [`multi_site_inventory_scheduled`] runs each
+//! slice's sites concurrently — the slice's wall-clock cost is the
+//! *maximum* site air time instead of the sum.
+//!
+//! Concurrency here is an accounting model, not a change to the physics:
+//! every site's inventory runs on the same per-site derived RNG stream as
+//! the serial path, so each per-site report is bit-identical between
+//! [`multi_site_inventory`] and [`multi_site_inventory_scheduled`]; only
+//! the wall-clock roll-up differs. The `tests/multisite_schedule.rs`
+//! oracle suite holds the scheduler to that contract.
 
 use crate::{run_inventory, AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
 use rand::Rng;
+use rfid_obs::{EventSink, NoopSink, ScheduleEvent};
 use rfid_types::TagId;
 use std::collections::HashSet;
 
@@ -70,7 +84,8 @@ impl Deployment {
     }
 
     /// The tags within `range` meters of `(x, y)` — one reading location's
-    /// coverage.
+    /// coverage. The boundary is inclusive: a tag at distance exactly
+    /// `range` is read.
     #[must_use]
     pub fn in_range(&self, x: f64, y: f64, range: f64) -> Vec<TagId> {
         self.tags
@@ -85,7 +100,15 @@ impl Deployment {
     }
 
     /// A grid of reading positions with the given spacing, covering the
-    /// region (positions at cell centers).
+    /// region (positions at cell centers, capped to the region rectangle).
+    ///
+    /// Only the last row/column's centers can overshoot the region; those
+    /// are clamped to the boundary, so every returned position lies inside
+    /// `[0, width] × [0, height]` — in particular a `spacing` larger than
+    /// the region yields its single position *inside* the rectangle, not
+    /// half a cell outside it. A point of the region is never farther than
+    /// `spacing/2` per axis (`spacing/√2` total) from its nearest
+    /// position, so `spacing ≤ range·√2` guarantees full coverage.
     #[must_use]
     pub fn grid_positions(&self, spacing: f64) -> Vec<(f64, f64)> {
         assert!(
@@ -97,32 +120,251 @@ impl Deployment {
         let mut positions = Vec::with_capacity(cols * rows);
         for row in 0..rows {
             for col in 0..cols {
-                positions.push(((col as f64 + 0.5) * spacing, (row as f64 + 0.5) * spacing));
+                let x = ((col as f64 + 0.5) * spacing).min(self.width);
+                let y = ((row as f64 + 0.5) * spacing).min(self.height);
+                positions.push((x, y));
             }
         }
         positions
     }
 }
 
+/// Which reading positions cannot run their inventories simultaneously.
+///
+/// Site `a` conflicts with site `b` when either
+///
+/// * their coverage disks overlap — separation strictly below `2·range`,
+///   so two readers could contend for the same tag (tangent disks, at
+///   separation exactly `2·range`, do *not* conflict); or
+/// * reader-to-reader interference reaches: separation at most
+///   `interference_radius` (inclusive, so co-located readers conflict
+///   even at radius 0).
+///
+/// The graph is symmetric and irreflexive; neighbor lists are kept in
+/// ascending site order, so everything derived from it is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterferenceGraph {
+    neighbors: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl InterferenceGraph {
+    /// Builds the conflict graph over `positions` for readers of the given
+    /// coverage `range` and reader-to-reader `interference_radius` (both
+    /// meters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` or `interference_radius` is negative or not
+    /// finite.
+    #[must_use]
+    pub fn build(positions: &[(f64, f64)], range: f64, interference_radius: f64) -> Self {
+        assert!(
+            range >= 0.0 && range.is_finite(),
+            "range must be non-negative"
+        );
+        assert!(
+            interference_radius >= 0.0 && interference_radius.is_finite(),
+            "interference radius must be non-negative"
+        );
+        let n = positions.len();
+        let mut neighbors = vec![Vec::new(); n];
+        let mut edges = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if Self::positions_conflict(positions[a], positions[b], range, interference_radius)
+                {
+                    neighbors[a].push(b);
+                    neighbors[b].push(a);
+                    edges += 1;
+                }
+            }
+        }
+        InterferenceGraph { neighbors, edges }
+    }
+
+    /// The conflict predicate, on raw coordinates.
+    #[must_use]
+    pub fn positions_conflict(
+        a: (f64, f64),
+        b: (f64, f64),
+        range: f64,
+        interference_radius: f64,
+    ) -> bool {
+        let dx = a.0 - b.0;
+        let dy = a.1 - b.1;
+        let d2 = dx * dx + dy * dy;
+        let coverage = 2.0 * range;
+        d2 < coverage * coverage || d2 <= interference_radius * interference_radius
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the graph has no sites.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Number of conflict edges.
+    #[must_use]
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Whether sites `a` and `b` conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn conflicts(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.len() && b < self.len(), "site index out of range");
+        self.neighbors[a].binary_search(&b).is_ok()
+    }
+
+    /// Conflict neighbors of `site`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, site: usize) -> &[usize] {
+        &self.neighbors[site]
+    }
+
+    /// Degree of the busiest site (0 for an empty graph).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// A partition of reading positions into conflict-free time slices.
+///
+/// Produced by [`Schedule::greedy`]; slice `k` holds the (ascending) site
+/// indices that read concurrently during time slice `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Site indices per time slice; each slice is an independent set of
+    /// the interference graph it was built from, and every site appears in
+    /// exactly one slice.
+    pub slices: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Colors the interference graph greedily: sites are visited in index
+    /// order and each takes the lowest-numbered slice none of its
+    /// already-placed conflict neighbors occupies.
+    ///
+    /// The classic greedy bound applies: at most `max_degree + 1` slices.
+    /// The traversal order is fixed, so the same graph always yields the
+    /// same schedule.
+    #[must_use]
+    pub fn greedy(graph: &InterferenceGraph) -> Self {
+        let n = graph.len();
+        let mut color = vec![usize::MAX; n];
+        let mut slices: Vec<Vec<usize>> = Vec::new();
+        let mut used = Vec::new();
+        for site in 0..n {
+            used.clear();
+            used.resize(slices.len(), false);
+            for &neighbor in graph.neighbors(site) {
+                if color[neighbor] != usize::MAX {
+                    used[color[neighbor]] = true;
+                }
+            }
+            let slice = used.iter().position(|&taken| !taken).unwrap_or_else(|| {
+                slices.push(Vec::new());
+                slices.len() - 1
+            });
+            color[site] = slice;
+            slices[slice].push(site);
+        }
+        Schedule { slices }
+    }
+
+    /// Number of time slices.
+    #[must_use]
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total sites across all slices.
+    #[must_use]
+    pub fn num_sites(&self) -> usize {
+        self.slices.iter().map(Vec::len).sum()
+    }
+
+    /// The slice that runs `site`, or `None` if the site is unscheduled.
+    #[must_use]
+    pub fn slice_of(&self, site: usize) -> Option<usize> {
+        self.slices
+            .iter()
+            .position(|slice| slice.binary_search(&site).is_ok())
+    }
+
+    /// Checks the schedule against a graph: every slice an independent
+    /// set, every one of the graph's sites scheduled exactly once.
+    #[must_use]
+    pub fn is_valid_for(&self, graph: &InterferenceGraph) -> bool {
+        let mut seen = vec![false; graph.len()];
+        for slice in &self.slices {
+            for (i, &a) in slice.iter().enumerate() {
+                if a >= graph.len() || std::mem::replace(&mut seen[a], true) {
+                    return false;
+                }
+                if slice[i + 1..].iter().any(|&b| graph.conflicts(a, b)) {
+                    return false;
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+/// Wall-clock accounting for one conflict-free time slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceTiming {
+    /// Sites that read concurrently in this slice.
+    pub sites: usize,
+    /// Wall-clock air time of the slice, µs — the slowest site.
+    pub wall_elapsed_us: f64,
+    /// Summed air time of the slice's sites, µs — what a serial visit
+    /// would have paid.
+    pub serial_elapsed_us: f64,
+}
+
 /// Result of a multi-location inventory sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiSiteReport {
-    /// Per-stop inventory reports, in visit order.
+    /// Per-stop inventory reports, in site-index order.
     pub per_site: Vec<InventoryReport>,
     /// Distinct tags collected over the whole sweep.
     pub unique_tags: usize,
-    /// Readings of tags already collected at an earlier stop (the overlap
-    /// overhead §II-A mentions).
+    /// Readings of tags already collected at an earlier (lower-index) site
+    /// (the overlap overhead §II-A mentions).
     pub cross_site_duplicates: usize,
     /// Tags in the deployment never covered by any stop.
     pub uncovered: usize,
-    /// Total air time across all stops, µs (travel time not modelled).
+    /// Wall-clock air time of the sweep, µs (travel time not modelled).
+    /// Serial sweeps pay every site in sequence; scheduled sweeps pay the
+    /// slowest site of each time slice.
     pub total_elapsed_us: f64,
+    /// Per-slice wall-clock accounting. Empty for serial sweeps.
+    pub slices: Vec<SliceTiming>,
+    /// The conflict-free partition the sweep ran under: site indices per
+    /// time slice. Empty for serial sweeps.
+    pub schedule: Vec<Vec<usize>>,
 }
 
 impl MultiSiteReport {
     /// Aggregate reading throughput over the sweep (unique tags per
-    /// second of air time).
+    /// second of wall-clock air time).
     #[must_use]
     pub fn effective_throughput(&self) -> f64 {
         if self.total_elapsed_us <= 0.0 {
@@ -130,9 +372,31 @@ impl MultiSiteReport {
         }
         self.unique_tags as f64 / (self.total_elapsed_us / 1e6)
     }
+
+    /// Summed per-site air time, µs — the cost of visiting every site
+    /// serially. Equals [`MultiSiteReport::total_elapsed_us`] for serial
+    /// sweeps.
+    #[must_use]
+    pub fn serial_elapsed_us(&self) -> f64 {
+        self.per_site.iter().map(|r| r.elapsed_us).sum()
+    }
+
+    /// How much faster this sweep ran than a strictly serial visit of the
+    /// same sites: `serial_elapsed_us / total_elapsed_us`. Exactly 1.0 for
+    /// serial sweeps (and for sweeps with no air time at all); ≥ 1.0 for
+    /// scheduled sweeps, growing with the concurrency the interference
+    /// graph admits.
+    #[must_use]
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.total_elapsed_us <= 0.0 {
+            return 1.0;
+        }
+        self.serial_elapsed_us() / self.total_elapsed_us
+    }
 }
 
-/// Runs one inventory round at every position and merges the results.
+/// Runs one inventory round at every position, serially, and merges the
+/// results.
 ///
 /// Each stop reads the tags in range — including tags already read at a
 /// previous stop, which re-participate (a tag has no memory across
@@ -148,18 +412,159 @@ pub fn multi_site_inventory<P: AntiCollisionProtocol + ?Sized>(
     range: f64,
     config: &SimConfig,
 ) -> Result<MultiSiteReport, SimError> {
+    sweep(
+        protocol,
+        deployment,
+        positions,
+        range,
+        config,
+        None,
+        &mut NoopSink,
+    )
+}
+
+/// Runs the sweep under a conflict-free concurrent schedule.
+///
+/// The interference graph over `positions` (coverage overlap below
+/// `2·range`, or separation within `interference_radius` — see
+/// [`InterferenceGraph`]) is greedily colored into time slices; each
+/// slice's sites read concurrently, so the slice costs its *slowest* site
+/// rather than the sum. Per-site RNG streams are derived from the site
+/// index exactly as in [`multi_site_inventory`], so every per-site report
+/// — and therefore `unique_tags`, `cross_site_duplicates` and `uncovered`
+/// — is bit-identical to the serial sweep; only the wall-clock roll-up
+/// ([`MultiSiteReport::total_elapsed_us`], [`MultiSiteReport::slices`],
+/// [`MultiSiteReport::schedule`]) differs.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any site produces.
+pub fn multi_site_inventory_scheduled<P: AntiCollisionProtocol + ?Sized>(
+    protocol: &P,
+    deployment: &Deployment,
+    positions: &[(f64, f64)],
+    range: f64,
+    interference_radius: f64,
+    config: &SimConfig,
+) -> Result<MultiSiteReport, SimError> {
+    multi_site_inventory_scheduled_observed(
+        protocol,
+        deployment,
+        positions,
+        range,
+        interference_radius,
+        config,
+        &mut NoopSink,
+    )
+}
+
+/// [`multi_site_inventory_scheduled`] with an [`EventSink`] attached: one
+/// [`ScheduleEvent`] is emitted per completed time slice (slice index,
+/// concurrent site count, wall vs serial air time). Sinks are
+/// observation-only, so the returned report is identical to the unobserved
+/// call's.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any site produces.
+pub fn multi_site_inventory_scheduled_observed<P, S>(
+    protocol: &P,
+    deployment: &Deployment,
+    positions: &[(f64, f64)],
+    range: f64,
+    interference_radius: f64,
+    config: &SimConfig,
+    sink: &mut S,
+) -> Result<MultiSiteReport, SimError>
+where
+    P: AntiCollisionProtocol + ?Sized,
+    S: EventSink,
+{
+    let graph = InterferenceGraph::build(positions, range, interference_radius);
+    let schedule = Schedule::greedy(&graph);
+    sweep(
+        protocol,
+        deployment,
+        positions,
+        range,
+        config,
+        Some(schedule),
+        sink,
+    )
+}
+
+/// Shared sweep core. `schedule: None` is the serial path: every site is
+/// its own implicit slice and pays its full air time. With a schedule,
+/// sites run slice by slice and each slice pays its maximum.
+fn sweep<P, S>(
+    protocol: &P,
+    deployment: &Deployment,
+    positions: &[(f64, f64)],
+    range: f64,
+    config: &SimConfig,
+    schedule: Option<Schedule>,
+    sink: &mut S,
+) -> Result<MultiSiteReport, SimError>
+where
+    P: AntiCollisionProtocol + ?Sized,
+    S: EventSink,
+{
+    let run_site = |site: usize| -> Result<InventoryReport, SimError> {
+        let (x, y) = positions[site];
+        let in_range = deployment.in_range(x, y, range);
+        let site_config = config
+            .clone()
+            .with_seed(crate::derive_seed(config.seed(), site as u64));
+        run_inventory(protocol, &in_range, &site_config)
+    };
+
+    let mut reports: Vec<Option<InventoryReport>> = (0..positions.len()).map(|_| None).collect();
+    let mut total_elapsed_us = 0.0;
+    let mut slice_timings = Vec::new();
+    match &schedule {
+        None => {
+            for (site, slot) in reports.iter_mut().enumerate() {
+                let report = run_site(site)?;
+                total_elapsed_us += report.elapsed_us;
+                *slot = Some(report);
+            }
+        }
+        Some(schedule) => {
+            for (slice_index, slice) in schedule.slices.iter().enumerate() {
+                let mut wall = 0.0f64;
+                let mut serial = 0.0f64;
+                for &site in slice {
+                    let report = run_site(site)?;
+                    wall = wall.max(report.elapsed_us);
+                    serial += report.elapsed_us;
+                    reports[site] = Some(report);
+                }
+                total_elapsed_us += wall;
+                slice_timings.push(SliceTiming {
+                    sites: slice.len(),
+                    wall_elapsed_us: wall,
+                    serial_elapsed_us: serial,
+                });
+                if S::ENABLED {
+                    sink.schedule(&ScheduleEvent {
+                        slice: slice_index as u32,
+                        sites: slice.len() as u32,
+                        wall_elapsed_us: wall,
+                        serial_elapsed_us: serial,
+                    });
+                }
+            }
+        }
+    }
+
+    // Merge in site-index order, whatever order the slices ran in: the
+    // duplicates accounting (first reader keeps the tag) then matches the
+    // serial sweep exactly.
     let mut seen: HashSet<TagId> = HashSet::new();
     let mut per_site = Vec::with_capacity(positions.len());
     let mut cross_site_duplicates = 0usize;
-    let mut total_elapsed_us = 0.0;
-
-    for (stop, &(x, y)) in positions.iter().enumerate() {
-        let in_range = deployment.in_range(x, y, range);
-        let stop_config = config
-            .clone()
-            .with_seed(crate::derive_seed(config.seed(), stop as u64));
-        let report = run_inventory(protocol, &in_range, &stop_config)?;
-        total_elapsed_us += report.elapsed_us;
+    for report in reports {
+        let report = report.expect("every site is scheduled exactly once");
         // Credit what the protocol actually identified (== in_range on a
         // clean channel, but the distinction matters under error models).
         for tag in &report.ids {
@@ -181,6 +586,8 @@ pub fn multi_site_inventory<P: AntiCollisionProtocol + ?Sized>(
         cross_site_duplicates,
         uncovered,
         total_elapsed_us,
+        slices: slice_timings,
+        schedule: schedule.map(|s| s.slices).unwrap_or_default(),
     })
 }
 
@@ -256,10 +663,23 @@ mod tests {
         let d = Deployment::uniform(&mut seeded_rng(2), 10, 100.0, 60.0);
         let positions = d.grid_positions(40.0);
         assert_eq!(positions.len(), 3 * 2);
-        // Cell centers may overhang the boundary by at most half a cell.
+        // Cell centers are capped to the region rectangle.
         assert!(positions
             .iter()
-            .all(|&(x, y)| x <= 100.0 + 20.0 && y <= 60.0 + 20.0));
+            .all(|&(x, y)| (0.0..=100.0).contains(&x) && (0.0..=60.0).contains(&y)));
+    }
+
+    #[test]
+    fn grid_positions_capped_when_spacing_exceeds_region() {
+        // Regression: spacing 25 over a 10×8 region used to put the single
+        // cell center at (12.5, 12.5) — outside the deployment rectangle.
+        let d = Deployment {
+            width: 10.0,
+            height: 8.0,
+            tags: Vec::new(),
+        };
+        let positions = d.grid_positions(25.0);
+        assert_eq!(positions, vec![(10.0, 8.0)]);
     }
 
     #[test]
@@ -280,6 +700,10 @@ mod tests {
         assert_eq!(report.uncovered, 0);
         assert!(report.cross_site_duplicates > 0, "overlaps expected");
         assert!(report.effective_throughput() > 0.0);
+        // The serial path reports no schedule and a degenerate speedup.
+        assert!(report.schedule.is_empty());
+        assert!(report.slices.is_empty());
+        assert!((report.speedup_vs_serial() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -300,5 +724,66 @@ mod tests {
         assert_eq!(report.unique_tags, 0);
         assert_eq!(report.uncovered, 10);
         assert_eq!(report.effective_throughput(), 0.0);
+        assert_eq!(report.speedup_vs_serial(), 1.0);
+    }
+
+    #[test]
+    fn interference_graph_boundaries() {
+        // Tangent coverage disks (separation exactly 2·range) do not
+        // conflict; separation exactly the interference radius does.
+        let positions = [(0.0, 0.0), (10.0, 0.0)];
+        let tangent = InterferenceGraph::build(&positions, 5.0, 0.0);
+        assert!(!tangent.conflicts(0, 1));
+        assert_eq!(tangent.edges(), 0);
+        let overlapping = InterferenceGraph::build(&positions, 5.001, 0.0);
+        assert!(overlapping.conflicts(0, 1));
+        let interfering = InterferenceGraph::build(&positions, 1.0, 10.0);
+        assert!(interfering.conflicts(0, 1));
+        assert_eq!(interfering.max_degree(), 1);
+        // Co-located readers conflict even at radius 0 and range 0.
+        let colocated = InterferenceGraph::build(&[(3.0, 3.0), (3.0, 3.0)], 0.0, 0.0);
+        assert!(colocated.conflicts(0, 1));
+    }
+
+    #[test]
+    fn greedy_schedule_on_a_path_graph_two_colors() {
+        // Four sites in a line, each conflicting only with its neighbors:
+        // the greedy coloring alternates, giving two slices.
+        let positions = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)];
+        let graph = InterferenceGraph::build(&positions, 1.0, 10.0);
+        let schedule = Schedule::greedy(&graph);
+        assert_eq!(schedule.slices, vec![vec![0, 2], vec![1, 3]]);
+        assert!(schedule.is_valid_for(&graph));
+        assert_eq!(schedule.slice_of(2), Some(0));
+        assert_eq!(schedule.slice_of(3), Some(1));
+        assert_eq!(schedule.slice_of(4), None);
+        assert!(schedule.num_slices() <= graph.max_degree() + 1);
+    }
+
+    #[test]
+    fn scheduled_sweep_matches_serial_and_runs_faster() {
+        let mut rng = seeded_rng(8);
+        let d = Deployment::uniform(&mut rng, 300, 60.0, 60.0);
+        let positions = d.grid_positions(20.0);
+        let config = SimConfig::default().with_seed(11);
+        let serial = multi_site_inventory(&RollCall, &d, &positions, 9.0, &config).unwrap();
+        let scheduled =
+            multi_site_inventory_scheduled(&RollCall, &d, &positions, 9.0, 0.0, &config).unwrap();
+        assert_eq!(scheduled.per_site, serial.per_site);
+        assert_eq!(scheduled.unique_tags, serial.unique_tags);
+        assert_eq!(
+            scheduled.cross_site_duplicates,
+            serial.cross_site_duplicates
+        );
+        assert_eq!(scheduled.uncovered, serial.uncovered);
+        assert_eq!(scheduled.schedule.len(), scheduled.slices.len());
+        // 2·range = 18 < 20 = spacing: no conflicts, one big slice.
+        assert_eq!(scheduled.slices.len(), 1);
+        assert!(scheduled.total_elapsed_us < serial.total_elapsed_us);
+        assert!(scheduled.speedup_vs_serial() > 1.0);
+        assert!(
+            (scheduled.serial_elapsed_us() - serial.total_elapsed_us).abs() < 1e-9,
+            "serial cost is schedule-invariant"
+        );
     }
 }

@@ -5,15 +5,19 @@
 //! > locations and remove the duplicate IDs when some tags are covered by
 //! > multiple readings."
 //!
-//! Compares sweep cost across grid spacings (coverage vs overlap) and
-//! across protocols at a fixed spacing.
+//! Compares sweep cost across grid spacings (coverage vs overlap), across
+//! protocols at a fixed spacing, and — in scheduled mode — a fleet of
+//! readers running conflict-free time slices concurrently instead of one
+//! reader walking the sites serially.
 //!
 //! ```text
 //! cargo run --release --example multi_reader
 //! ```
 
 use anc_rfid::prelude::*;
-use anc_rfid::sim::{multi_site_inventory, Deployment};
+use anc_rfid::sim::{
+    multi_site_inventory, multi_site_inventory_scheduled, Deployment, InterferenceGraph, Schedule,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 120 m × 80 m warehouse with 8 000 tagged items; the active tags
@@ -70,6 +74,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nOverlap duplicates are re-read and discarded; the faster the\n\
          per-stop protocol, the cheaper that overlap becomes."
+    );
+
+    // Scheduled mode: one reader per site, sites partitioned into
+    // conflict-free time slices (overlapping coverage disks or separation
+    // within the interference radius must not read simultaneously). Each
+    // slice costs its slowest site, so wall-clock time shrinks until the
+    // radius forces full serialization.
+    println!("\n-- scheduled concurrent sweep (FCAT-2, 30 m spacing) --");
+    println!(
+        "{:>8} {:>6} {:>7} {:>12} {:>9} {:>8}",
+        "radius", "edges", "slices", "wall time", "speedup", "unique"
+    );
+    for radius in [0.0, 45.0, 60.0, 90.0, 200.0] {
+        let graph = InterferenceGraph::build(&positions, range, radius);
+        let schedule = Schedule::greedy(&graph);
+        let report =
+            multi_site_inventory_scheduled(&fcat, &deployment, &positions, range, radius, &config)?;
+        assert_eq!(report.schedule, schedule.slices);
+        println!(
+            "{:>7}m {:>6} {:>7} {:>11.1}s {:>8.2}x {:>8}",
+            radius,
+            graph.edges(),
+            report.slices.len(),
+            report.total_elapsed_us / 1e6,
+            report.speedup_vs_serial(),
+            report.unique_tags,
+        );
+    }
+    println!(
+        "\nPer-site inventories are bit-identical to the serial sweep at\n\
+         every radius; only the wall-clock roll-up changes."
     );
     Ok(())
 }
