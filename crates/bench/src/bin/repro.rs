@@ -3,8 +3,8 @@
 //! ```text
 //! repro [--runs N] [--seed S] [--out DIR] [--quick] \
 //!       [--trace FILE.jsonl [--trace-tags N]] [<experiment>...]
-//! repro bench [--smoke] [--out FILE] [--baseline FILE] [--budget-ms N] \
-//!             [--seed S] [--no-alloc-check]
+//! repro bench [--smoke] [--out FILE] [--baseline FILE] [--gate FILE] \
+//!             [--budget-ms N] [--seed S] [--no-alloc-check]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 fig3 fig4 fig5 fig6
@@ -102,7 +102,7 @@ fn main() -> ExitCode {
                 eprintln!();
                 eprintln!(
                     "usage: repro bench [--smoke] [--out FILE] [--baseline FILE] \
-                     [--budget-ms N] [--seed S] [--no-alloc-check]"
+                     [--gate FILE] [--budget-ms N] [--seed S] [--no-alloc-check]"
                 );
                 ExitCode::FAILURE
             }
@@ -144,6 +144,9 @@ fn run_bench(args: &[String]) -> Result<(), String> {
                 opts.baseline = Some(PathBuf::from(
                     iter.next().ok_or("--baseline needs a value")?,
                 ));
+            }
+            "--gate" => {
+                opts.gate = Some(PathBuf::from(iter.next().ok_or("--gate needs a value")?));
             }
             "--budget-ms" => {
                 let ms: u64 = iter

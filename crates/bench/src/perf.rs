@@ -12,13 +12,17 @@
 //! slot-level SCAT/FCAT loop is allocation-free in steady state.
 //!
 //! ```text
-//! repro bench [--smoke] [--out FILE] [--baseline FILE] [--budget-ms N]
-//!             [--seed S] [--no-alloc-check]
+//! repro bench [--smoke] [--out FILE] [--baseline FILE] [--gate FILE]
+//!             [--budget-ms N] [--seed S] [--no-alloc-check]
 //! ```
 //!
 //! `--baseline FILE` points at a previous run's JSON (e.g. captured before
 //! an optimization); per-entry speedups are computed and embedded in the
-//! output.
+//! output. `--gate FILE` points at the committed `BENCH_*.json` and fails
+//! the run if any `*/signal-soa` cell's hash-normalized throughput drops
+//! more than [`GATE_TOLERANCE`] below the committed ratio. Smoke mode also
+//! runs a `threads = 4` determinism cell: the scoped-thread peeling pass
+//! must reproduce the single-worker report exactly.
 
 use criterion::measure_with_budget;
 use rfid_anc::{
@@ -38,14 +42,15 @@ use std::time::Duration;
 /// which shrinks toward zero as the run gets longer.
 pub const MAX_ALLOCS_PER_SLOT: f64 = 0.05;
 
-/// Allocation allowance for the signal-backed slot-level entry. Every
-/// resolution attempt inherently allocates inside the DSP chain (reference
-/// waveforms, the least-squares residual, demodulated bits), so this entry
-/// cannot meet [`MAX_ALLOCS_PER_SLOT`]; the gate instead pins the per-slot
-/// budget so a regression (e.g. losing the pooled record-waveform buffers)
-/// still fails the bench. Measured ≈ 2.9 allocs/slot at n = 2000 with the
-/// pool in place.
-pub const MAX_ALLOCS_PER_SLOT_SIGNAL: f64 = 8.0;
+/// Allocation allowance for the signal-backed (SoA) slot-level entries.
+/// The arena + reference-cache + scratch design amortizes the DSP chain's
+/// buffers (reference waveforms, least-squares residual, demodulated bits)
+/// across the whole run, so steady state only pays for rare arena/pool
+/// growth and report-side doublings. The pre-SoA per-record path measured
+/// ≈ 2.9–3.1 allocs/slot; the gate pins the SoA budget at 2.0 so a
+/// regression (e.g. losing the waveform arena or the pooled record
+/// buffers) still fails the bench.
+pub const MAX_ALLOCS_PER_SLOT_SIGNAL: f64 = 2.0;
 
 /// Population size at which the allocation assertion is applied: large
 /// enough that one-time setup cost is amortized far below the tolerance.
@@ -64,6 +69,12 @@ pub struct BenchOptions {
     pub check_allocs: bool,
     /// Previous `BENCH_*.json` to compute speedups against.
     pub baseline: Option<PathBuf>,
+    /// Committed `BENCH_*.json` to enforce the signal-throughput gate
+    /// against: each `*/signal-soa` cell's slots/s, normalized by the
+    /// matching hash cell at the same `n` (so the gate is machine-speed
+    /// independent), must stay within [`GATE_TOLERANCE`] of the committed
+    /// ratio.
+    pub gate: Option<PathBuf>,
     /// Output JSON path.
     pub out: PathBuf,
 }
@@ -76,10 +87,15 @@ impl Default for BenchOptions {
             seed: 0,
             check_allocs: true,
             baseline: None,
-            out: PathBuf::from("BENCH_PR2.json"),
+            gate: None,
+            out: PathBuf::from("BENCH_PR6.json"),
         }
     }
 }
+
+/// Allowed relative regression of the signal-soa/hash throughput ratio
+/// before the `--gate` check fails (0.2 = 20%).
+pub const GATE_TOLERANCE: f64 = 0.2;
 
 /// One measured (protocol, population) cell.
 #[derive(Debug)]
@@ -123,17 +139,23 @@ fn protocol_specs() -> Vec<(String, Option<f64>, Runner)> {
         ));
     }
     // Signal-backed resolution: same slot-level engine, but every collision
-    // deposit synthesizes a waveform and every resolution runs the DSP
-    // chain. Gated by its own (much larger) allowance.
-    let signal = Fcat::new(
-        FcatConfig::default().with_resolution(ResolutionModel::SignalBacked(
-            SignalResolutionConfig::default().with_noise_std(0.1),
-        )),
-    );
+    // deposit synthesizes a waveform into the SoA arena and every
+    // resolution runs the batched DSP chain. Gated by its own allowance.
+    let signal_fcat = Fcat::new(FcatConfig::default().with_resolution(
+        ResolutionModel::SignalBacked(SignalResolutionConfig::default().with_noise_std(0.1)),
+    ));
     specs.push((
-        "fcat2/signal".into(),
+        "fcat2/signal-soa".into(),
         Some(MAX_ALLOCS_PER_SLOT_SIGNAL),
-        Box::new(move |tags, cfg| run_inventory(&signal, tags, cfg)),
+        Box::new(move |tags, cfg| run_inventory(&signal_fcat, tags, cfg)),
+    ));
+    let signal_scat = Scat::new(ScatConfig::default().with_resolution(
+        ResolutionModel::SignalBacked(SignalResolutionConfig::default().with_noise_std(0.1)),
+    ));
+    specs.push((
+        "scat2/signal-soa".into(),
+        Some(MAX_ALLOCS_PER_SLOT_SIGNAL),
+        Box::new(move |tags, cfg| run_inventory(&signal_scat, tags, cfg)),
     ));
     let dfsa = Dfsa::new();
     specs.push((
@@ -289,6 +311,117 @@ pub fn run(opts: &BenchOptions, alloc_count: Option<&dyn Fn() -> u64>) -> Result
              {MAX_ALLOCS_PER_SLOT_SIGNAL} signal-backed)"
         );
     }
+
+    if let Some(path) = &opts.gate {
+        let gate = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading gate file {}: {e}", path.display()))?;
+        check_throughput_gate(&entries, &gate)?;
+    }
+
+    if opts.smoke {
+        check_threaded_determinism(opts.seed)?;
+    }
+    Ok(())
+}
+
+/// Enforces the signal-throughput gate: for every `*/signal-soa` cell
+/// present in both this run and the committed gate file, the ratio
+/// signal-soa slots/s ÷ hash slots/s (same protocol family, same `n`) must
+/// not fall more than [`GATE_TOLERANCE`] below the committed ratio.
+/// Normalizing by the hash cell measured in the same run makes the gate
+/// insensitive to absolute machine speed.
+fn check_throughput_gate(entries: &[Entry], gate: &str) -> Result<(), String> {
+    let sps = |name: &str, n: usize| -> Option<f64> {
+        entries
+            .iter()
+            .find(|e| e.name == name && e.n == n)
+            .map(|e| e.slots_per_sec)
+            .filter(|v| *v > 0.0)
+    };
+    let gate_sps = |name: &str, n: usize| -> Option<f64> {
+        gate.lines()
+            .filter(|l| l.contains("\"slots\":"))
+            .find(|l| {
+                extract_json_str(l, "name") == Some(name)
+                    && extract_json_num(l, "n") == Some(n as f64)
+            })
+            .and_then(|l| extract_json_num(l, "slots_per_sec"))
+            .filter(|v| *v > 0.0)
+    };
+
+    let mut compared = 0usize;
+    let mut violations = Vec::new();
+    for e in entries.iter().filter(|e| e.name.ends_with("/signal-soa")) {
+        let family = e.name.split('/').next().unwrap_or_default();
+        let hash_name = format!("{family}/hash");
+        let (Some(cur_soa), Some(cur_hash), Some(old_soa), Some(old_hash)) = (
+            sps(&e.name, e.n),
+            sps(&hash_name, e.n),
+            gate_sps(&e.name, e.n),
+            gate_sps(&hash_name, e.n),
+        ) else {
+            continue;
+        };
+        compared += 1;
+        let cur_ratio = cur_soa / cur_hash;
+        let old_ratio = old_soa / old_hash;
+        let floor = old_ratio * (1.0 - GATE_TOLERANCE);
+        println!(
+            "gate {:<18} n={:<6} signal/hash ratio {cur_ratio:.4} \
+             (committed {old_ratio:.4}, floor {floor:.4})",
+            e.name, e.n
+        );
+        if cur_ratio < floor {
+            violations.push(format!(
+                "{} n={}: signal/hash throughput ratio {cur_ratio:.4} fell below \
+                 {floor:.4} ({}% under committed {old_ratio:.4})",
+                e.name,
+                e.n,
+                (GATE_TOLERANCE * 100.0) as u32,
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(
+            "throughput gate: no (signal-soa, hash) cell pair exists in both this \
+                    run and the gate file — check sizes/alloc-check flags"
+                .into(),
+        );
+    }
+    if !violations.is_empty() {
+        return Err(format!(
+            "signal-soa throughput regressed:\n  {}",
+            violations.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
+/// Smoke-mode determinism cell: the scoped-thread peeling pass is a pure
+/// wall-clock knob, so a `threads: 4` inventory must reproduce the
+/// single-worker report exactly (same identified set, slot counts, SNR
+/// trajectory — the whole report compares equal).
+fn check_threaded_determinism(seed: u64) -> Result<(), String> {
+    let n = ALLOC_CHECK_MIN_TAGS;
+    let tags = population::uniform(&mut seeded_rng(1_000 + n as u64), n);
+    let signal = Fcat::new(
+        FcatConfig::default().with_resolution(ResolutionModel::SignalBacked(
+            SignalResolutionConfig::default().with_noise_std(0.1),
+        )),
+    );
+    let config = SimConfig::default().with_seed(seed);
+    let single =
+        run_inventory(&signal, &tags, &config).map_err(|e| format!("determinism cell: {e}"))?;
+    let threaded = run_inventory(&signal, &tags, &config.clone().with_threads(4))
+        .map_err(|e| format!("determinism cell (threads=4): {e}"))?;
+    if single != threaded {
+        return Err(format!(
+            "threads=4 diverged from threads=1 at n={n}: \
+             identified {} vs {}, slots {:?} vs {:?}",
+            single.identified, threaded.identified, single.slots, threaded.slots
+        ));
+    }
+    println!("determinism: fcat2/signal-soa threads=4 == threads=1 at n={n}");
     Ok(())
 }
 
@@ -299,6 +432,16 @@ struct Speedup {
     baseline_best_wall_s: f64,
     new_best_wall_s: f64,
     speedup: f64,
+}
+
+/// Maps entry names from baselines captured before the SoA rewrite onto
+/// their current spelling, so `--baseline` against a pre-rewrite file still
+/// produces a speedup row for the renamed signal cell.
+fn baseline_alias(name: &str) -> &str {
+    match name {
+        "fcat2/signal" => "fcat2/signal-soa",
+        other => other,
+    }
 }
 
 /// Matches entries against a previous run's JSON by (name, n). The baseline
@@ -317,6 +460,7 @@ fn compute_speedups(entries: &[Entry], baseline: &str) -> Vec<Speedup> {
         ) else {
             continue;
         };
+        let name = baseline_alias(name);
         let n = n as usize;
         if let Some(e) = entries.iter().find(|e| e.name == name && e.n == n) {
             if base > 0.0 && e.best_wall_s > 0.0 {

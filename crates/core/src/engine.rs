@@ -158,6 +158,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             Fidelity::SignalLevel(sig) => CollisionRecordStore::signal_level(sig.msk.clone()),
         };
         records.set_attempt_logging(S::ENABLED);
+        records.set_threads(config.threads());
         records.reserve_tags(tags.len());
         let mut active = Vec::with_capacity(tags.len());
         let mut active_states = Vec::with_capacity(tags.len());
@@ -727,12 +728,16 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     // which the 2^-16 CRC makes vanishingly rare; the
                     // reader must not ack an ID nobody sent, so ghosts
                     // classify as collisions). The record owns its
-                    // waveform, so this clone is the one allocation a
-                    // signal-level collision slot makes by design.
+                    // waveform; copying into a buffer reclaimed from a
+                    // consumed record keeps the steady state allocation-
+                    // free where a plain clone allocated every slot.
                     self.report.record_slot(SlotClass::Collision, self.slot_us);
                     output.class = Some(SlotClass::Collision);
                     self.emit_record_created(transmitters.len(), true);
-                    self.deposit_record(transmitters, true, Some(wave.clone()), rng, output);
+                    let mut copy = self.records.pooled_wave_buffer();
+                    copy.clear();
+                    copy.extend_from_slice(&wave);
+                    self.deposit_record(transmitters, true, Some(copy), rng, output);
                 }
             }
         }

@@ -13,9 +13,11 @@ use crate::inline_vec::InlineVec;
 use crate::resolution::{RecoveryPolicy, SignalResolutionConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rfid_signal::anc::{ReferenceCache, ResolveScratch};
 use rfid_signal::complex::Complex;
-use rfid_signal::{anc, cascade, MskConfig};
-use rfid_types::TagId;
+use rfid_signal::msk::MskConfig;
+use rfid_signal::{anc, cascade};
+use rfid_types::{TagId, TAG_ID_BITS};
 use std::collections::HashMap;
 
 /// A newly resolved ID together with the slot index of the record it came
@@ -48,9 +50,74 @@ struct Record {
     participants: InlineVec<INLINE_PARTICIPANTS>,
     /// Slot-level: `k ≤ λ` and not spoiled. Signal-level: not corrupted.
     usable: bool,
-    /// Recorded mixed signal (signal-level fidelity only).
-    signal: Option<Vec<Complex>>,
+    /// Where the record's mixed signal lives (if anywhere).
+    signal: Wave,
     consumed: bool,
+}
+
+/// Storage handle for a record's mixed waveform.
+///
+/// Synthesized waveforms all share one whole-ID span, so they live as
+/// spans in the backend's [`WaveArena`] — one contiguous buffer instead of
+/// a `Vec` per record, which keeps the peeling kernels walking dense
+/// memory and makes deposit/consume a free-list push/pop. Waveforms
+/// recorded off the simulated air arrive from the caller as owned vectors
+/// and stay owned.
+#[derive(Debug)]
+enum Wave {
+    /// No waveform (ideal resolution, spoiled or over-λ records).
+    None,
+    /// Span index into the synthesized-waveform arena.
+    Arena(u32),
+    /// Caller-provided recording (signal-level fidelity).
+    Owned(Vec<Complex>),
+}
+
+/// Fixed-span slab of synthesized waveforms: one contiguous sample buffer
+/// plus a free list of span indices. Every synthesized record's waveform
+/// is a whole-ID reception, so spans never vary and recycling a span is a
+/// single free-list push — no per-record allocation, no fragmentation.
+#[derive(Debug)]
+struct WaveArena {
+    span: usize,
+    buf: Vec<Complex>,
+    free: Vec<u32>,
+}
+
+impl WaveArena {
+    fn new(span: usize) -> Self {
+        WaveArena {
+            span,
+            buf: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Claims a span (recycled if possible), returning its index.
+    fn alloc(&mut self) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            return slot;
+        }
+        let slot = u32::try_from(self.buf.len() / self.span).expect("arena span count overflow");
+        self.buf.resize(self.buf.len() + self.span, Complex::ZERO);
+        slot
+    }
+
+    /// Returns a span to the free list for reuse.
+    fn release(&mut self, slot: u32) {
+        debug_assert!(!self.free.contains(&slot), "double release of arena span");
+        self.free.push(slot);
+    }
+
+    fn wave(&self, slot: u32) -> &[Complex] {
+        let start = slot as usize * self.span;
+        &self.buf[start..start + self.span]
+    }
+
+    fn wave_mut(&mut self, slot: u32) -> &mut [Complex] {
+        let start = slot as usize * self.span;
+        &mut self.buf[start..start + self.span]
+    }
 }
 
 /// Aggregate statistics over a store's lifetime.
@@ -124,15 +191,121 @@ struct SignalBackend {
     ids: Vec<TagId>,
     /// Scratch: re-query singleton waveform.
     wave: Vec<Complex>,
-    /// Waveform buffers reclaimed from consumed records, reused by
-    /// deposit-time synthesis so the steady state allocates nothing.
-    pool: Vec<Vec<Complex>>,
+    /// Contiguous storage for every live synthesized waveform.
+    arena: WaveArena,
+    /// Reference waveforms shared by deposit-time synthesis and every
+    /// subtraction — one modulation per distinct ID per cache generation.
+    ref_cache: ReferenceCache,
+    /// Working memory for the sequential (deposit-time) resolve path.
+    rscratch: ResolveScratch,
+    /// Same-frontier records staged for one batched peeling pass.
+    batch: BatchState,
 }
 
 /// Upper bound on pooled waveform buffers; beyond this, freed buffers are
 /// dropped (bounds memory if records are consumed much faster than
 /// deposited).
 const WAVE_POOL_MAX: usize = 64;
+
+/// Most records one batched peeling pass evaluates at once. Bounds the
+/// batch's reference working set (`MAX_BATCH · λ` distinct IDs must fit
+/// the reference cache after one clear) and the retained degraded-copy
+/// scratch. Flushing early never changes results — batch members are
+/// participant-disjoint, so any split of a batch peels identically.
+const MAX_BATCH: usize = 32;
+
+/// Records of one cascade frontier staged for a batched peeling pass,
+/// plus the reusable per-entry and per-worker scratch. Entries between
+/// `live` and `entries.len()` are spent but keep their buffer capacity.
+#[derive(Debug, Default)]
+struct BatchState {
+    entries: Vec<BatchEntry>,
+    live: usize,
+    /// Dense participant indices of every staged record — the conflict
+    /// predicate that keeps batch members disjoint.
+    participants: Vec<u32>,
+    /// One resolve scratch per worker, reused across flushes.
+    scratch: Vec<ResolveScratch>,
+}
+
+/// One record staged for batched peeling: its classification snapshot
+/// (taken against the shared frontier), the pre-drawn noise degradation,
+/// and the outcome slots the evaluation phase fills in.
+#[derive(Debug, Default)]
+struct BatchEntry {
+    rec: usize,
+    slot: u64,
+    hop: u32,
+    /// Dense index of the one unknown participant.
+    last: u32,
+    last_tag: Option<TagId>,
+    /// Accumulated-residual noise std for this hop.
+    extra: f64,
+    /// Known participants, snapshotted at staging time.
+    knowns: Vec<TagId>,
+    /// Mixture + pre-drawn degradation noise (empty when `extra == 0`);
+    /// drawn sequentially in record order so the RNG stream is identical
+    /// to the unbatched path's.
+    degraded: Vec<Complex>,
+    /// Ghost-guarded primary outcome and its residual SNR.
+    primary: Option<(Option<TagId>, f64)>,
+    /// Ghost-guarded salvage-retry outcome, when one ran.
+    retry: Option<(Option<TagId>, f64)>,
+}
+
+/// Evaluates one staged record — the pure, RNG-free half of a batched
+/// peeling pass. Reads shared state only through `&` (records, arena,
+/// reference cache), so disjoint entries may run on separate workers;
+/// outcomes land in the entry's slots and are applied later in record
+/// order.
+#[allow(clippy::too_many_arguments)] // flat captures keep the worker closure trivially Send
+fn eval_batch_entry(
+    e: &mut BatchEntry,
+    records: &[Record],
+    arena: &WaveArena,
+    cache: &ReferenceCache,
+    msk: &MskConfig,
+    noise_floor_std: f64,
+    policy: &RecoveryPolicy,
+    scratch: &mut ResolveScratch,
+) {
+    let last_tag = e.last_tag.expect("staged entry carries its unknown tag");
+    let original: &[Complex] = match &records[e.rec].signal {
+        Wave::Arena(s) => arena.wave(*s),
+        Wave::Owned(v) => v,
+        Wave::None => unreachable!("staged entries always carry a waveform"),
+    };
+    let samples: &[Complex] = if e.extra > 0.0 { &e.degraded } else { original };
+    let attempt = cascade::resolve_prepared(
+        samples,
+        &e.knowns,
+        msk,
+        noise_floor_std,
+        e.extra,
+        cache,
+        scratch,
+    );
+    // Ghost guard: never credit a CRC-colliding ID nobody owns.
+    let ok = attempt.recovered.ok().filter(|id| *id == last_tag);
+    let failed = ok.is_none();
+    e.primary = Some((ok, attempt.residual_snr_db));
+    if failed && e.hop > 1 && matches!(policy, RecoveryPolicy::SalvagePartial) {
+        // Salvage the partial cascade: depth-1 retry against the stored
+        // record without the chain's accumulated residual. RNG-free, so
+        // it runs on the worker too.
+        let retry = cascade::resolve_prepared(
+            original,
+            &e.knowns,
+            msk,
+            noise_floor_std,
+            0.0,
+            cache,
+            scratch,
+        );
+        let rok = retry.recovered.ok().filter(|id| *id == last_tag);
+        e.retry = Some((rok, retry.residual_snr_db));
+    }
+}
 
 /// The reader's set of outstanding collision records plus its set of known
 /// IDs, with cascade resolution.
@@ -190,6 +363,17 @@ pub struct CollisionRecordStore {
     /// Failures awaiting a re-query slot; filled only under
     /// [`RecoveryPolicy::Requery`].
     failed_log: Vec<FailedResolution>,
+    /// Owned waveform buffers reclaimed from consumed records, reused by
+    /// the engine's signal-level recording path ([`Self::pooled_wave_buffer`]).
+    pool: Vec<Vec<Complex>>,
+    /// Expected whole-ID waveform span; pooled buffers are shrunk to at
+    /// most twice this on return so the pool bounds bytes, not just
+    /// buffer count. Zero disables pooling (ideal backend).
+    pool_span: usize,
+    /// Worker count for batched peeling (1 = evaluate inline). Thread
+    /// count never changes outcomes: batch members are disjoint, noise is
+    /// pre-drawn in record order, and outcomes apply in record order.
+    threads: usize,
 }
 
 impl CollisionRecordStore {
@@ -231,21 +415,30 @@ impl CollisionRecordStore {
         seed: u64,
     ) -> Self {
         assert!(lambda >= 2, "lambda must be >= 2, got {lambda}");
+        let span = cfg.msk.samples_for_bits(TAG_ID_BITS as usize);
         CollisionRecordStore::with_backend(
             lambda,
             Backend::Synthesized(Box::new(SignalBackend {
+                ref_cache: ReferenceCache::new(&cfg.msk),
                 cfg,
                 policy,
                 rng: StdRng::seed_from_u64(seed),
                 scratch: anc::MixScratch::default(),
                 ids: Vec::new(),
                 wave: Vec::new(),
-                pool: Vec::new(),
+                arena: WaveArena::new(span),
+                rscratch: ResolveScratch::default(),
+                batch: BatchState::default(),
             })),
         )
     }
 
     fn with_backend(lambda: u32, backend: Backend) -> Self {
+        let pool_span = match &backend {
+            Backend::Ideal => 0,
+            Backend::Recorded(msk) => msk.samples_for_bits(TAG_ID_BITS as usize),
+            Backend::Synthesized(b) => b.arena.span,
+        };
         CollisionRecordStore {
             records: Vec::new(),
             tags: Vec::new(),
@@ -261,7 +454,39 @@ impl CollisionRecordStore {
             attempt_log: Vec::new(),
             log_attempts: false,
             failed_log: Vec::new(),
+            pool: Vec::new(),
+            pool_span,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker count for batched peeling. `n` is clamped to at
+    /// least 1; results are identical at every value (see the field docs).
+    pub(crate) fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
+    /// Pops a reclaimed waveform buffer (or a fresh one) for the engine's
+    /// signal-level recording path: the buffer a consumed record frees
+    /// comes back here, so the steady state records without allocating.
+    pub(crate) fn pooled_wave_buffer(&mut self) -> Vec<Complex> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a freed owned waveform to the pool, shrinking buffers whose
+    /// capacity ballooned past twice the expected span so the pool bounds
+    /// bytes as well as count (mixed-length callers can otherwise park
+    /// `WAVE_POOL_MAX` arbitrarily large vectors here forever).
+    fn return_to_pool(pool: &mut Vec<Vec<Complex>>, span: usize, mut wave: Vec<Complex>) {
+        if span == 0 || pool.len() >= WAVE_POOL_MAX {
+            return;
+        }
+        let bound = span * 2;
+        if wave.capacity() > bound {
+            wave.truncate(bound);
+            wave.shrink_to(bound);
+        }
+        pool.push(wave);
     }
 
     /// Enables (or disables) per-attempt logging for the observability
@@ -411,7 +636,9 @@ impl CollisionRecordStore {
         for record in &mut self.records {
             if record.consumed {
                 record.participants.clear();
-                record.signal = None;
+                // Consumed records already released their arena span in
+                // `consume_record`; only owned payloads can remain.
+                record.signal = Wave::None;
             }
         }
     }
@@ -482,27 +709,40 @@ impl CollisionRecordStore {
         // "recorded" this slot, on the dedicated resolution RNG stream.
         // Only usable records are synthesized: spoiled or over-λ records
         // can never be attempted, so their waveform would be dead weight.
+        // The waveform goes straight into an arena span; each component is
+        // its cached reference scaled by the drawn channel gain, so the
+        // steady state neither allocates nor re-modulates.
         let signal = match &mut self.backend {
             Backend::Synthesized(b) if usable && signal.is_none() => {
                 b.ids.clear();
                 for &t in distinct.as_slice() {
                     b.ids.push(self.tags[t as usize]);
                 }
-                // Reuse a reclaimed buffer when one is available — in the
-                // steady state every usable record's synthesis is
-                // allocation-free.
-                let mut wave = b.pool.pop().unwrap_or_default();
-                anc::transmit_mixed_into(
-                    &b.ids,
-                    &b.cfg.msk,
-                    &b.cfg.channel,
-                    &mut b.rng,
-                    &mut b.scratch,
-                    &mut wave,
+                let SignalBackend {
+                    cfg,
+                    rng,
+                    scratch,
+                    ids,
+                    arena,
+                    ref_cache,
+                    ..
+                } = &mut **b;
+                let span = arena.alloc();
+                anc::transmit_mixed_cached(
+                    ids,
+                    &cfg.msk,
+                    &cfg.channel,
+                    rng,
+                    ref_cache,
+                    scratch,
+                    arena.wave_mut(span),
                 );
-                Some(wave)
+                Wave::Arena(span)
             }
-            _ => signal,
+            _ => match signal {
+                Some(wave) => Wave::Owned(wave),
+                None => Wave::None,
+            },
         };
         self.outstanding += 1;
         self.records.push(Record {
@@ -557,6 +797,7 @@ impl CollisionRecordStore {
     /// backend accumulate per-hop residual error.
     fn cascade_from(&mut self, idx: u32, depth: u32, resolved: &mut Vec<(u32, Resolved)>) {
         debug_assert!(self.known[idx as usize]);
+        let batched = matches!(self.backend, Backend::Synthesized(_));
         let mut worklist = std::mem::take(&mut self.worklist);
         debug_assert!(worklist.is_empty());
         worklist.push((idx, depth));
@@ -565,31 +806,314 @@ impl CollisionRecordStore {
             // its record list is consulted (nothing is appended to a known
             // tag's list) — take it instead of cloning it.
             let records = std::mem::take(&mut self.by_tag[current as usize]);
-            for &rec in records.as_slice() {
-                if let Some((tag_idx, r)) = self.try_resolve(rec as usize, d + 1) {
-                    self.mark_known(tag_idx);
-                    resolved.push((tag_idx, r));
-                    worklist.push((tag_idx, d + 1));
+            if batched {
+                // Signal-backed: stage the whole list against the current
+                // known-ID frontier and peel it in (at most a few) batched
+                // passes instead of one resolve per record.
+                for &rec in records.as_slice() {
+                    self.stage_record(rec as usize, d + 1, resolved, &mut worklist);
+                }
+                // The frontier ends with the list: flush before the next
+                // worklist pop changes the known set.
+                self.flush_batch(resolved, &mut worklist);
+            } else {
+                for &rec in records.as_slice() {
+                    if let Some((tag_idx, r)) = self.try_resolve(rec as usize, d + 1) {
+                        self.mark_known(tag_idx);
+                        resolved.push((tag_idx, r));
+                        worklist.push((tag_idx, d + 1));
+                    }
                 }
             }
         }
         self.worklist = worklist;
     }
 
-    /// Marks record `idx` consumed and frees its payload. A synthesized
-    /// waveform buffer goes back to the backend's pool (bounded by
-    /// [`WAVE_POOL_MAX`]) so later deposits reuse it instead of
-    /// allocating.
+    /// Whether record `rec` shares a participant with any record already
+    /// staged in the batch. Overlapping records must not share a batch:
+    /// the earlier one's resolution changes the later one's classification
+    /// (its unknown count, or the known set it subtracts with), so the
+    /// later record belongs to the *next* frontier.
+    fn batch_conflicts(&self, rec: usize) -> bool {
+        let Backend::Synthesized(b) = &self.backend else {
+            return false;
+        };
+        if b.batch.live == 0 {
+            return false;
+        }
+        let record = &self.records[rec];
+        record
+            .participants
+            .as_slice()
+            .iter()
+            .any(|t| b.batch.participants.contains(t))
+    }
+
+    /// Classifies record `rec` against the current frontier and either
+    /// disposes of it inline (consumed / still blocked / exhausted / ideal
+    /// gate) or stages it for the next batched peeling pass. Equivalent,
+    /// record for record and RNG draw for RNG draw, to running
+    /// [`Self::try_resolve`] sequentially: a flush applies all staged
+    /// outcomes whenever a record could observe them.
+    fn stage_record(
+        &mut self,
+        rec: usize,
+        hop: u32,
+        resolved: &mut Vec<(u32, Resolved)>,
+        worklist: &mut Vec<(u32, u32)>,
+    ) {
+        if self.batch_conflicts(rec) {
+            self.flush_batch(resolved, worklist);
+        }
+        let record = &self.records[rec];
+        if record.consumed {
+            return;
+        }
+        let mut last = None;
+        for &t in record.participants.as_slice() {
+            if !self.known[t as usize] {
+                if last.is_some() {
+                    // Two or more unknowns: not resolvable yet. No staged
+                    // entry can change that — overlaps were flushed above.
+                    return;
+                }
+                last = Some(t);
+            }
+        }
+        let Some(last) = last else {
+            // Every participant learned elsewhere; nothing left to extract.
+            self.consume_record(rec);
+            self.stats.exhausted += 1;
+            return;
+        };
+        if !self.records[rec].usable {
+            return;
+        }
+        if matches!(self.records[rec].signal, Wave::None) {
+            // Ideal gate (usable record without a waveform): resolving it
+            // mutates the known set, so it cannot join the batch. Flush
+            // first so earlier records' outcomes land in order; the flush
+            // cannot re-classify this record (no shared participants).
+            self.flush_batch(resolved, worklist);
+            let slot = self.records[rec].slot;
+            let tag = self.tags[last as usize];
+            self.consume_record(rec);
+            self.stats.resolved += 1;
+            self.mark_known(last);
+            resolved.push((last, Resolved { tag, slot }));
+            worklist.push((last, hop));
+            return;
+        }
+        // Stage: snapshot the classification and pre-draw the degradation
+        // noise now, in record order — the RNG stream stays identical to
+        // the sequential path's draw for draw.
+        let full = {
+            let Backend::Synthesized(b) = &mut self.backend else {
+                unreachable!("batched staging only runs signal-backed")
+            };
+            let SignalBackend {
+                cfg,
+                rng,
+                arena,
+                batch,
+                ..
+            } = &mut **b;
+            let record = &self.records[rec];
+            if batch.live == batch.entries.len() {
+                batch.entries.push(BatchEntry::default());
+            }
+            let entry = &mut batch.entries[batch.live];
+            batch.live += 1;
+            entry.rec = rec;
+            entry.slot = record.slot;
+            entry.hop = hop;
+            entry.last = last;
+            entry.last_tag = Some(self.tags[last as usize]);
+            entry.primary = None;
+            entry.retry = None;
+            entry.knowns.clear();
+            for &t in record.participants.as_slice() {
+                if self.known[t as usize] {
+                    entry.knowns.push(self.tags[t as usize]);
+                }
+                batch.participants.push(t);
+            }
+            let base = cfg.channel.noise_std();
+            entry.extra = cascade::cascade_noise_std(base, cfg.residual_per_hop, hop);
+            let samples: &[Complex] = match &record.signal {
+                Wave::Arena(span) => arena.wave(*span),
+                Wave::Owned(wave) => wave,
+                Wave::None => unreachable!(),
+            };
+            if entry.extra > 0.0 {
+                cascade::degrade_into(samples, entry.extra, rng, &mut entry.degraded);
+            } else {
+                entry.degraded.clear();
+            }
+            batch.live >= MAX_BATCH
+        };
+        if full {
+            self.flush_batch(resolved, worklist);
+        }
+    }
+
+    /// Peels every staged record in one pass: warm the shared reference
+    /// cache, evaluate the (pure, disjoint) entries — inline, or fanned
+    /// out over `std::thread::scope` workers when `threads > 1` — then
+    /// apply the outcomes strictly in record order. Log entries, stats,
+    /// consumption, knowledge and worklist pushes appear exactly as the
+    /// sequential path would emit them, so worker count never changes a
+    /// single reported bit.
+    fn flush_batch(&mut self, resolved: &mut Vec<(u32, Resolved)>, worklist: &mut Vec<(u32, u32)>) {
+        let mut batch = match &mut self.backend {
+            Backend::Synthesized(b) if b.batch.live > 0 => std::mem::take(&mut b.batch),
+            Backend::Synthesized(b) => {
+                b.batch.participants.clear();
+                return;
+            }
+            _ => return,
+        };
+        let live = batch.live;
+        // Warm every reference the batch subtracts with. `try_ensure`
+        // never evicts; if the cache cannot take the working set, clear
+        // once and re-warm — a batch is bounded so it always fits an
+        // empty cache.
+        {
+            let Backend::Synthesized(b) = &mut self.backend else {
+                unreachable!()
+            };
+            let cache = &mut b.ref_cache;
+            let mut fits = true;
+            for entry in &batch.entries[..live] {
+                for &id in &entry.knowns {
+                    fits &= cache.try_ensure(id);
+                }
+            }
+            if !fits {
+                cache.clear();
+                for entry in &batch.entries[..live] {
+                    for &id in &entry.knowns {
+                        let ok = cache.try_ensure(id);
+                        debug_assert!(ok, "batch references must fit an empty cache");
+                    }
+                }
+            }
+        }
+        // Evaluate: pure DSP over disjoint records against shared
+        // read-only state. Chunked across scoped workers when asked to.
+        {
+            let Backend::Synthesized(b) = &self.backend else {
+                unreachable!()
+            };
+            let records = self.records.as_slice();
+            let (arena, cache, msk) = (&b.arena, &b.ref_cache, &b.cfg.msk);
+            let base = b.cfg.channel.noise_std();
+            let policy = &b.policy;
+            let workers = self.threads.min(live).max(1);
+            if batch.scratch.len() < workers {
+                batch.scratch.resize_with(workers, ResolveScratch::default);
+            }
+            let entries = &mut batch.entries[..live];
+            if workers == 1 {
+                let scratch = &mut batch.scratch[0];
+                for entry in entries.iter_mut() {
+                    eval_batch_entry(entry, records, arena, cache, msk, base, policy, scratch);
+                }
+            } else {
+                let chunk = live.div_ceil(workers);
+                std::thread::scope(|s| {
+                    for (chunk_entries, scratch) in
+                        entries.chunks_mut(chunk).zip(batch.scratch.iter_mut())
+                    {
+                        s.spawn(move || {
+                            for entry in chunk_entries.iter_mut() {
+                                eval_batch_entry(
+                                    entry, records, arena, cache, msk, base, policy, scratch,
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        // Apply in record order.
+        let requery = matches!(
+            &self.backend,
+            Backend::Synthesized(b) if matches!(b.policy, RecoveryPolicy::Requery { .. })
+        );
+        for i in 0..live {
+            let entry = &mut batch.entries[i];
+            let (rec, slot, hop, last) = (entry.rec, entry.slot, entry.hop, entry.last);
+            let (primary_ok, primary_snr) = entry.primary.take().expect("evaluated entry");
+            let retry = entry.retry.take();
+            if self.log_attempts {
+                self.attempt_log.push(ResolutionAttemptLog {
+                    record_slot: slot,
+                    hop,
+                    residual_snr_db: primary_snr,
+                    success: primary_ok.is_some(),
+                });
+            }
+            let mut ok = primary_ok;
+            if let Some((retry_ok, retry_snr)) = retry {
+                ok = retry_ok;
+                if self.log_attempts {
+                    self.attempt_log.push(ResolutionAttemptLog {
+                        record_slot: slot,
+                        hop: 1,
+                        residual_snr_db: retry_snr,
+                        success: retry_ok.is_some(),
+                    });
+                }
+                if retry_ok.is_some() {
+                    self.stats.salvaged += 1;
+                }
+            }
+            if ok.is_none() && requery {
+                self.failed_log.push(FailedResolution {
+                    record_slot: slot,
+                    unknown: last,
+                });
+            }
+            self.consume_record(rec);
+            match ok {
+                Some(tag) => {
+                    self.stats.resolved += 1;
+                    self.mark_known(last);
+                    resolved.push((last, Resolved { tag, slot }));
+                    worklist.push((last, hop));
+                }
+                None => {
+                    self.stats.failed_attempts += 1;
+                }
+            }
+        }
+        batch.live = 0;
+        batch.participants.clear();
+        let Backend::Synthesized(b) = &mut self.backend else {
+            unreachable!()
+        };
+        b.batch = batch;
+    }
+
+    /// Marks record `idx` consumed and frees its payload: an arena span
+    /// returns to the free list for the next deposit, an owned buffer to
+    /// the pool (bounded in count by [`WAVE_POOL_MAX`] and in bytes by the
+    /// shrink in [`Self::return_to_pool`]).
     fn consume_record(&mut self, idx: usize) {
         let record = &mut self.records[idx];
         record.consumed = true;
         record.participants.clear();
-        let freed = record.signal.take();
+        let freed = std::mem::replace(&mut record.signal, Wave::None);
         self.outstanding -= 1;
-        if let (Some(wave), Backend::Synthesized(b)) = (freed, &mut self.backend) {
-            if b.pool.len() < WAVE_POOL_MAX {
-                b.pool.push(wave);
+        match freed {
+            Wave::Arena(span) => {
+                if let Backend::Synthesized(b) = &mut self.backend {
+                    b.arena.release(span);
+                }
             }
+            Wave::Owned(wave) => Self::return_to_pool(&mut self.pool, self.pool_span, wave),
+            Wave::None => {}
         }
     }
 
@@ -639,7 +1163,7 @@ impl CollisionRecordStore {
                     // (2^-16 per attempt); acknowledging a tag nobody owns
                     // would corrupt the inventory, so ghosts count as failed
                     // attempts (mirrors the engine's singleton-path guard).
-                    Some(signal) => {
+                    Wave::Owned(signal) => {
                         let knowns: Vec<TagId> = record
                             .participants
                             .as_slice()
@@ -651,69 +1175,80 @@ impl CollisionRecordStore {
                             .ok()
                             .filter(|id| *id == last_tag)
                     }
-                    None => Some(last_tag),
+                    Wave::None | Wave::Arena(_) => Some(last_tag),
                 }
             }
             Backend::Synthesized(b) => {
                 let record = &self.records[idx];
-                match &record.signal {
-                    Some(signal) => {
-                        b.ids.clear();
-                        for &t in record.participants.as_slice() {
-                            if self.known[t as usize] {
-                                b.ids.push(self.tags[t as usize]);
-                            }
+                if matches!(record.signal, Wave::None) {
+                    // Usable records are always synthesized at deposit;
+                    // treat a missing waveform as the ideal gate.
+                    Some(last_tag)
+                } else {
+                    let SignalBackend {
+                        cfg,
+                        policy,
+                        rng,
+                        ids,
+                        arena,
+                        ref_cache,
+                        rscratch,
+                        ..
+                    } = &mut **b;
+                    ids.clear();
+                    for &t in record.participants.as_slice() {
+                        if self.known[t as usize] {
+                            ids.push(self.tags[t as usize]);
                         }
-                        let base = b.cfg.channel.noise_std();
-                        let extra = cascade::cascade_noise_std(base, b.cfg.residual_per_hop, hop);
-                        let attempt = cascade::resolve_cascaded(
-                            signal, &b.ids, &b.cfg.msk, base, extra, &mut b.rng,
+                    }
+                    let signal: &[Complex] = match &record.signal {
+                        Wave::Arena(span) => arena.wave(*span),
+                        Wave::Owned(wave) => wave,
+                        Wave::None => unreachable!(),
+                    };
+                    let base = cfg.channel.noise_std();
+                    let extra = cascade::cascade_noise_std(base, cfg.residual_per_hop, hop);
+                    let attempt = cascade::resolve_cascaded_cached(
+                        signal, ids, &cfg.msk, base, extra, rng, ref_cache, rscratch,
+                    );
+                    // Same ghost-ID guard as the recorded backend.
+                    let mut ok = attempt.recovered.ok().filter(|id| *id == last_tag);
+                    if self.log_attempts {
+                        self.attempt_log.push(ResolutionAttemptLog {
+                            record_slot: slot,
+                            hop,
+                            residual_snr_db: attempt.residual_snr_db,
+                            success: ok.is_some(),
+                        });
+                    }
+                    if ok.is_none() && hop > 1 && matches!(policy, RecoveryPolicy::SalvagePartial) {
+                        // Salvage the partial cascade: redo the
+                        // subtraction directly against the stored
+                        // record, without the chain's accumulated
+                        // residual (a depth-1 retry).
+                        let retry = cascade::resolve_cascaded_cached(
+                            signal, ids, &cfg.msk, base, 0.0, rng, ref_cache, rscratch,
                         );
-                        // Same ghost-ID guard as the recorded backend.
-                        let mut ok = attempt.recovered.ok().filter(|id| *id == last_tag);
+                        ok = retry.recovered.ok().filter(|id| *id == last_tag);
                         if self.log_attempts {
                             self.attempt_log.push(ResolutionAttemptLog {
                                 record_slot: slot,
-                                hop,
-                                residual_snr_db: attempt.residual_snr_db,
+                                hop: 1,
+                                residual_snr_db: retry.residual_snr_db,
                                 success: ok.is_some(),
                             });
                         }
-                        if ok.is_none()
-                            && hop > 1
-                            && matches!(b.policy, RecoveryPolicy::SalvagePartial)
-                        {
-                            // Salvage the partial cascade: redo the
-                            // subtraction directly against the stored
-                            // record, without the chain's accumulated
-                            // residual (a depth-1 retry).
-                            let retry = cascade::resolve_cascaded(
-                                signal, &b.ids, &b.cfg.msk, base, 0.0, &mut b.rng,
-                            );
-                            ok = retry.recovered.ok().filter(|id| *id == last_tag);
-                            if self.log_attempts {
-                                self.attempt_log.push(ResolutionAttemptLog {
-                                    record_slot: slot,
-                                    hop: 1,
-                                    residual_snr_db: retry.residual_snr_db,
-                                    success: ok.is_some(),
-                                });
-                            }
-                            if ok.is_some() {
-                                self.stats.salvaged += 1;
-                            }
+                        if ok.is_some() {
+                            self.stats.salvaged += 1;
                         }
-                        if ok.is_none() && matches!(b.policy, RecoveryPolicy::Requery { .. }) {
-                            self.failed_log.push(FailedResolution {
-                                record_slot: slot,
-                                unknown: last,
-                            });
-                        }
-                        ok
                     }
-                    // Usable records are always synthesized at deposit;
-                    // treat a missing waveform as the ideal gate.
-                    None => Some(last_tag),
+                    if ok.is_none() && matches!(policy, RecoveryPolicy::Requery { .. }) {
+                        self.failed_log.push(FailedResolution {
+                            record_slot: slot,
+                            unknown: last,
+                        });
+                    }
+                    ok
                 }
             }
         };
@@ -959,6 +1494,37 @@ mod tests {
         store.learn(tag(7));
         assert_eq!(store.outstanding(), 0);
         assert_eq!(store.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn pool_is_bounded_in_count_and_bytes_across_mixed_length_records() {
+        // Regression: returned buffers used to keep whatever capacity they
+        // arrived with — WAVE_POOL_MAX bounded the pool's *count* while a
+        // caller recording oversized mixtures could park unbounded *bytes*
+        // in it. Returns now shrink to at most twice the whole-ID span.
+        let msk = MskConfig::default();
+        let span = msk.samples_for_bits(TAG_ID_BITS as usize);
+        let mut store = CollisionRecordStore::signal_level(msk);
+        for i in 0..200u64 {
+            let a = tag(1_000 + u128::from(i) * 2);
+            let b = tag(1_001 + u128::from(i) * 2);
+            // Mixed-length recordings, some far larger than a whole-ID
+            // span; none demodulates, so every record is consumed as a
+            // failed attempt and its buffer offered back to the pool.
+            let len = if i % 2 == 0 { 16 } else { span * 8 };
+            store.add_record(i, vec![a, b], true, Some(vec![Complex::ZERO; len]));
+            store.learn(a);
+            store.learn(b);
+        }
+        assert!(store.pool.len() <= WAVE_POOL_MAX, "pool count unbounded");
+        let bound = span * 2;
+        for buf in &store.pool {
+            assert!(
+                buf.capacity() <= bound,
+                "pooled buffer holds {} samples of capacity, bound is {bound}",
+                buf.capacity()
+            );
+        }
     }
 
     #[test]

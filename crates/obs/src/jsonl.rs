@@ -24,8 +24,9 @@ use rfid_types::SlotClass;
 use std::io::{self, BufWriter, Write};
 
 /// Formats an `f64` so the JSON stays finite and parseable: non-finite
-/// values (which only the SNR field produces — see [`fmt_snr`]) become
-/// `null`.
+/// values become `null` as a defensive fallback. The only field that can
+/// legitimately go non-finite is the residual SNR, which routes through
+/// [`fmt_snr`] and its explicit sentinels instead.
 fn fmt_f64(value: f64) -> String {
     if value.is_finite() {
         let mut s = format!("{value}");
@@ -38,13 +39,21 @@ fn fmt_f64(value: f64) -> String {
     }
 }
 
-/// Formats a residual SNR so non-finite values survive the round trip:
-/// `+inf` (noiseless channel) becomes `null` — the documented wire encoding
-/// — and `-inf` (pure-noise residual) becomes `-1e999`, a valid JSON number
-/// that saturates back to `-inf` when parsed as `f64`.
+/// Formats a residual SNR so non-finite values survive the round trip as
+/// *valid JSON* and stay distinguishable from each other: `+inf`
+/// (noiseless channel) → `"inf"`, `-inf` (pure-noise residual) → `"-inf"`,
+/// and `NaN` → `"nan"` — explicit string sentinels. The previous encoding
+/// spelled `-inf` as the bare token `-1e999`, which is not a JSON value
+/// (RFC 8259 numbers must fit the grammar and interoperable parsers reject
+/// over-range literals), and collapsed both `+inf` and `NaN` to `null`, so
+/// a serialized NaN resurrected as `+inf` on replay.
 fn fmt_snr(value: f64) -> String {
-    if value == f64::NEG_INFINITY {
-        "-1e999".to_owned()
+    if value == f64::INFINITY {
+        "\"inf\"".to_owned()
+    } else if value == f64::NEG_INFINITY {
+        "\"-inf\"".to_owned()
+    } else if value.is_nan() {
+        "\"nan\"".to_owned()
     } else {
         fmt_f64(value)
     }
@@ -302,12 +311,19 @@ pub mod replay {
             .unwrap_or(0.0)
     }
 
-    /// Parses a residual SNR back from the wire encoding: `null` is the
-    /// writer's spelling of `+inf` (noiseless channel), and `-1e999`
-    /// saturates to `-inf` through the standard `f64` parser.
+    /// Parses a residual SNR back from the wire encoding. Current traces
+    /// spell non-finite values as the string sentinels `"inf"`, `"-inf"`
+    /// and `"nan"` ([`field`] strips the quotes, so the bare tokens arrive
+    /// here). Legacy traces are still readable: `null` was the old
+    /// spelling of `+inf` (noiseless channel) and `-1e999` saturates to
+    /// `-inf` through the standard `f64` parser. Note the legacy format
+    /// also wrote NaN as `null`, so NaN in *old* traces is unrecoverable —
+    /// that lossiness is exactly what the sentinel encoding fixes.
     fn snr(line: &str) -> Option<f64> {
         match field(line, "residual_snr_db")? {
-            "null" => Some(f64::INFINITY),
+            "inf" | "null" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
             raw => raw.parse::<f64>().ok(),
         }
     }
@@ -488,7 +504,7 @@ mod tests {
         });
         let text = String::from_utf8(sink.finish().expect("write")).expect("utf8");
         assert!(text.contains("\"event\":\"attempted\""));
-        assert!(text.contains("\"residual_snr_db\":null"));
+        assert!(text.contains("\"residual_snr_db\":\"inf\""));
         assert!(text.contains("\"event\":\"requery_scheduled\""));
         assert!(text.contains("\"due_slot\":8"));
         assert!(text.contains("\"event\":\"requeried\""));
@@ -519,10 +535,11 @@ mod tests {
             });
         }
         let text = String::from_utf8(sink.finish().expect("write")).expect("utf8");
-        // The wire encodings pinned by the format doc: +inf → null,
-        // -inf → -1e999 (a valid JSON number saturating back to -inf).
-        assert!(text.contains("\"residual_snr_db\":null"));
-        assert!(text.contains("\"residual_snr_db\":-1e999"));
+        // The wire encodings pinned by the format doc: explicit string
+        // sentinels, so every non-finite value stays valid JSON and
+        // distinguishable on replay.
+        assert!(text.contains("\"residual_snr_db\":\"inf\""));
+        assert!(text.contains("\"residual_snr_db\":\"-inf\""));
 
         let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
         assert_eq!(summary.resolution_attempts, 4);
@@ -537,6 +554,51 @@ mod tests {
         expected.observe(2, 12.5);
         expected.observe(2, -3.25);
         assert_eq!(summary.snr_by_hop, expected);
+    }
+
+    #[test]
+    fn nan_snr_round_trips_distinct_from_infinity() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for db in [f64::NAN, f64::INFINITY, 7.5] {
+            sink.record(&RecordEvent {
+                slot: 0,
+                record_slot: 0,
+                kind: RecordEventKind::Attempted {
+                    hop: 1,
+                    residual_snr_db: db,
+                    success: false,
+                },
+            });
+        }
+        let text = String::from_utf8(sink.finish().expect("write")).expect("utf8");
+        assert!(text.contains("\"residual_snr_db\":\"nan\""));
+        assert!(text.contains("\"residual_snr_db\":\"inf\""));
+
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.resolution_attempts, 3);
+        // Live `SnrByHop::observe` drops NaN samples; the replay must see
+        // the same NaN (not a resurrected +inf) so it drops it too —
+        // otherwise replay counts one sample more than live did.
+        let mut expected = crate::metrics::SnrByHop::default();
+        expected.observe(1, f64::NAN);
+        expected.observe(1, f64::INFINITY);
+        expected.observe(1, 7.5);
+        assert_eq!(summary.snr_by_hop, expected);
+        assert_eq!(summary.snr_by_hop.stats(1).unwrap().count, 2);
+    }
+
+    #[test]
+    fn legacy_snr_encodings_still_replay() {
+        // Traces written before the sentinel encoding spelled +inf (and,
+        // lossily, NaN) as `null` and -inf as the bare token `-1e999`.
+        let text = "{\"type\":\"record\",\"event\":\"attempted\",\"slot\":0,\"record_slot\":0,\"hop\":1,\"residual_snr_db\":null,\"success\":true}\n\
+                    {\"type\":\"record\",\"event\":\"attempted\",\"slot\":1,\"record_slot\":0,\"hop\":1,\"residual_snr_db\":-1e999,\"success\":false}\n";
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.resolution_attempts, 2);
+        let stats = summary.snr_by_hop.stats(1).unwrap();
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.min, f64::NEG_INFINITY);
+        assert!(stats.mean.is_nan(), "inf + -inf has no defined mean");
     }
 
     #[test]

@@ -231,6 +231,224 @@ pub fn subtract_known(
     Ok(residual)
 }
 
+/// Upper bound on cached reference waveforms before the cache resets.
+///
+/// References are pure functions of the ID, so eviction can never change a
+/// result — the bound only caps memory (256 × one whole-ID span ≈ 3 MB at
+/// the default 8 samples/bit).
+const MAX_CACHED_REFERENCES: usize = 256;
+
+/// A SoA store of reference waveforms keyed by [`TagId`]: one contiguous
+/// sample buffer, fixed-length spans. A frontier of cascade resolutions
+/// re-uses the same few known IDs across many records and hops; caching
+/// their modulated references turns the per-attempt basis construction
+/// into an index lookup. Lookups on an immutable cache are thread-safe,
+/// which is what lets scoped-thread cascade workers share one cache.
+#[derive(Debug)]
+pub struct ReferenceCache {
+    span: usize,
+    modulator: MskModulator,
+    ids: Vec<TagId>,
+    data: Vec<Complex>,
+    bits: Vec<bool>,
+}
+
+impl ReferenceCache {
+    /// Creates an empty cache of whole-ID reference spans for `cfg`.
+    #[must_use]
+    pub fn new(cfg: &MskConfig) -> Self {
+        ReferenceCache {
+            span: cfg.samples_for_bits(rfid_types::TAG_ID_BITS as usize),
+            modulator: MskModulator::new(cfg.clone()),
+            ids: Vec::new(),
+            data: Vec::new(),
+            bits: Vec::new(),
+        }
+    }
+
+    /// Drops every cached reference, keeping capacity.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.data.clear();
+    }
+
+    /// The span index of `id` if it is cached.
+    #[must_use]
+    pub fn index_of(&self, id: TagId) -> Option<usize> {
+        self.ids.iter().position(|&k| k == id)
+    }
+
+    /// Returns the span index of `id`, modulating and inserting its
+    /// reference on a miss.
+    pub fn ensure(&mut self, id: TagId) -> usize {
+        if let Some(idx) = self.index_of(id) {
+            return idx;
+        }
+        if self.ids.len() >= MAX_CACHED_REFERENCES {
+            self.clear();
+        }
+        let idx = self.ids.len();
+        self.ids.push(id);
+        let start = idx * self.span;
+        self.data.resize(start + self.span, Complex::ZERO);
+        id.write_bits(&mut self.bits);
+        self.modulator
+            .reference_to_slice(&self.bits, &mut self.data[start..start + self.span]);
+        idx
+    }
+
+    /// Like [`Self::ensure`], but never evicts: returns `false` (leaving
+    /// the cache untouched) when `id` is absent and the cache is full.
+    ///
+    /// A batched peeling pass warms *all* of a batch's references before
+    /// fanning the pure subtraction out to workers; `ensure`'s clear-on-full
+    /// policy could drop references warmed moments earlier in the same
+    /// pass, so the batch path probes with this, clears once on overflow,
+    /// and re-warms into the then-empty cache.
+    pub fn try_ensure(&mut self, id: TagId) -> bool {
+        if self.index_of(id).is_some() {
+            return true;
+        }
+        if self.ids.len() >= MAX_CACHED_REFERENCES {
+            return false;
+        }
+        self.ensure(id);
+        true
+    }
+
+    /// The cached reference waveform at span index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn wave(&self, idx: usize) -> &[Complex] {
+        &self.data[idx * self.span..(idx + 1) * self.span]
+    }
+}
+
+/// Reusable working memory for one ANC resolution attempt: the residual
+/// buffer, gain fit scratch, demodulated bits, and (for cascaded hops) the
+/// noise-degraded mixture copy. One instance per worker thread keeps the
+/// whole subtract→demodulate→CRC chain allocation-free in steady state.
+#[derive(Debug, Default)]
+pub struct ResolveScratch {
+    pub(crate) refs: Vec<usize>,
+    pub(crate) ls: linalg::LsScratch,
+    pub(crate) gains: Vec<Complex>,
+    pub(crate) residual: Vec<Complex>,
+    pub(crate) bits: Vec<bool>,
+    pub(crate) degraded: Vec<Complex>,
+}
+
+/// Allocation-free [`subtract_known`] against pre-cached references:
+/// leaves the residual in `scratch.residual` (cleared first).
+///
+/// Every reference must already be in `cache` (see
+/// [`ReferenceCache::ensure`]); the cache is only read, so parallel
+/// workers can share it. Performs the identical gain fit and the identical
+/// per-element subtraction arithmetic as [`subtract_known`], so the
+/// residual is bit-identical.
+///
+/// # Errors
+///
+/// Returns [`AncError::GainFit`] when the gain fit is degenerate.
+///
+/// # Panics
+///
+/// Panics if a `known` ID is missing from the cache.
+pub fn subtract_known_prepared(
+    samples: &[Complex],
+    known: &[TagId],
+    cache: &ReferenceCache,
+    scratch: &mut ResolveScratch,
+) -> Result<(), AncError> {
+    let ResolveScratch {
+        refs,
+        ls,
+        gains,
+        residual,
+        ..
+    } = scratch;
+    residual.clear();
+    residual.extend_from_slice(samples);
+    if known.is_empty() {
+        return Ok(());
+    }
+    refs.clear();
+    for &id in known {
+        refs.push(
+            cache
+                .index_of(id)
+                .expect("reference must be cached before subtract_known_prepared"),
+        );
+    }
+    linalg::least_squares_gains_by(known.len(), |j| cache.wave(refs[j]), samples, ls, gains)?;
+    for (j, &gain) in gains.iter().enumerate() {
+        crate::kernels::sub_scaled(residual, cache.wave(refs[j]), gain);
+    }
+    Ok(())
+}
+
+/// [`transmit_mixed_into`] against a [`ReferenceCache`] and a pre-sized
+/// output span — the form the SoA record arena uses to synthesize a
+/// collision mixture in place.
+///
+/// Draws the same RNG sequence and computes every sample with the same
+/// `f64` expression as [`transmit_mixed_into`] (the cached reference times
+/// the channel gain is exactly the reference-modulate → channel-apply →
+/// accumulate chain), so mixtures are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not the whole-ID sample count.
+pub fn transmit_mixed_cached<R: Rng + ?Sized>(
+    tags: &[TagId],
+    cfg: &MskConfig,
+    model: &ChannelModel,
+    rng: &mut R,
+    cache: &mut ReferenceCache,
+    scratch: &mut MixScratch,
+    out: &mut [Complex],
+) {
+    let len = cfg.samples_for_bits(rfid_types::TAG_ID_BITS as usize);
+    assert_eq!(out.len(), len, "output span must be a whole-ID waveform");
+    out.fill(Complex::ZERO);
+    for &tag in tags {
+        let params = model.draw(rng);
+        if params.freq_offset == 0.0 {
+            // Fused path: (reference · gain) accumulated directly — the
+            // same per-element arithmetic as apply_in_place + accumulate.
+            let idx = cache.ensure(tag);
+            crate::kernels::accumulate_scaled(out, cache.wave(idx), params.gain());
+        } else {
+            // Frequency offsets rotate per sample; keep the shaped-copy
+            // path of the uncached variant.
+            let modulator = MskModulator::new(cfg.clone());
+            tag.write_bits(&mut scratch.bits);
+            modulator.reference_into(&scratch.bits, &mut scratch.component);
+            params.apply_in_place(&mut scratch.component);
+            crate::kernels::accumulate(out, &scratch.component);
+        }
+    }
+    model.add_noise(out, rng);
+}
+
+/// Allocation-free [`decode_singleton`] reusing a bit buffer.
+#[must_use]
+pub fn decode_singleton_with(
+    samples: &[Complex],
+    cfg: &MskConfig,
+    bits: &mut Vec<bool>,
+) -> Option<TagId> {
+    if mean_power(samples) < EMPTY_RESIDUAL_POWER {
+        return None;
+    }
+    MskDemodulator::new(cfg.clone()).demodulate_into(samples, bits);
+    let id = TagId::from_bit_slice(bits)?;
+    id.crc_is_valid().then_some(id)
+}
+
 /// The paper's energy-equation estimate of the two component amplitudes of
 /// a 2-mixture (§II-B).
 #[derive(Debug, Clone, Copy, PartialEq)]

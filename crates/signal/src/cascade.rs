@@ -24,7 +24,7 @@
 //! accumulate. That second property is what makes the protocol layer's
 //! clean-channel runs byte-identical to the ideal resolution model.
 
-use crate::anc::{self, AncError};
+use crate::anc::{self, AncError, ReferenceCache, ResolveScratch};
 use crate::channel::standard_normal;
 use crate::complex::{inner_product, mean_power, Complex};
 use crate::msk::{MskConfig, MskModulator};
@@ -77,20 +77,107 @@ pub fn resolve_cascaded<R: Rng + ?Sized>(
     extra_noise_std: f64,
     rng: &mut R,
 ) -> ResolutionAttempt {
-    let mut degraded;
-    let samples: &[Complex] = if extra_noise_std > 0.0 {
-        degraded = mixed.to_vec();
-        for s in &mut degraded {
-            *s += Complex::new(
-                extra_noise_std * standard_normal(rng),
-                extra_noise_std * standard_normal(rng),
-            );
-        }
-        &degraded
-    } else {
-        mixed
-    };
+    let mut cache = ReferenceCache::new(cfg);
+    let mut scratch = ResolveScratch::default();
+    resolve_cascaded_cached(
+        mixed,
+        known,
+        cfg,
+        noise_floor_std,
+        extra_noise_std,
+        rng,
+        &mut cache,
+        &mut scratch,
+    )
+}
 
+/// [`resolve_cascaded`] against caller-owned working memory: the reference
+/// cache amortizes basis modulation across a whole cascade frontier, and
+/// `scratch` keeps the attempt allocation-free in steady state. Same RNG
+/// draws, same arithmetic, bit-identical outcome.
+#[allow(clippy::too_many_arguments)] // mirrors resolve_cascaded plus the two scratch handles
+pub fn resolve_cascaded_cached<R: Rng + ?Sized>(
+    mixed: &[Complex],
+    known: &[TagId],
+    cfg: &MskConfig,
+    noise_floor_std: f64,
+    extra_noise_std: f64,
+    rng: &mut R,
+    cache: &mut ReferenceCache,
+    scratch: &mut ResolveScratch,
+) -> ResolutionAttempt {
+    for &id in known {
+        cache.ensure(id);
+    }
+    if extra_noise_std > 0.0 {
+        let mut degraded = std::mem::take(&mut scratch.degraded);
+        degrade_into(mixed, extra_noise_std, rng, &mut degraded);
+        let attempt = resolve_prepared(
+            &degraded,
+            known,
+            cfg,
+            noise_floor_std,
+            extra_noise_std,
+            cache,
+            scratch,
+        );
+        scratch.degraded = degraded;
+        attempt
+    } else {
+        resolve_prepared(
+            mixed,
+            known,
+            cfg,
+            noise_floor_std,
+            extra_noise_std,
+            cache,
+            scratch,
+        )
+    }
+}
+
+/// Copies `mixed` into `out` and injects the accumulated-subtraction-error
+/// noise — the RNG-consuming half of a cascaded attempt, split out so the
+/// scoped-thread scheduler can pre-draw degradations sequentially (in
+/// record order, preserving the RNG stream) before fanning the pure DSP
+/// out to workers. Identical draws in identical order to the inline path.
+pub fn degrade_into<R: Rng + ?Sized>(
+    mixed: &[Complex],
+    extra_noise_std: f64,
+    rng: &mut R,
+    out: &mut Vec<Complex>,
+) {
+    out.clear();
+    out.extend_from_slice(mixed);
+    if extra_noise_std <= 0.0 {
+        return;
+    }
+    for s in out.iter_mut() {
+        *s += Complex::new(
+            extra_noise_std * standard_normal(rng),
+            extra_noise_std * standard_normal(rng),
+        );
+    }
+}
+
+/// The pure (RNG-free) half of a cascaded resolution attempt: subtract the
+/// `known` components of the already-degraded `samples` with pre-cached
+/// references, score the residual SNR, and CRC-decode. The cache is only
+/// read, so independent workers may run this concurrently; results are
+/// bit-identical to [`resolve_cascaded`] on the same `samples`.
+///
+/// # Panics
+///
+/// Panics if a `known` ID is missing from the cache.
+pub fn resolve_prepared(
+    samples: &[Complex],
+    known: &[TagId],
+    cfg: &MskConfig,
+    noise_floor_std: f64,
+    extra_noise_std: f64,
+    cache: &ReferenceCache,
+    scratch: &mut ResolveScratch,
+) -> ResolutionAttempt {
     if cfg.bits_for_samples(samples.len()) != Some(rfid_types::TAG_ID_BITS as usize) {
         return ResolutionAttempt {
             recovered: Err(AncError::BadLength {
@@ -99,17 +186,14 @@ pub fn resolve_cascaded<R: Rng + ?Sized>(
             residual_snr_db: f64::NEG_INFINITY,
         };
     }
-    let residual = match anc::subtract_known(samples, known, cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            return ResolutionAttempt {
-                recovered: Err(e),
-                residual_snr_db: f64::NEG_INFINITY,
-            }
-        }
-    };
+    if let Err(e) = anc::subtract_known_prepared(samples, known, cache, scratch) {
+        return ResolutionAttempt {
+            recovered: Err(e),
+            residual_snr_db: f64::NEG_INFINITY,
+        };
+    }
 
-    let residual_power = mean_power(&residual);
+    let residual_power = mean_power(&scratch.residual);
     // Effective noise power per complex sample: channel AWGN plus the
     // injected accumulation term, each contributing 2σ².
     let noise_power = 2.0 * (noise_floor_std * noise_floor_std + extra_noise_std * extra_noise_std);
@@ -128,7 +212,8 @@ pub fn resolve_cascaded<R: Rng + ?Sized>(
     let recovered = if residual_power < floor {
         Err(AncError::EmptyResidual)
     } else {
-        anc::decode_singleton(&residual, cfg).ok_or(AncError::CrcMismatch)
+        let crate::anc::ResolveScratch { residual, bits, .. } = scratch;
+        anc::decode_singleton_with(residual, cfg, bits).ok_or(AncError::CrcMismatch)
     };
     ResolutionAttempt {
         recovered,

@@ -19,7 +19,11 @@ use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert!((z.im - 2.0).abs() < 1e-12);
 /// assert!((z.norm() - 2.0).abs() < 1e-12);
 /// ```
+/// The layout is `#[repr(C)]` — two adjacent `f64`s — so a waveform
+/// `&[Complex]` can be reinterpreted as an interleaved `&[f64]` of twice
+/// the length by the flat DSP kernels in [`crate::kernels`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Complex {
     /// Real part.

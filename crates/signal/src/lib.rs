@@ -61,11 +61,18 @@ pub mod cascade;
 pub mod channel;
 pub mod complex;
 pub mod energy_resolve;
+pub mod kernels;
 pub mod linalg;
 pub mod msk;
 
-pub use anc::{resolve, transmit_mixed, transmit_mixed_into, AncError, EnergyEstimate, MixScratch};
-pub use cascade::{cascade_noise_std, resolve_cascaded, ResolutionAttempt};
+pub use anc::{
+    resolve, transmit_mixed, transmit_mixed_cached, transmit_mixed_into, AncError, EnergyEstimate,
+    MixScratch, ReferenceCache, ResolveScratch,
+};
+pub use cascade::{
+    cascade_noise_std, degrade_into, resolve_cascaded, resolve_cascaded_cached, resolve_prepared,
+    ResolutionAttempt,
+};
 pub use channel::{ChannelModel, ChannelParams};
 pub use complex::Complex;
 pub use energy_resolve::resolve_two_energy;

@@ -163,6 +163,155 @@ pub fn least_squares_gains(
     solve(&gram, &proj)
 }
 
+/// Reusable working memory for [`least_squares_gains_with`]: the `k×k`
+/// Gram matrix (row-major flat) and the projection vector. Systems are
+/// tiny, so this exists purely to keep the per-attempt hot path
+/// allocation-free, not to save space.
+#[derive(Debug, Default)]
+pub struct LsScratch {
+    gram: Vec<Complex>,
+    proj: Vec<Complex>,
+}
+
+/// Allocation-free [`least_squares_gains`] over borrowed basis slices:
+/// writes the fitted gains into `gains` (cleared first), reusing
+/// `scratch`'s capacity.
+///
+/// Forms the identical Gram/projection inner products in the identical
+/// order and runs the identical elimination sequence as the allocating
+/// variant, so the gains are bit-identical.
+///
+/// # Errors
+///
+/// Same contract as [`least_squares_gains`].
+pub fn least_squares_gains_with(
+    basis: &[&[Complex]],
+    y: &[Complex],
+    scratch: &mut LsScratch,
+    gains: &mut Vec<Complex>,
+) -> Result<(), SolveError> {
+    least_squares_gains_by(basis.len(), |j| basis[j], y, scratch, gains)
+}
+
+/// [`least_squares_gains_with`] with the basis supplied by an indexing
+/// closure — lets callers fit against spans of a contiguous arena (e.g.
+/// the reference cache) without materializing a slice-of-slices.
+///
+/// # Errors
+///
+/// Same contract as [`least_squares_gains`].
+pub fn least_squares_gains_by<'a, F>(
+    k: usize,
+    basis: F,
+    y: &[Complex],
+    scratch: &mut LsScratch,
+    gains: &mut Vec<Complex>,
+) -> Result<(), SolveError>
+where
+    F: Fn(usize) -> &'a [Complex],
+{
+    gains.clear();
+    if k == 0 {
+        return Ok(());
+    }
+    if (0..k).any(|j| basis(j).len() != y.len()) {
+        return Err(SolveError::DimensionMismatch {
+            rows: k,
+            cols: (0..k).map(|j| basis(j).len()).max().unwrap_or(0),
+            rhs: y.len(),
+        });
+    }
+    scratch.gram.clear();
+    scratch.gram.resize(k * k, Complex::ZERO);
+    scratch.proj.clear();
+    scratch.proj.resize(k, Complex::ZERO);
+    for i in 0..k {
+        for j in 0..k {
+            scratch.gram[i * k + j] = crate::complex::inner_product(basis(j), basis(i));
+        }
+        scratch.proj[i] = crate::complex::inner_product(y, basis(i));
+    }
+    solve_flat_in_place(&mut scratch.gram, k, &mut scratch.proj, gains)
+}
+
+/// [`solve`] over a row-major flat `n×n` matrix, consuming `m`/`rhs` as
+/// working storage and writing the solution into `x` (cleared first).
+///
+/// Performs the same pivot selection, row operations, and back
+/// substitution in the same order as [`solve`], so the two produce
+/// bit-identical solutions; a test pins this equivalence.
+///
+/// # Errors
+///
+/// [`SolveError::Singular`] when a pivot underflows (including NaN).
+///
+/// # Panics
+///
+/// Panics (debug assertion) when `m.len() != n*n` or `rhs.len() != n`.
+pub fn solve_flat_in_place(
+    m: &mut [Complex],
+    n: usize,
+    rhs: &mut [Complex],
+    x: &mut Vec<Complex>,
+) -> Result<(), SolveError> {
+    debug_assert_eq!(m.len(), n * n);
+    debug_assert_eq!(rhs.len(), n);
+    x.clear();
+    if n == 0 {
+        return Ok(());
+    }
+
+    // Scale-invariant singularity threshold (same row-major scan order as
+    // the nested-`Vec` variant).
+    let max_abs = m.iter().map(|c| c.norm()).fold(0.0f64, f64::max);
+    let eps = f64::EPSILON * (n as f64) * max_abs.max(1.0);
+
+    for col in 0..n {
+        let mut pivot_row = col;
+        let mut pivot_norm = f64::NEG_INFINITY;
+        for row in col..n {
+            let norm = m[row * n + col].norm();
+            if norm > pivot_norm {
+                pivot_norm = norm;
+                pivot_row = row;
+            }
+        }
+        if pivot_norm.is_nan() || pivot_norm <= eps {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                m.swap(col * n + j, pivot_row * n + j);
+            }
+            rhs.swap(col, pivot_row);
+        }
+
+        let pivot = m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / pivot;
+            if factor == Complex::ZERO {
+                continue;
+            }
+            for j in col..n {
+                let pivot_value = m[col * n + j];
+                m[row * n + j] -= factor * pivot_value;
+            }
+            let delta = factor * rhs[col];
+            rhs[row] -= delta;
+        }
+    }
+
+    x.resize(n, Complex::ZERO);
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +422,61 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         assert!(!SolveError::Singular.to_string().is_empty());
+    }
+
+    #[test]
+    fn flat_least_squares_is_bit_identical_to_nested() {
+        // The scratch-based flat path must reproduce the nested-Vec path
+        // bit for bit — the golden-report suite depends on it.
+        let s1: Vec<Complex> = (0..97).map(|n| Complex::cis(0.31 * n as f64)).collect();
+        let s2: Vec<Complex> = (0..97)
+            .map(|n| Complex::cis(-0.57 * n as f64 + 0.4))
+            .collect();
+        let s3: Vec<Complex> = (0..97)
+            .map(|n| Complex::new(0.2 * (n as f64).sin(), (0.11 * n as f64).cos()))
+            .collect();
+        let y: Vec<Complex> = (0..97)
+            .map(|n| Complex::new((0.9 * n as f64).cos(), 0.3 - 0.01 * n as f64))
+            .collect();
+        for k in 0..=3usize {
+            let owned: Vec<Vec<Complex>> = [s1.clone(), s2.clone(), s3.clone()][..k].to_vec();
+            let nested = least_squares_gains(&owned, &y);
+            let views: Vec<&[Complex]> = owned.iter().map(Vec::as_slice).collect();
+            let mut scratch = LsScratch::default();
+            let mut gains = Vec::new();
+            let flat = least_squares_gains_with(&views, &y, &mut scratch, &mut gains);
+            match (nested, flat) {
+                (Ok(expect), Ok(())) => {
+                    assert_eq!(expect.len(), gains.len());
+                    for (a, b) in expect.iter().zip(&gains) {
+                        assert_eq!(a.re.to_bits(), b.re.to_bits(), "k={k}");
+                        assert_eq!(a.im.to_bits(), b.im.to_bits(), "k={k}");
+                    }
+                }
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+                (a, b) => panic!("paths diverged for k={k}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flat_solve_matches_nested_with_pivoting() {
+        // Force a row swap and a zero factor to cover every branch.
+        let a = vec![
+            vec![Complex::ZERO, Complex::ONE, c(0.5, 0.0)],
+            vec![Complex::ONE, c(2.0, 1.0), Complex::ZERO],
+            vec![c(0.0, 1.0), Complex::ZERO, c(1.0, -1.0)],
+        ];
+        let b = vec![c(1.0, 2.0), c(-0.5, 0.3), c(2.0, 0.0)];
+        let expect = solve(&a, &b).unwrap();
+        let mut flat: Vec<Complex> = a.iter().flatten().copied().collect();
+        let mut rhs = b.clone();
+        let mut x = Vec::new();
+        solve_flat_in_place(&mut flat, 3, &mut rhs, &mut x).unwrap();
+        for (e, g) in expect.iter().zip(&x) {
+            assert_eq!(e.re.to_bits(), g.re.to_bits());
+            assert_eq!(e.im.to_bits(), g.im.to_bits());
+        }
     }
 
     proptest! {

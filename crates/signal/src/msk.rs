@@ -134,6 +134,41 @@ impl MskModulator {
         }
     }
 
+    /// [`MskModulator::modulate_into`] onto a pre-sized slice — the form
+    /// the SoA arena uses to synthesize directly into a span. Performs the
+    /// identical phase recurrence and `from_polar` calls, so samples are
+    /// bit-identical to the `Vec` variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != samples_for_bits(bits.len())`.
+    pub fn modulate_to_slice(
+        &self,
+        bits: &[bool],
+        amplitude: f64,
+        theta0: f64,
+        out: &mut [Complex],
+    ) {
+        let spb = self.config.samples_per_bit as usize;
+        let step_per_sample = FRAC_PI_2 / spb as f64;
+        assert_eq!(
+            out.len(),
+            self.config.samples_for_bits(bits.len()),
+            "modulate_to_slice needs an exactly-sized span"
+        );
+        let mut phase = theta0;
+        out[0] = Complex::from_polar(amplitude, phase);
+        let mut i = 1;
+        for &bit in bits {
+            let dir = if bit { 1.0 } else { -1.0 };
+            for _ in 0..spb {
+                phase += dir * step_per_sample;
+                out[i] = Complex::from_polar(amplitude, phase);
+                i += 1;
+            }
+        }
+    }
+
     /// The reference (unit-amplitude, zero-phase) waveform for `bits`, used
     /// as the regression basis by the ANC least-squares fit.
     #[must_use]
@@ -144,6 +179,12 @@ impl MskModulator {
     /// Allocation-free [`MskModulator::reference`].
     pub fn reference_into(&self, bits: &[bool], out: &mut Vec<Complex>) {
         self.modulate_into(bits, 1.0, 0.0, out);
+    }
+
+    /// [`MskModulator::reference`] onto a pre-sized slice (see
+    /// [`MskModulator::modulate_to_slice`]).
+    pub fn reference_to_slice(&self, bits: &[bool], out: &mut [Complex]) {
+        self.modulate_to_slice(bits, 1.0, 0.0, out);
     }
 }
 
@@ -169,18 +210,27 @@ impl MskDemodulator {
     /// to any constant phase offset and amplitude scaling.
     #[must_use]
     pub fn demodulate(&self, samples: &[Complex]) -> Vec<bool> {
+        let mut bits = Vec::new();
+        self.demodulate_into(samples, &mut bits);
+        bits
+    }
+
+    /// Allocation-free [`MskDemodulator::demodulate`]: clears `out` and
+    /// fills it with the decoded bits, reusing its capacity. Same decision
+    /// statistic per bit, so the output is identical.
+    pub fn demodulate_into(&self, samples: &[Complex], out: &mut Vec<bool>) {
         let spb = self.config.samples_per_bit as usize;
+        out.clear();
         if samples.len() <= spb {
-            return Vec::new();
+            return;
         }
         let nbits = (samples.len() - 1) / spb;
-        let mut bits = Vec::with_capacity(nbits);
+        out.reserve(nbits);
         for k in 0..nbits {
             let a = samples[k * spb];
             let b = samples[(k + 1) * spb];
-            bits.push((b * a.conj()).arg() > 0.0);
+            out.push((b * a.conj()).arg() > 0.0);
         }
-        bits
     }
 
     /// Demodulates and additionally reports a coarse confidence: the mean

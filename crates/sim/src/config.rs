@@ -229,11 +229,18 @@ pub struct SimConfig {
     hash_bits: u32,
     #[cfg_attr(feature = "serde", serde(default))]
     lambda_policy: LambdaPolicy,
+    #[cfg_attr(feature = "serde", serde(default = "default_threads"))]
+    threads: usize,
 }
 
 #[cfg(feature = "serde")]
 fn default_hash_bits() -> u32 {
     16
+}
+
+#[cfg(feature = "serde")]
+fn default_threads() -> usize {
+    1
 }
 
 impl SimConfig {
@@ -249,6 +256,7 @@ impl SimConfig {
             trace: false,
             hash_bits: 16,
             lambda_policy: LambdaPolicy::Fixed,
+            threads: 1,
         }
     }
 
@@ -347,6 +355,29 @@ impl SimConfig {
     #[must_use]
     pub fn hash_bits(&self) -> u32 {
         self.hash_bits
+    }
+
+    /// Returns this configuration with a worker count for batched
+    /// signal-backed peeling. The default of 1 evaluates inline; any
+    /// value produces bit-identical reports — batched records are
+    /// participant-disjoint, their degradation noise is pre-drawn in
+    /// record order, and outcomes are applied in record order — so this
+    /// is purely a wall-clock knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Worker count for batched signal-backed peeling (default 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Returns this configuration with a λ-selection policy. Only the

@@ -80,7 +80,8 @@ fn replayed_snr_by_hop_matches_live_metrics() {
     // Signal-backed resolution emits a residual SNR per attempt; the live
     // MetricsSink buckets them by hop depth, and the JSONL replay must
     // rebuild the exact same buckets from the wire (including non-finite
-    // samples, which round-trip as `null`/`-1e999`).
+    // samples, which round-trip as the `"inf"`/`"-inf"`/`"nan"` string
+    // sentinels).
     let config = SimConfig::default().with_seed(29);
     let tags = population::uniform(&mut seeded_rng(29), 400);
     let protocol = Fcat::new(
