@@ -19,10 +19,13 @@
 //! `--baseline FILE` points at a previous run's JSON (e.g. captured before
 //! an optimization); per-entry speedups are computed and embedded in the
 //! output. `--gate FILE` points at the committed `BENCH_*.json` and fails
-//! the run if any `*/signal-soa` cell's hash-normalized throughput drops
-//! more than [`GATE_TOLERANCE`] below the committed ratio. Smoke mode also
-//! runs a `threads = 4` determinism cell: the scoped-thread peeling pass
-//! must reproduce the single-worker report exactly.
+//! the run if any `*/signal-soa*` cell's hash-normalized throughput —
+//! including the `-t{2,4,8}` thread-scaling cells — drops more than
+//! [`GATE_TOLERANCE`] (20%) below the committed ratio. Smoke mode also runs
+//! a `threads ∈ {4, 8}` determinism matrix: counter-based noise streams
+//! make every realization a pure function of `(seed, record, hop)`, so the
+//! scoped-thread peeling pass must reproduce the single-worker report
+//! byte-identically at every worker count.
 
 use criterion::measure_with_budget;
 use rfid_anc::{
@@ -52,6 +55,13 @@ pub const MAX_ALLOCS_PER_SLOT: f64 = 0.05;
 /// buffers) still fails the bench.
 pub const MAX_ALLOCS_PER_SLOT_SIGNAL: f64 = 2.0;
 
+/// Allocation allowance for the tree-splitting (ABS) walk. The depth-first
+/// dynamics recycle drained group buffers through a spare pool, so a round
+/// only allocates the root group, O(depth) pool growth and report-side
+/// doublings — the naive two-fresh-vectors-per-collision version measured
+/// ≈ 1.1 allocs/slot and would blow this gate by an order of magnitude.
+pub const MAX_ALLOCS_PER_SLOT_TREE: f64 = 0.05;
+
 /// Population size at which the allocation assertion is applied: large
 /// enough that one-time setup cost is amortized far below the tolerance.
 const ALLOC_CHECK_MIN_TAGS: usize = 2_000;
@@ -70,10 +80,10 @@ pub struct BenchOptions {
     /// Previous `BENCH_*.json` to compute speedups against.
     pub baseline: Option<PathBuf>,
     /// Committed `BENCH_*.json` to enforce the signal-throughput gate
-    /// against: each `*/signal-soa` cell's slots/s, normalized by the
-    /// matching hash cell at the same `n` (so the gate is machine-speed
-    /// independent), must stay within [`GATE_TOLERANCE`] of the committed
-    /// ratio.
+    /// against: each `*/signal-soa*` cell's slots/s (thread-scaling cells
+    /// included), normalized by the matching hash cell at the same `n` (so
+    /// the gate is machine-speed independent), must stay within
+    /// [`GATE_TOLERANCE`] of the committed ratio.
     pub gate: Option<PathBuf>,
     /// Output JSON path.
     pub out: PathBuf,
@@ -88,7 +98,7 @@ impl Default for BenchOptions {
             check_allocs: true,
             baseline: None,
             gate: None,
-            out: PathBuf::from("BENCH_PR6.json"),
+            out: PathBuf::from("BENCH_PR7.json"),
         }
     }
 }
@@ -110,8 +120,9 @@ struct Entry {
     /// Heap allocations over one full inventory (None without a counter).
     allocs: Option<u64>,
     allocs_per_slot: Option<f64>,
-    /// Whether this entry runs the optimized slot-level engine loop (and is
-    /// therefore subject to an allocation gate).
+    /// Whether this entry runs a steady-state-pooled loop (the slot-level
+    /// engine or the recycling tree walk) and is therefore subject to an
+    /// allocation gate.
     slot_level: bool,
     /// Per-entry allocation gate (allocs/slot); `None` exempts the entry.
     alloc_limit: Option<f64>,
@@ -157,6 +168,34 @@ fn protocol_specs() -> Vec<(String, Option<f64>, Runner)> {
         Some(MAX_ALLOCS_PER_SLOT_SIGNAL),
         Box::new(move |tags, cfg| run_inventory(&signal_scat, tags, cfg)),
     ));
+    // Thread-scaling cells: the same signal-backed inventories with the
+    // batch evaluation phase fanned out over scoped workers. Counter-based
+    // noise streams keep the reports byte-identical to the `threads = 1`
+    // rows above, so these cells isolate pure wall-clock scaling. Exempt
+    // from the allocation gate — each batch flush pays O(threads) spawn
+    // allocations by design.
+    for t in [2usize, 4, 8] {
+        let fcat = Fcat::new(
+            FcatConfig::default().with_resolution(ResolutionModel::SignalBacked(
+                SignalResolutionConfig::default().with_noise_std(0.1),
+            )),
+        );
+        specs.push((
+            format!("fcat2/signal-soa-t{t}"),
+            None,
+            Box::new(move |tags, cfg| run_inventory(&fcat, tags, &cfg.clone().with_threads(t))),
+        ));
+        let scat = Scat::new(
+            ScatConfig::default().with_resolution(ResolutionModel::SignalBacked(
+                SignalResolutionConfig::default().with_noise_std(0.1),
+            )),
+        );
+        specs.push((
+            format!("scat2/signal-soa-t{t}"),
+            None,
+            Box::new(move |tags, cfg| run_inventory(&scat, tags, &cfg.clone().with_threads(t))),
+        ));
+    }
     let dfsa = Dfsa::new();
     specs.push((
         "dfsa".into(),
@@ -172,7 +211,7 @@ fn protocol_specs() -> Vec<(String, Option<f64>, Runner)> {
     let abs = Abs::new();
     specs.push((
         "abs".into(),
-        None,
+        Some(MAX_ALLOCS_PER_SLOT_TREE),
         Box::new(move |tags, cfg| run_inventory(&abs, tags, cfg)),
     ));
     let aqs = Aqs::new();
@@ -306,9 +345,9 @@ pub fn run(opts: &BenchOptions, alloc_count: Option<&dyn Fn() -> u64>) -> Result
             ));
         }
         println!(
-            "alloc check: slot-level entries at n >= {ALLOC_CHECK_MIN_TAGS} stay under \
+            "alloc check: gated entries at n >= {ALLOC_CHECK_MIN_TAGS} stay under \
              their per-entry allocs/slot limits ({MAX_ALLOCS_PER_SLOT} ideal, \
-             {MAX_ALLOCS_PER_SLOT_SIGNAL} signal-backed)"
+             {MAX_ALLOCS_PER_SLOT_SIGNAL} signal-backed, {MAX_ALLOCS_PER_SLOT_TREE} tree)"
         );
     }
 
@@ -324,12 +363,13 @@ pub fn run(opts: &BenchOptions, alloc_count: Option<&dyn Fn() -> u64>) -> Result
     Ok(())
 }
 
-/// Enforces the signal-throughput gate: for every `*/signal-soa` cell
-/// present in both this run and the committed gate file, the ratio
-/// signal-soa slots/s ÷ hash slots/s (same protocol family, same `n`) must
-/// not fall more than [`GATE_TOLERANCE`] below the committed ratio.
-/// Normalizing by the hash cell measured in the same run makes the gate
-/// insensitive to absolute machine speed.
+/// Enforces the signal-throughput gate: for every `*/signal-soa*` cell
+/// (single-threaded and `-t{2,4,8}` scaling rows alike) present in both
+/// this run and the committed gate file, the ratio signal-soa slots/s ÷
+/// hash slots/s (same protocol family, same `n`) must not fall more than
+/// [`GATE_TOLERANCE`] below the committed ratio. Normalizing by the hash
+/// cell measured in the same run makes the gate insensitive to absolute
+/// machine speed.
 fn check_throughput_gate(entries: &[Entry], gate: &str) -> Result<(), String> {
     let sps = |name: &str, n: usize| -> Option<f64> {
         entries
@@ -351,7 +391,7 @@ fn check_throughput_gate(entries: &[Entry], gate: &str) -> Result<(), String> {
 
     let mut compared = 0usize;
     let mut violations = Vec::new();
-    for e in entries.iter().filter(|e| e.name.ends_with("/signal-soa")) {
+    for e in entries.iter().filter(|e| e.name.contains("/signal-soa")) {
         let family = e.name.split('/').next().unwrap_or_default();
         let hash_name = format!("{family}/hash");
         let (Some(cur_soa), Some(cur_hash), Some(old_soa), Some(old_hash)) = (
@@ -397,8 +437,9 @@ fn check_throughput_gate(entries: &[Entry], gate: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Smoke-mode determinism cell: the scoped-thread peeling pass is a pure
-/// wall-clock knob, so a `threads: 4` inventory must reproduce the
+/// Smoke-mode determinism matrix: worker count is a pure wall-clock knob —
+/// every noise realization is a pure function of its `(seed, record, hop)`
+/// counter stream, so a `threads ∈ {4, 8}` inventory must reproduce the
 /// single-worker report exactly (same identified set, slot counts, SNR
 /// trajectory — the whole report compares equal).
 fn check_threaded_determinism(seed: u64) -> Result<(), String> {
@@ -412,16 +453,18 @@ fn check_threaded_determinism(seed: u64) -> Result<(), String> {
     let config = SimConfig::default().with_seed(seed);
     let single =
         run_inventory(&signal, &tags, &config).map_err(|e| format!("determinism cell: {e}"))?;
-    let threaded = run_inventory(&signal, &tags, &config.clone().with_threads(4))
-        .map_err(|e| format!("determinism cell (threads=4): {e}"))?;
-    if single != threaded {
-        return Err(format!(
-            "threads=4 diverged from threads=1 at n={n}: \
-             identified {} vs {}, slots {:?} vs {:?}",
-            single.identified, threaded.identified, single.slots, threaded.slots
-        ));
+    for threads in [4usize, 8] {
+        let threaded = run_inventory(&signal, &tags, &config.clone().with_threads(threads))
+            .map_err(|e| format!("determinism cell (threads={threads}): {e}"))?;
+        if single != threaded {
+            return Err(format!(
+                "threads={threads} diverged from threads=1 at n={n}: \
+                 identified {} vs {}, slots {:?} vs {:?}",
+                single.identified, threaded.identified, single.slots, threaded.slots
+            ));
+        }
+        println!("determinism: fcat2/signal-soa threads={threads} == threads=1 at n={n}");
     }
-    println!("determinism: fcat2/signal-soa threads=4 == threads=1 at n={n}");
     Ok(())
 }
 

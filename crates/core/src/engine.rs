@@ -38,11 +38,12 @@ use rfid_types::{SlotClass, TagId};
 /// Sentinel in the dense position map for "not active".
 const NOT_ACTIVE: u32 = u32::MAX;
 
-/// Stream tag for the signal-backed resolution RNG, derived from the run
-/// seed. `u64::MAX` is the rounds population stream and `index*2(+1)` the
-/// per-run streams, so `u64::MAX - 2` cannot collide with either. Shared
-/// with the message-level device reader so both layers draw the same
-/// synthesis stream.
+/// Stream tag for the signal-backed resolution noise-seed, derived from
+/// the run seed. `u64::MAX` is the rounds population stream and
+/// `index*2(+1)` the per-run streams, so `u64::MAX - 2` cannot collide
+/// with either. The derived value is the *master* of the store's
+/// per-record `(seed, record, hop)` counter-stream family; shared with the
+/// message-level device reader so both layers realize the same noise.
 pub(crate) const RESOLUTION_RNG_STREAM: u64 = u64::MAX - 2;
 
 /// A re-query slot scheduled by [`RecoveryPolicy::Requery`] after a failed

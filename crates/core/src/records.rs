@@ -11,12 +11,12 @@
 
 use crate::inline_vec::InlineVec;
 use crate::resolution::{RecoveryPolicy, SignalResolutionConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rfid_signal::anc::{ReferenceCache, ResolveScratch};
+use rfid_signal::channel::ChannelModel;
 use rfid_signal::complex::Complex;
 use rfid_signal::msk::MskConfig;
 use rfid_signal::{anc, cascade};
+use rfid_sim::{noise_stream_seed, CounterRng};
 use rfid_types::{TagId, TAG_ID_BITS};
 use std::collections::HashMap;
 
@@ -171,27 +171,50 @@ enum Backend {
     /// simulated air; resolution runs the real ANC chain on them.
     Recorded(MskConfig),
     /// Slot-level protocol with signal-backed resolution: usable records
-    /// get waveforms *synthesized at deposit time* on a dedicated RNG
-    /// stream, and every resolution runs the real ANC chain with per-hop
-    /// residual accumulation.
+    /// get *clean* waveforms synthesized at deposit time, every noise term
+    /// comes from the record's own counter-based stream at attempt time,
+    /// and every resolution runs the real ANC chain with per-hop residual
+    /// accumulation.
     Synthesized(Box<SignalBackend>),
 }
+
+/// Reserved `hop` tags for [`noise_stream_seed`] derivation. Cascade
+/// attempts use their natural hop index (1.., drawing degradation noise
+/// only at hop ≥ 2); the reserved values below keep the remaining draw
+/// sites on disjoint streams of the same `(seed, record, hop)` family.
+/// Receiver AWGN of the stored "recording", generated at attempt time.
+const STREAM_RECORDING_NOISE: u32 = 0;
+/// Per-tag channel gains/phases drawn at deposit-time synthesis.
+const STREAM_CHANNEL_PARAMS: u32 = u32::MAX - 1;
+/// Re-query singleton retransmissions (`record` = re-query counter).
+const STREAM_REQUERY: u32 = u32::MAX;
 
 /// State of the [`Backend::Synthesized`] resolution path.
 #[derive(Debug)]
 struct SignalBackend {
     cfg: SignalResolutionConfig,
     policy: RecoveryPolicy,
-    /// Dedicated stream for waveform synthesis and residual noise — kept
-    /// separate from the protocol RNG so the contention trajectory is
-    /// identical to the ideal model's.
-    rng: StdRng,
+    /// Master seed of the per-record noise-stream family: channel draws,
+    /// recording AWGN, cascade degradations and re-queries each derive a
+    /// counter stream from `(noise_seed, record, hop)`. Kept separate from
+    /// the protocol RNG so the contention trajectory is identical to the
+    /// ideal model's, and order-independent so workers can generate noise
+    /// inside the parallel evaluation phase.
+    noise_seed: u64,
+    /// Re-query slots executed so far — keys their dedicated streams.
+    requeries: u64,
+    /// `cfg.channel` with noise zeroed: deposits synthesize the clean
+    /// mixture (gains applied, no AWGN); the recording noise is generated
+    /// at attempt time on [`STREAM_RECORDING_NOISE`].
+    clean_channel: ChannelModel,
     scratch: anc::MixScratch,
     /// Scratch: participant IDs for synthesis / known IDs for subtraction.
     ids: Vec<TagId>,
     /// Scratch: re-query singleton waveform.
     wave: Vec<Complex>,
-    /// Contiguous storage for every live synthesized waveform.
+    /// Scratch: recording-noise copy for the unbatched resolve path.
+    noised: Vec<Complex>,
+    /// Contiguous storage for every live synthesized waveform (clean).
     arena: WaveArena,
     /// Reference waveforms shared by deposit-time synthesis and every
     /// subtraction — one modulation per distinct ID per cache generation.
@@ -229,8 +252,9 @@ struct BatchState {
 }
 
 /// One record staged for batched peeling: its classification snapshot
-/// (taken against the shared frontier), the pre-drawn noise degradation,
-/// and the outcome slots the evaluation phase fills in.
+/// (taken against the shared frontier), the reusable noise buffers the
+/// evaluation phase fills from the record's own streams, and the outcome
+/// slots it writes back.
 #[derive(Debug, Default)]
 struct BatchEntry {
     rec: usize,
@@ -243,9 +267,12 @@ struct BatchEntry {
     extra: f64,
     /// Known participants, snapshotted at staging time.
     knowns: Vec<TagId>,
-    /// Mixture + pre-drawn degradation noise (empty when `extra == 0`);
-    /// drawn sequentially in record order so the RNG stream is identical
-    /// to the unbatched path's.
+    /// Clean mixture + recording AWGN, generated worker-side on
+    /// [`STREAM_RECORDING_NOISE`] (arena records in a noisy channel only).
+    noised: Vec<Complex>,
+    /// Recording + degradation noise, generated worker-side on the hop's
+    /// stream (filled only when `extra > 0`). Both buffers depend solely
+    /// on `(noise_seed, rec, hop)`, never on evaluation order.
     degraded: Vec<Complex>,
     /// Ghost-guarded primary outcome and its residual SNR.
     primary: Option<(Option<TagId>, f64)>,
@@ -253,11 +280,12 @@ struct BatchEntry {
     retry: Option<(Option<TagId>, f64)>,
 }
 
-/// Evaluates one staged record — the pure, RNG-free half of a batched
-/// peeling pass. Reads shared state only through `&` (records, arena,
-/// reference cache), so disjoint entries may run on separate workers;
-/// outcomes land in the entry's slots and are applied later in record
-/// order.
+/// Evaluates one staged record — the whole noise/mix/subtract/demodulate/
+/// CRC pipeline of a batched peeling pass. Reads shared state only through
+/// `&` (records, arena, reference cache) and draws noise exclusively from
+/// the record's own counter streams, so disjoint entries may run on
+/// separate workers in any order; outcomes land in the entry's slots and
+/// are applied later in record order.
 #[allow(clippy::too_many_arguments)] // flat captures keep the worker closure trivially Send
 fn eval_batch_entry(
     e: &mut BatchEntry,
@@ -266,16 +294,38 @@ fn eval_batch_entry(
     cache: &ReferenceCache,
     msk: &MskConfig,
     noise_floor_std: f64,
+    noise_seed: u64,
     policy: &RecoveryPolicy,
     scratch: &mut ResolveScratch,
 ) {
     let last_tag = e.last_tag.expect("staged entry carries its unknown tag");
-    let original: &[Complex] = match &records[e.rec].signal {
+    let stored: &[Complex] = match &records[e.rec].signal {
         Wave::Arena(s) => arena.wave(*s),
         Wave::Owned(v) => v,
         Wave::None => unreachable!("staged entries always carry a waveform"),
     };
-    let samples: &[Complex] = if e.extra > 0.0 { &e.degraded } else { original };
+    // Arena mixtures are stored clean; realize the receiver noise of the
+    // "recording" here, on the record's dedicated stream. Caller-provided
+    // recordings already carry their air noise.
+    let original: &[Complex] =
+        if matches!(records[e.rec].signal, Wave::Arena(_)) && noise_floor_std > 0.0 {
+            let mut rng = CounterRng::new(noise_stream_seed(
+                noise_seed,
+                e.rec as u64,
+                STREAM_RECORDING_NOISE,
+            ));
+            cascade::degrade_into(stored, noise_floor_std, &mut rng, &mut e.noised);
+            &e.noised
+        } else {
+            stored
+        };
+    let samples: &[Complex] = if e.extra > 0.0 {
+        let mut rng = CounterRng::new(noise_stream_seed(noise_seed, e.rec as u64, e.hop));
+        cascade::degrade_into(original, e.extra, &mut rng, &mut e.degraded);
+        &e.degraded
+    } else {
+        original
+    };
     let attempt = cascade::resolve_prepared(
         samples,
         &e.knowns,
@@ -371,8 +421,9 @@ pub struct CollisionRecordStore {
     /// buffer count. Zero disables pooling (ideal backend).
     pool_span: usize,
     /// Worker count for batched peeling (1 = evaluate inline). Thread
-    /// count never changes outcomes: batch members are disjoint, noise is
-    /// pre-drawn in record order, and outcomes apply in record order.
+    /// count never changes outcomes: batch members are disjoint, every
+    /// noise term is a pure function of `(noise_seed, record, hop)`, and
+    /// outcomes apply in record order.
     threads: usize,
 }
 
@@ -398,9 +449,10 @@ impl CollisionRecordStore {
     }
 
     /// Creates a slot-level store whose resolutions are *signal-backed*
-    /// ([`crate::ResolutionModel::SignalBacked`]): usable records get
-    /// waveforms synthesized at deposit time from `seed`'s dedicated RNG
-    /// stream, and each resolution runs the real ANC subtract-and-decode
+    /// ([`crate::ResolutionModel::SignalBacked`]): usable records get clean
+    /// waveforms synthesized at deposit time, every noise term is drawn
+    /// from a counter stream keyed on `(seed, record, hop)` at attempt
+    /// time, and each resolution runs the real ANC subtract-and-decode
     /// chain with per-hop residual accumulation. Failures are handled per
     /// `policy`.
     ///
@@ -420,12 +472,15 @@ impl CollisionRecordStore {
             lambda,
             Backend::Synthesized(Box::new(SignalBackend {
                 ref_cache: ReferenceCache::new(&cfg.msk),
+                clean_channel: cfg.channel.clone().noiseless(),
                 cfg,
                 policy,
-                rng: StdRng::seed_from_u64(seed),
+                noise_seed: seed,
+                requeries: 0,
                 scratch: anc::MixScratch::default(),
                 ids: Vec::new(),
                 wave: Vec::new(),
+                noised: Vec::new(),
                 arena: WaveArena::new(span),
                 rscratch: ResolveScratch::default(),
                 batch: BatchState::default(),
@@ -522,11 +577,16 @@ impl CollisionRecordStore {
                 let tag = self.tags[idx as usize];
                 b.ids.clear();
                 b.ids.push(tag);
+                // Each re-query slot gets its own stream, keyed by an
+                // incrementing counter on the reserved re-query domain.
+                let mut rng =
+                    CounterRng::new(noise_stream_seed(b.noise_seed, b.requeries, STREAM_REQUERY));
+                b.requeries += 1;
                 anc::transmit_mixed_into(
                     &b.ids,
                     &b.cfg.msk,
                     &b.cfg.channel,
-                    &mut b.rng,
+                    &mut rng,
                     &mut b.scratch,
                     &mut b.wave,
                 );
@@ -705,8 +765,10 @@ impl CollisionRecordStore {
                 self.by_tag[t as usize].push(rec);
             }
         }
-        // Signal-backed stores synthesize the mixed waveform the reader
-        // "recorded" this slot, on the dedicated resolution RNG stream.
+        // Signal-backed stores synthesize the *clean* mixed waveform the
+        // reader "recorded" this slot; channel gains come from the
+        // record's own parameter stream, and the receiver AWGN is realized
+        // later, at attempt time, inside the (parallel) evaluation phase.
         // Only usable records are synthesized: spoiled or over-λ records
         // can never be attempted, so their waveform would be dead weight.
         // The waveform goes straight into an arena span; each component is
@@ -720,19 +782,25 @@ impl CollisionRecordStore {
                 }
                 let SignalBackend {
                     cfg,
-                    rng,
+                    noise_seed,
+                    clean_channel,
                     scratch,
                     ids,
                     arena,
                     ref_cache,
                     ..
                 } = &mut **b;
+                let mut rng = CounterRng::new(noise_stream_seed(
+                    *noise_seed,
+                    u64::from(rec),
+                    STREAM_CHANNEL_PARAMS,
+                ));
                 let span = arena.alloc();
                 anc::transmit_mixed_cached(
                     ids,
                     &cfg.msk,
-                    &cfg.channel,
-                    rng,
+                    clean_channel,
+                    &mut rng,
                     ref_cache,
                     scratch,
                     arena.wave_mut(span),
@@ -904,20 +972,15 @@ impl CollisionRecordStore {
             worklist.push((last, hop));
             return;
         }
-        // Stage: snapshot the classification and pre-draw the degradation
-        // noise now, in record order — the RNG stream stays identical to
-        // the sequential path's draw for draw.
+        // Stage: snapshot the classification against the shared frontier.
+        // No noise is drawn here — every noise term is generated inside
+        // the evaluation phase from the record's own counter streams, so
+        // staging order (and worker count) cannot affect realizations.
         let full = {
             let Backend::Synthesized(b) = &mut self.backend else {
                 unreachable!("batched staging only runs signal-backed")
             };
-            let SignalBackend {
-                cfg,
-                rng,
-                arena,
-                batch,
-                ..
-            } = &mut **b;
+            let SignalBackend { cfg, batch, .. } = &mut **b;
             let record = &self.records[rec];
             if batch.live == batch.entries.len() {
                 batch.entries.push(BatchEntry::default());
@@ -940,16 +1003,6 @@ impl CollisionRecordStore {
             }
             let base = cfg.channel.noise_std();
             entry.extra = cascade::cascade_noise_std(base, cfg.residual_per_hop, hop);
-            let samples: &[Complex] = match &record.signal {
-                Wave::Arena(span) => arena.wave(*span),
-                Wave::Owned(wave) => wave,
-                Wave::None => unreachable!(),
-            };
-            if entry.extra > 0.0 {
-                cascade::degrade_into(samples, entry.extra, rng, &mut entry.degraded);
-            } else {
-                entry.degraded.clear();
-            }
             batch.live >= MAX_BATCH
         };
         if full {
@@ -999,8 +1052,10 @@ impl CollisionRecordStore {
                 }
             }
         }
-        // Evaluate: pure DSP over disjoint records against shared
-        // read-only state. Chunked across scoped workers when asked to.
+        // Evaluate: the full noise/subtract/demodulate/CRC pipeline over
+        // disjoint records against shared read-only state, noise included
+        // (each record's streams are derived from `(noise_seed, rec, hop)`
+        // alone). Chunked across scoped workers when asked to.
         {
             let Backend::Synthesized(b) = &self.backend else {
                 unreachable!()
@@ -1008,6 +1063,7 @@ impl CollisionRecordStore {
             let records = self.records.as_slice();
             let (arena, cache, msk) = (&b.arena, &b.ref_cache, &b.cfg.msk);
             let base = b.cfg.channel.noise_std();
+            let noise_seed = b.noise_seed;
             let policy = &b.policy;
             let workers = self.threads.min(live).max(1);
             if batch.scratch.len() < workers {
@@ -1017,7 +1073,9 @@ impl CollisionRecordStore {
             if workers == 1 {
                 let scratch = &mut batch.scratch[0];
                 for entry in entries.iter_mut() {
-                    eval_batch_entry(entry, records, arena, cache, msk, base, policy, scratch);
+                    eval_batch_entry(
+                        entry, records, arena, cache, msk, base, noise_seed, policy, scratch,
+                    );
                 }
             } else {
                 let chunk = live.div_ceil(workers);
@@ -1028,7 +1086,8 @@ impl CollisionRecordStore {
                         s.spawn(move || {
                             for entry in chunk_entries.iter_mut() {
                                 eval_batch_entry(
-                                    entry, records, arena, cache, msk, base, policy, scratch,
+                                    entry, records, arena, cache, msk, base, noise_seed, policy,
+                                    scratch,
                                 );
                             }
                         });
@@ -1188,8 +1247,9 @@ impl CollisionRecordStore {
                     let SignalBackend {
                         cfg,
                         policy,
-                        rng,
+                        noise_seed,
                         ids,
+                        noised,
                         arena,
                         ref_cache,
                         rscratch,
@@ -1201,15 +1261,31 @@ impl CollisionRecordStore {
                             ids.push(self.tags[t as usize]);
                         }
                     }
-                    let signal: &[Complex] = match &record.signal {
+                    let stored: &[Complex] = match &record.signal {
                         Wave::Arena(span) => arena.wave(*span),
                         Wave::Owned(wave) => wave,
                         Wave::None => unreachable!(),
                     };
                     let base = cfg.channel.noise_std();
+                    // Arena mixtures are stored clean: realize the
+                    // recording AWGN from the record's own stream (same
+                    // realization the batched path would generate).
+                    let signal: &[Complex] =
+                        if matches!(record.signal, Wave::Arena(_)) && base > 0.0 {
+                            let mut rng = CounterRng::new(noise_stream_seed(
+                                *noise_seed,
+                                idx as u64,
+                                STREAM_RECORDING_NOISE,
+                            ));
+                            cascade::degrade_into(stored, base, &mut rng, noised);
+                            noised
+                        } else {
+                            stored
+                        };
                     let extra = cascade::cascade_noise_std(base, cfg.residual_per_hop, hop);
+                    let mut rng = CounterRng::new(noise_stream_seed(*noise_seed, idx as u64, hop));
                     let attempt = cascade::resolve_cascaded_cached(
-                        signal, ids, &cfg.msk, base, extra, rng, ref_cache, rscratch,
+                        signal, ids, &cfg.msk, base, extra, &mut rng, ref_cache, rscratch,
                     );
                     // Same ghost-ID guard as the recorded backend.
                     let mut ok = attempt.recovered.ok().filter(|id| *id == last_tag);
@@ -1225,9 +1301,9 @@ impl CollisionRecordStore {
                         // Salvage the partial cascade: redo the
                         // subtraction directly against the stored
                         // record, without the chain's accumulated
-                        // residual (a depth-1 retry).
+                        // residual (a depth-1 retry; draws nothing).
                         let retry = cascade::resolve_cascaded_cached(
-                            signal, ids, &cfg.msk, base, 0.0, rng, ref_cache, rscratch,
+                            signal, ids, &cfg.msk, base, 0.0, &mut rng, ref_cache, rscratch,
                         );
                         ok = retry.recovered.ok().filter(|id| *id == last_tag);
                         if self.log_attempts {
@@ -1536,5 +1612,105 @@ mod tests {
         let sig = CollisionRecordStore::signal_level(MskConfig::default());
         assert!(sig.usable_at_insert(7, true));
         assert!(!sig.usable_at_insert(7, false));
+    }
+
+    #[test]
+    fn arena_spans_recycled_under_store_churn() {
+        // Deposit-and-resolve churn on a signal-backed store: each record
+        // frees its span on consumption and the next deposit reuses it, so
+        // the slab never grows past the peak number of live records (here
+        // exactly one span) no matter how many records pass through.
+        let cfg = SignalResolutionConfig::default();
+        let span = cfg.msk.samples_for_bits(TAG_ID_BITS as usize);
+        let mut store = CollisionRecordStore::signal_backed(2, cfg, RecoveryPolicy::DropRecord, 11);
+        for i in 0..100u64 {
+            let a = tag(10_000 + u128::from(i) * 2);
+            let b = tag(10_001 + u128::from(i) * 2);
+            store.add_record(i, vec![a, b], true, None);
+            store.learn(a);
+            let Backend::Synthesized(b) = &store.backend else {
+                unreachable!()
+            };
+            assert_eq!(
+                b.arena.buf.len(),
+                span,
+                "slab grew past one span after {i} churn cycles"
+            );
+        }
+    }
+
+    mod arena_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Free-list invariants over arbitrary alloc/release sequences:
+            /// the slab holds exactly `live + free` spans, never more than
+            /// the peak live count, and a release is recycled by the very
+            /// next alloc before the slab grows.
+            #[test]
+            fn prop_arena_free_list_recycles(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+                let span = 8;
+                let mut arena = WaveArena::new(span);
+                let mut live: Vec<u32> = Vec::new();
+                let mut peak = 0usize;
+                for alloc in ops {
+                    if alloc || live.is_empty() {
+                        let recycled = arena.free.last().copied();
+                        let before = arena.buf.len();
+                        let slot = arena.alloc();
+                        if let Some(expect) = recycled {
+                            prop_assert_eq!(slot, expect, "free span not recycled");
+                            prop_assert_eq!(arena.buf.len(), before, "slab grew despite free span");
+                        }
+                        prop_assert!(!live.contains(&slot), "allocated a live span");
+                        live.push(slot);
+                    } else {
+                        arena.release(live.pop().expect("nonempty"));
+                    }
+                    peak = peak.max(live.len());
+                    prop_assert_eq!(
+                        arena.buf.len(),
+                        span * (live.len() + arena.free.len()),
+                        "slab size != live + free spans"
+                    );
+                    prop_assert!(arena.buf.len() <= span * peak, "slab exceeded peak live count");
+                }
+            }
+
+            /// The recording pool honors both its bounds under arbitrary
+            /// deposit/consume sequences of mixed-length recordings: at
+            /// most `WAVE_POOL_MAX` buffers, each capped at twice the
+            /// whole-ID span.
+            #[test]
+            fn prop_recording_pool_stays_byte_bounded(
+                lens in proptest::collection::vec(0usize..4, 1..60),
+            ) {
+                let msk = MskConfig::default();
+                let span = msk.samples_for_bits(TAG_ID_BITS as usize);
+                let mut store = CollisionRecordStore::signal_level(msk);
+                for (i, &choice) in lens.iter().enumerate() {
+                    let i = i as u64;
+                    let a = tag(50_000 + u128::from(i) * 2);
+                    let b = tag(50_001 + u128::from(i) * 2);
+                    // Length classes: tiny, whole-ID, double, and 8x span.
+                    let len = [16, span, span * 2, span * 8][choice];
+                    store.add_record(i, vec![a, b], true, Some(vec![Complex::ZERO; len]));
+                    // Consuming the record (zero waveforms never decode, so
+                    // the attempt fails) offers its buffer back to the pool.
+                    store.learn(a);
+                    store.learn(b);
+                    prop_assert!(store.pool.len() <= WAVE_POOL_MAX, "pool count unbounded");
+                    let bound = span * 2;
+                    for buf in &store.pool {
+                        prop_assert!(
+                            buf.capacity() <= bound,
+                            "pooled capacity {} exceeds byte bound {bound}",
+                            buf.capacity()
+                        );
+                    }
+                }
+            }
+        }
     }
 }

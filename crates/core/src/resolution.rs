@@ -45,7 +45,7 @@ pub enum ResolutionModel {
 /// over a grid of channel noise levels and cascade depths. See
 /// `results/calibration.csv` and `tests/fidelity.rs` for the agreement
 /// this value is held to.
-pub const CALIBRATED_RESIDUAL_PER_HOP: f64 = 0.15;
+pub const CALIBRATED_RESIDUAL_PER_HOP: f64 = 0.20;
 
 /// Parameters of [`ResolutionModel::SignalBacked`].
 #[derive(Debug, Clone)]

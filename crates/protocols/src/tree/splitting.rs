@@ -70,8 +70,14 @@ pub(crate) fn run_splitting(
     let slot_us = config.timing().basic_slot_us();
     let errors = config.errors().clone();
     let mut slots: u64 = 0;
+    // Drained group buffers, recycled by later splits. The depth-first
+    // walk keeps O(depth) groups live, so a handful of buffers serves the
+    // whole round where the naive dynamics allocate two fresh vectors per
+    // collision slot. Recycling never touches contents or draw order, so
+    // reports are bit-identical to the allocating version.
+    let mut spare: Vec<Vec<TagId>> = Vec::new();
 
-    while let Some(group) = stack.pop_front() {
+    while let Some(mut group) = stack.pop_front() {
         if slots >= config.max_slots() {
             return Err(SimError::ExceededMaxSlots {
                 max_slots: config.max_slots(),
@@ -95,7 +101,11 @@ pub(crate) fn run_splitting(
                     // into the next group to transmit.
                     match stack.front_mut() {
                         Some(front) => front.push(tag),
-                        None => stack.push_front(vec![tag]),
+                        None => {
+                            let mut singleton = spare.pop().unwrap_or_default();
+                            singleton.push(tag);
+                            stack.push_front(singleton);
+                        }
                     }
                 }
             }
@@ -103,9 +113,9 @@ pub(crate) fn run_splitting(
                 // Collision (or a corrupted singleton the reader cannot
                 // tell apart): every involved tag draws a random bit.
                 report.record_slot(SlotClass::Collision, slot_us);
-                let mut zeros = Vec::new();
-                let mut ones = Vec::new();
-                for tag in group {
+                let mut zeros = spare.pop().unwrap_or_default();
+                let mut ones = spare.pop().unwrap_or_default();
+                for &tag in &group {
                     if rng.gen::<bool>() {
                         ones.push(tag);
                     } else {
@@ -116,6 +126,8 @@ pub(crate) fn run_splitting(
                 stack.push_front(zeros);
             }
         }
+        group.clear();
+        spare.push(group);
     }
     Ok(report)
 }

@@ -25,7 +25,7 @@
 //! clean-channel runs byte-identical to the ideal resolution model.
 
 use crate::anc::{self, AncError, ReferenceCache, ResolveScratch};
-use crate::channel::standard_normal;
+use crate::channel::standard_normal_pair;
 use crate::complex::{inner_product, mean_power, Complex};
 use crate::msk::{MskConfig, MskModulator};
 use rand::Rng;
@@ -136,11 +136,13 @@ pub fn resolve_cascaded_cached<R: Rng + ?Sized>(
     }
 }
 
-/// Copies `mixed` into `out` and injects the accumulated-subtraction-error
-/// noise — the RNG-consuming half of a cascaded attempt, split out so the
-/// scoped-thread scheduler can pre-draw degradations sequentially (in
-/// record order, preserving the RNG stream) before fanning the pure DSP
-/// out to workers. Identical draws in identical order to the inline path.
+/// Copies `mixed` into `out` and injects Gaussian noise of standard
+/// deviation `extra_noise_std` per real dimension — the RNG-consuming half
+/// of a cascaded attempt, split out so callers can hand it a *per-record
+/// counter stream* and run it inside the parallel evaluation phase. One
+/// Box-Muller pair covers each complex sample (`re ← z0`, `im ← z1`);
+/// realizations depend only on the stream handed in, never on what other
+/// records drew.
 pub fn degrade_into<R: Rng + ?Sized>(
     mixed: &[Complex],
     extra_noise_std: f64,
@@ -153,10 +155,8 @@ pub fn degrade_into<R: Rng + ?Sized>(
         return;
     }
     for s in out.iter_mut() {
-        *s += Complex::new(
-            extra_noise_std * standard_normal(rng),
-            extra_noise_std * standard_normal(rng),
-        );
+        let (re, im) = standard_normal_pair(rng);
+        *s += Complex::new(extra_noise_std * re, extra_noise_std * im);
     }
 }
 

@@ -12,13 +12,60 @@ use crate::complex::Complex;
 use rand::Rng;
 use std::f64::consts::PI;
 
-/// Draws a standard-normal variate via Box-Muller (the offline `rand` 0.8
-/// has no bundled normal distribution).
+/// Draws an independent standard-normal *pair* via one Marsaglia polar
+/// transform (the offline `rand` 0.8 has no bundled normal distribution).
+///
+/// The polar method is the trig-free form of Box-Muller: rejection-sample a
+/// point uniform in the unit disk (≈ 1.27 tries), then scale it by
+/// `√(−2·ln s / s)` — the direction cosines come from the point itself, so
+/// the per-pair cost is one `ln`/`sqrt` instead of Box-Muller's
+/// `ln`/`sqrt`/[`f64::sin_cos`]. The transform is exact (both variates are
+/// independent N(0,1), pinned by the moment/KS tests below), and both are
+/// returned so filling `n` normals costs `n/2` transforms. Complex AWGN
+/// maps one pair onto one sample: `(re, im) = (z0, z1)`.
+///
+/// The rejection loop draws a *variable* number of uniforms per pair, which
+/// is harmless under per-`(record, hop)` counter streams: no other consumer
+/// ever continues a stream mid-sequence, so draw counts never need to line
+/// up across call sites.
+#[must_use]
+pub fn standard_normal_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    loop {
+        let u = rng.gen::<f64>() * 2.0 - 1.0;
+        let v = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let f = (-2.0 * s.ln() / s).sqrt();
+            return (u * f, v * f);
+        }
+    }
+}
+
+/// Draws a single standard-normal variate (the cosine half of
+/// [`standard_normal_pair`]).
+///
+/// Scalar convenience for call sites that need exactly one variate; bulk
+/// fills should use [`fill_standard_normal_into`] or consume pairs directly
+/// so the sine variate isn't discarded.
 #[must_use]
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+    standard_normal_pair(rng).0
+}
+
+/// Batched normal fill: writes one standard-normal variate per element of
+/// `out`, consuming one polar transform per `chunks_exact` pair (the
+/// second variate lands in the pair's second element instead of being
+/// discarded). An odd tail costs one extra transform.
+pub fn fill_standard_normal_into<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    let mut chunks = out.chunks_exact_mut(2);
+    for pair in &mut chunks {
+        let (z0, z1) = standard_normal_pair(rng);
+        pair[0] = z0;
+        pair[1] = z1;
+    }
+    if let [last] = chunks.into_remainder() {
+        *last = standard_normal_pair(rng).0;
+    }
 }
 
 /// The realized channel of one tag transmission: amplitude gain, phase
@@ -196,16 +243,16 @@ impl ChannelModel {
         }
     }
 
-    /// Adds receiver noise in place.
+    /// Adds receiver noise in place: one normal pair per complex sample
+    /// (`re ← z0`, `im ← z1`), so a span of `n` samples costs `n` transforms
+    /// instead of `2n` single-variate draws.
     pub fn add_noise<R: Rng + ?Sized>(&self, samples: &mut [Complex], rng: &mut R) {
         if self.noise_std == 0.0 {
             return;
         }
         for s in samples {
-            *s += Complex::new(
-                self.noise_std * standard_normal(rng),
-                self.noise_std * standard_normal(rng),
-            );
+            let (re, im) = standard_normal_pair(rng);
+            *s += Complex::new(self.noise_std * re, self.noise_std * im);
         }
     }
 
@@ -344,6 +391,93 @@ mod tests {
         let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn pair_halves_are_uncorrelated_unit_normals() {
+        // The polar transform's two halves are exactly independent N(0,1);
+        // pin the sample moments and the cross-correlation of (z0, z1).
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 60_000;
+        let pairs: Vec<(f64, f64)> = (0..n).map(|_| standard_normal_pair(&mut rng)).collect();
+        for pick in [0usize, 1] {
+            let xs: Vec<f64> = pairs
+                .iter()
+                .map(|&(a, b)| if pick == 0 { a } else { b })
+                .collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            assert!(mean.abs() < 0.02, "half {pick} mean {mean}");
+            assert!((var - 1.0).abs() < 0.03, "half {pick} var {var}");
+        }
+        let cross = pairs.iter().map(|&(a, b)| a * b).sum::<f64>() / n as f64;
+        assert!(cross.abs() < 0.02, "pair cross-correlation {cross}");
+    }
+
+    #[test]
+    fn fill_kernel_matches_pair_sequence_and_handles_odd_tails() {
+        // The fill kernel is the pair generator laid out flat: same draws,
+        // same values, and an odd tail takes the cosine half of one extra
+        // transform.
+        for len in [0usize, 1, 2, 7, 64, 769] {
+            let mut filled = vec![0.0f64; len];
+            fill_standard_normal_into(&mut StdRng::seed_from_u64(17), &mut filled);
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut expect = Vec::with_capacity(len);
+            while expect.len() + 2 <= len {
+                let (z0, z1) = standard_normal_pair(&mut rng);
+                expect.push(z0);
+                expect.push(z1);
+            }
+            if expect.len() < len {
+                expect.push(standard_normal_pair(&mut rng).0);
+            }
+            assert_eq!(filled, expect, "len {len}");
+        }
+    }
+
+    /// Abramowitz & Stegun 7.1.26 erf approximation (max abs error 1.5e-7);
+    /// good enough to bound a KS statistic at the 1e-2 scale.
+    fn normal_cdf(x: f64) -> f64 {
+        let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
+        let poly = t
+            * (0.254829592
+                + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        let erf = 1.0 - poly * (-x * x / 2.0).exp();
+        if x >= 0.0 {
+            0.5 * (1.0 + erf)
+        } else {
+            0.5 * (1.0 - erf)
+        }
+    }
+
+    #[test]
+    fn fill_kernel_passes_ks_style_normality_check() {
+        // KS distance of the empirical CDF against Φ. The 99% critical
+        // value at n=20_000 is 1.63/√n ≈ 0.0115; the fixed seed keeps this
+        // deterministic, and the bound fails loudly for e.g. a var-0.9 or
+        // mean-0.05 stream.
+        let n = 20_000;
+        let mut draws = vec![0.0f64; n];
+        fill_standard_normal_into(&mut StdRng::seed_from_u64(23), &mut draws);
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut d_max = 0.0f64;
+        for (i, x) in draws.iter().enumerate() {
+            let phi = normal_cdf(*x);
+            let lo = i as f64 / n as f64;
+            let hi = (i + 1) as f64 / n as f64;
+            d_max = d_max.max((phi - lo).abs()).max((hi - phi).abs());
+        }
+        assert!(d_max < 0.0115, "KS distance {d_max}");
+        // 1σ/2σ/3σ coverage as a cheap cross-check on the same sample.
+        for (k, expect, tol) in [
+            (1.0, 0.6827, 0.01),
+            (2.0, 0.9545, 0.006),
+            (3.0, 0.9973, 0.003),
+        ] {
+            let frac = draws.iter().filter(|x| x.abs() < k).count() as f64 / n as f64;
+            assert!((frac - expect).abs() < tol, "{k}σ coverage {frac}");
+        }
     }
 
     #[test]

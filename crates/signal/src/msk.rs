@@ -83,16 +83,31 @@ impl Default for MskConfig {
 }
 
 /// MSK modulator: bit vector → complex baseband waveform.
+///
+/// MSK phases live on a fixed lattice: every sample's phase is
+/// `θ0 + k·(π/2)/spb` for an integer lattice index `k`, and the lattice is
+/// periodic with period `4·spb` (one full 2π turn). The modulator therefore
+/// precomputes the `4·spb` unit rotations once and synthesizes each sample
+/// as `A·e^{iθ0} · table[k mod 4·spb]` — one complex multiply instead of a
+/// `sin_cos` call per sample, which removes the dominant libm cost of
+/// waveform synthesis.
 #[derive(Debug, Clone)]
 pub struct MskModulator {
     config: MskConfig,
+    /// `table[j] = e^{i·j·(π/2)/spb}` for `j ∈ [0, 4·spb)`.
+    table: Vec<Complex>,
 }
 
 impl MskModulator {
     /// Creates a modulator for the given configuration.
     #[must_use]
     pub fn new(config: MskConfig) -> Self {
-        MskModulator { config }
+        let spb = config.samples_per_bit as usize;
+        let step = FRAC_PI_2 / spb as f64;
+        let table = (0..4 * spb)
+            .map(|j| Complex::from_polar(1.0, j as f64 * step))
+            .collect();
+        MskModulator { config, table }
     }
 
     /// Modulates `bits` into `bits.len()·spb + 1` samples of amplitude
@@ -119,19 +134,9 @@ impl MskModulator {
         theta0: f64,
         out: &mut Vec<Complex>,
     ) {
-        let spb = self.config.samples_per_bit as usize;
-        let step_per_sample = FRAC_PI_2 / spb as f64;
         out.clear();
-        out.reserve(self.config.samples_for_bits(bits.len()));
-        let mut phase = theta0;
-        out.push(Complex::from_polar(amplitude, phase));
-        for &bit in bits {
-            let dir = if bit { 1.0 } else { -1.0 };
-            for _ in 0..spb {
-                phase += dir * step_per_sample;
-                out.push(Complex::from_polar(amplitude, phase));
-            }
-        }
+        out.resize(self.config.samples_for_bits(bits.len()), Complex::ZERO);
+        self.modulate_to_slice(bits, amplitude, theta0, out);
     }
 
     /// [`MskModulator::modulate_into`] onto a pre-sized slice — the form
@@ -150,20 +155,27 @@ impl MskModulator {
         out: &mut [Complex],
     ) {
         let spb = self.config.samples_per_bit as usize;
-        let step_per_sample = FRAC_PI_2 / spb as f64;
+        let period = 4 * spb;
         assert_eq!(
             out.len(),
             self.config.samples_for_bits(bits.len()),
             "modulate_to_slice needs an exactly-sized span"
         );
-        let mut phase = theta0;
-        out[0] = Complex::from_polar(amplitude, phase);
+        // One transcendental evaluation per waveform: the base rotor
+        // carries amplitude and initial phase; every sample is then a
+        // table lookup on the (periodic) phase lattice.
+        let base = Complex::from_polar(amplitude, theta0);
+        let mut k = 0usize;
+        out[0] = base;
         let mut i = 1;
         for &bit in bits {
-            let dir = if bit { 1.0 } else { -1.0 };
             for _ in 0..spb {
-                phase += dir * step_per_sample;
-                out[i] = Complex::from_polar(amplitude, phase);
+                k = if bit {
+                    (k + 1) % period
+                } else {
+                    (k + period - 1) % period
+                };
+                out[i] = base * self.table[k];
                 i += 1;
             }
         }
@@ -354,11 +366,10 @@ mod tests {
             let cfg = MskConfig::default();
             let mut wave = MskModulator::new(cfg.clone()).modulate(&bits, 1.0, 0.3);
             let noise_std = 0.05;
-            for s in &mut wave {
-                *s += Complex::new(
-                    noise_std * crate::channel::standard_normal(&mut rng),
-                    noise_std * crate::channel::standard_normal(&mut rng),
-                );
+            let mut noise = vec![0.0f64; wave.len() * 2];
+            crate::channel::fill_standard_normal_into(&mut rng, &mut noise);
+            for (s, z) in wave.iter_mut().zip(noise.chunks_exact(2)) {
+                *s += Complex::new(noise_std * z[0], noise_std * z[1]);
             }
             prop_assert_eq!(MskDemodulator::new(cfg).demodulate(&wave), bits);
         }

@@ -360,9 +360,10 @@ impl SimConfig {
     /// Returns this configuration with a worker count for batched
     /// signal-backed peeling. The default of 1 evaluates inline; any
     /// value produces bit-identical reports — batched records are
-    /// participant-disjoint, their degradation noise is pre-drawn in
-    /// record order, and outcomes are applied in record order — so this
-    /// is purely a wall-clock knob.
+    /// participant-disjoint, every noise term comes from a counter stream
+    /// keyed on `(seed, record, hop)` rather than a shared sequential RNG,
+    /// and outcomes are applied in record order — so this is purely a
+    /// wall-clock knob.
     ///
     /// # Panics
     ///

@@ -79,7 +79,7 @@ pub use protocol::{AntiCollisionProtocol, ObservableProtocol};
 pub use report::{
     Aggregate, InventoryReport, LambdaTrajectoryPoint, MultiRunReport, SlotCounts, TraceEvent,
 };
-pub use rng::{derive_seed, seeded_rng};
+pub use rng::{derive_seed, noise_stream_seed, seeded_rng, CounterRng};
 pub use runner::{
     run_inventory, run_inventory_observed, run_many, run_many_observed, run_many_with_populations,
 };
