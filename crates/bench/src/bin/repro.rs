@@ -9,7 +9,7 @@
 //! experiments:
 //!   table1 table2 table3 table4 fig3 fig4 fig5 fig6
 //!   ablation-estimator ablation-snr ablation-noise snr-sweep
-//!   calibrate lambda-sweep interference-sweep
+//!   backend-sweep calibrate lambda-sweep interference-sweep
 //!   extension-crdsa extension-model extension-rounds extension-signal bounds
 //!   all        (everything above)
 //! ```
@@ -83,6 +83,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-snr",
     "ablation-noise",
     "snr-sweep",
+    "backend-sweep",
     "calibrate",
     "lambda-sweep",
     "interference-sweep",
@@ -119,7 +120,7 @@ fn main() -> ExitCode {
             );
             eprintln!("experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6");
             eprintln!("             ablation-estimator ablation-snr ablation-noise snr-sweep");
-            eprintln!("             calibrate lambda-sweep interference-sweep");
+            eprintln!("             backend-sweep calibrate lambda-sweep interference-sweep");
             eprintln!(
                 "             extension-crdsa extension-model extension-rounds extension-signal"
             );
@@ -256,6 +257,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 experiments::run_ablation_noise(&opts).map_err(|e| e.to_string())?
             }
             "snr-sweep" => experiments::run_snr_sweep(&opts).map_err(|e| e.to_string())?,
+            "backend-sweep" => experiments::run_backend_sweep(&opts).map_err(|e| e.to_string())?,
             "calibrate" => experiments::run_calibrate(&opts),
             "lambda-sweep" => experiments::run_lambda_sweep(&opts).map_err(|e| e.to_string())?,
             "interference-sweep" => {
@@ -280,6 +282,7 @@ fn run(args: &[String]) -> Result<(), String> {
         if name.starts_with("fig")
             || name == "ablation-snr"
             || name == "snr-sweep"
+            || name == "backend-sweep"
             || name == "lambda-sweep"
             || name == "interference-sweep"
         {

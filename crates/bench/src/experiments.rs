@@ -6,10 +6,10 @@ use rfid_analysis::estimator::normalized_bias;
 use rfid_analysis::moments::slot_moments;
 use rfid_analysis::omega::optimal_omega;
 use rfid_anc::{
-    EstimatorInput, Fcat, FcatConfig, RecoveryPolicy, ResolutionModel, Scat, ScatConfig,
-    SignalResolutionConfig,
+    BackendModel, CompressedSensing, EstimatorInput, Fcat, FcatConfig, Mpr, RecoveryPolicy,
+    ResolutionModel, Scat, ScatConfig, SignalResolutionConfig,
 };
-use rfid_protocols::{Abs, Aqs, Dfsa, Edfsa};
+use rfid_protocols::{Abs, Aqs, Dfsa, Edfsa, SlottedAloha};
 use rfid_signal::{anc, cascade, ChannelModel, MskConfig};
 use rfid_sim::{
     run_inventory, run_many, seeded_rng, AntiCollisionProtocol, ErrorModel, LambdaPolicy,
@@ -561,6 +561,10 @@ pub fn run_extension_signal(opts: &ExperimentOptions) -> Result<Table, SimError>
 /// noise cannot touch them: each is evaluated once on the clean slot model
 /// and the best is kept as the comparison column.
 ///
+/// Every column here runs the ANC collision-record backend (the
+/// `BackendModel::Anc` default); [`run_backend_sweep`] reuses this noise
+/// grid to put ANC next to the MPR and compressed-sensing backends.
+///
 /// # Errors
 ///
 /// Propagates simulation failures.
@@ -626,6 +630,98 @@ pub fn run_snr_sweep(opts: &ExperimentOptions) -> Result<Table, SimError> {
         row.push(f1(requery_slots));
         row.push(f1(best_tp));
         table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// **Backend sweep** — ANC against the wider collision-recovery design
+/// space: multi-packet reception (Pudasaini et al., arXiv:1311.7458) and
+/// compressed-sensing sparse recovery (Fyhn et al., arXiv:1012.3628),
+/// with the slotted-ALOHA bound as the common floor.
+///
+/// Rows are channel-noise operating points (same grid as `snr-sweep`).
+/// Per row:
+///
+/// * **anc (signal)** — FCAT-2 with signal-grounded resolution at that
+///   noise level: the only backend whose recovery degrades with SNR
+///   through an actual subtract-and-decode chain.
+/// * **mpr m=1/2/4** — FCAT with the MPR backend. MPR is a slot-level
+///   capability model with no noise dependence, so its columns are
+///   constant across rows: a horizontal line the ANC curve crosses as
+///   noise rises. `m = 1` collapses to the slotted-ALOHA baseline —
+///   collisions yield nothing and the offered load is `G* = 1`.
+/// * **cs** — FCAT with the compressed-sensing backend, its success
+///   curve anchored at the row's channel SNR (the one non-ANC column
+///   that *does* follow the noise grid).
+/// * **aloha** — the independent `SlottedAloha` implementation, which
+///   `mpr m=1` must match (asserted by `tests/backends.rs`).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_backend_sweep(opts: &ExperimentOptions) -> Result<Table, SimError> {
+    let n = if opts.quick { 300 } else { 1_500 };
+    let runs = if opts.quick { 2 } else { opts.runs.min(5) };
+    let grid: &[f64] = if opts.quick {
+        &[0.01, 0.2, 0.6]
+    } else {
+        &[0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.6]
+    };
+
+    // Noise-independent columns, evaluated once: the ALOHA floor and the
+    // MPR capability ladder.
+    let aloha = run_many(&SlottedAloha::new(), n, runs, &opts.sim())?
+        .throughput
+        .mean;
+    let mut mpr = Vec::new();
+    for m in [1u32, 2, 4] {
+        let cfg = FcatConfig::default().with_backend(BackendModel::Mpr(Mpr::new(m)));
+        mpr.push(
+            run_many(&Fcat::new(cfg), n, runs, &opts.sim())?
+                .throughput
+                .mean,
+        );
+    }
+
+    let mut table = Table::new(
+        &format!("Backend sweep: collision-recovery backends, throughput (N = {n})"),
+        &[
+            "noise_std",
+            "SNR(dB)@a=0.75",
+            "anc (signal)",
+            "mpr m=1",
+            "mpr m=2",
+            "mpr m=4",
+            "cs",
+            "aloha",
+        ],
+    );
+    for &noise in grid {
+        let model = ChannelModel::default().with_noise_std(noise);
+        let snr_db = model.snr_db(0.75);
+
+        let resolution =
+            ResolutionModel::SignalBacked(SignalResolutionConfig::default().with_noise_std(noise));
+        let anc_cfg = FcatConfig::default()
+            .with_lambda(2)
+            .with_resolution(resolution);
+        let anc = run_many(&Fcat::new(anc_cfg), n, runs, &opts.sim())?;
+
+        let cs_backend =
+            BackendModel::CompressedSensing(CompressedSensing::default().with_snr_db(snr_db));
+        let cs_cfg = FcatConfig::default().with_backend(cs_backend);
+        let cs = run_many(&Fcat::new(cs_cfg), n, runs, &opts.sim())?;
+
+        table.push_row(vec![
+            fx(noise, 2),
+            f1(snr_db),
+            f1(anc.throughput.mean),
+            f1(mpr[0]),
+            f1(mpr[1]),
+            f1(mpr[2]),
+            f1(cs.throughput.mean),
+            f1(aloha),
+        ]);
     }
     Ok(table)
 }

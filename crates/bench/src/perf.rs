@@ -29,7 +29,8 @@
 
 use criterion::measure_with_budget;
 use rfid_anc::{
-    Fcat, FcatConfig, Membership, ResolutionModel, Scat, ScatConfig, SignalResolutionConfig,
+    BackendModel, CompressedSensing, Fcat, FcatConfig, Membership, Mpr, ResolutionModel, Scat,
+    ScatConfig, SignalResolutionConfig,
 };
 use rfid_protocols::{Abs, Aqs, Dfsa, Edfsa};
 use rfid_sim::{run_inventory, seeded_rng, InventoryReport, SimConfig, SimError};
@@ -149,6 +150,25 @@ fn protocol_specs() -> Vec<(String, Option<f64>, Runner)> {
             Box::new(move |tags, cfg| run_inventory(&fcat, tags, cfg)),
         ));
     }
+    // Non-ANC recovery backends: same slot-level engine, no records ever
+    // deposited — MPR decodes bounded collisions in place, compressed
+    // sensing draws a per-slot success from a counter stream. Both must
+    // hold the ideal steady-state allocation budget.
+    let mpr_fcat = Fcat::new(FcatConfig::default().with_backend(BackendModel::Mpr(Mpr::new(4))));
+    specs.push((
+        "fcat2/mpr4".into(),
+        Some(MAX_ALLOCS_PER_SLOT),
+        Box::new(move |tags, cfg| run_inventory(&mpr_fcat, tags, cfg)),
+    ));
+    let cs_fcat = Fcat::new(
+        FcatConfig::default()
+            .with_backend(BackendModel::CompressedSensing(CompressedSensing::default())),
+    );
+    specs.push((
+        "fcat2/cs".into(),
+        Some(MAX_ALLOCS_PER_SLOT),
+        Box::new(move |tags, cfg| run_inventory(&cs_fcat, tags, cfg)),
+    ));
     // Signal-backed resolution: same slot-level engine, but every collision
     // deposit synthesizes a waveform into the SoA arena and every
     // resolution runs the batched DSP chain. Gated by its own allowance.

@@ -19,6 +19,7 @@
 //!   buffer, and (at signal level) the waveform all live in scratch
 //!   buffers owned by the engine and reused across slots.
 
+use crate::backend::{BackendModel, CollisionContext, CollisionOutcome, RecoveryBackend};
 use crate::config::{Fidelity, Membership};
 use crate::lambda::LambdaController;
 use crate::records::{
@@ -45,6 +46,15 @@ const NOT_ACTIVE: u32 = u32::MAX;
 /// per-record `(seed, record, hop)` counter-stream family; shared with the
 /// message-level device reader so both layers realize the same noise.
 pub(crate) const RESOLUTION_RNG_STREAM: u64 = u64::MAX - 2;
+
+/// Stream tag for the collision-recovery backend's per-slot draws
+/// (compressed sensing's success probability). Reserved alongside
+/// [`RESOLUTION_RNG_STREAM`]: `u64::MAX` is the rounds population stream,
+/// `index*2(+1)` the per-run streams, and `u64::MAX - 2` the resolution
+/// noise master, so `u64::MAX - 3` cannot collide with any of them. The
+/// derived value masters the backend's `(seed, slot)` counter-stream
+/// family — backend draws can never perturb the protocol RNG trajectory.
+pub(crate) const BACKEND_RNG_STREAM: u64 = u64::MAX - 3;
 
 /// A re-query slot scheduled by [`RecoveryPolicy::Requery`] after a failed
 /// signal-backed resolution.
@@ -98,6 +108,13 @@ pub(crate) struct Engine<'a, S: EventSink> {
     fidelity: &'a Fidelity,
     /// Failure handling for signal-backed resolutions.
     recovery: RecoveryPolicy,
+    /// Collision-recovery backend: what a collision slot turns into
+    /// (ANC record, immediate multi-decode, or nothing). Consulted only
+    /// under [`Fidelity::SlotLevel`], like the resolution model.
+    backend: BackendModel,
+    /// Master seed of the backend's per-slot draw streams, derived from
+    /// the run seed on [`BACKEND_RNG_STREAM`].
+    backend_seed: u64,
     /// Re-query slots awaiting execution ([`RecoveryPolicy::Requery`]).
     requeries: Vec<PendingRequery>,
     errors: ErrorModel,
@@ -140,6 +157,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         fidelity: &'a Fidelity,
         resolution: &ResolutionModel,
         recovery: RecoveryPolicy,
+        backend: BackendModel,
         config: &SimConfig,
         sink: S,
     ) -> Self {
@@ -185,6 +203,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             membership,
             fidelity,
             recovery,
+            backend,
+            backend_seed: derive_seed(config.seed(), BACKEND_RNG_STREAM),
             requeries: Vec::new(),
             errors: config.errors().clone(),
             slot_us: config.timing().basic_slot_us(),
@@ -658,8 +678,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     // The reader records an unusable mixed signal.
                     self.report.record_slot(SlotClass::Collision, self.slot_us);
                     output.class = Some(SlotClass::Collision);
-                    self.emit_record_created(transmitters.len(), false);
-                    self.deposit_record(transmitters, false, None, rng, output);
+                    self.handle_collision(transmitters, false, rng, output);
                 } else {
                     self.report.record_slot(SlotClass::Singleton, self.slot_us);
                     output.class = Some(SlotClass::Singleton);
@@ -680,10 +699,79 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 output.class = Some(SlotClass::Collision);
                 let spoiled = self.errors.sample_unresolvable(rng)
                     || self.errors.sample_report_corrupted(rng);
-                self.emit_record_created(transmitters.len(), !spoiled);
-                self.deposit_record(transmitters, !spoiled, None, rng, output);
+                self.handle_collision(transmitters, !spoiled, rng, output);
             }
         }
+    }
+
+    /// Routes a collision-class slot through the configured recovery
+    /// backend, *after* the error-model draws (so the protocol RNG
+    /// trajectory is independent of the backend). ANC always answers
+    /// [`CollisionOutcome::Record`] and takes exactly the pre-trait
+    /// deposit path; MPR/CS either decode the whole slot now or lose it —
+    /// they never deposit records.
+    fn handle_collision(
+        &mut self,
+        transmitters: &[u32],
+        usable: bool,
+        rng: &mut StdRng,
+        output: &mut SlotOutput,
+    ) {
+        let ctx = CollisionContext {
+            participants: transmitters.len() as u32,
+            spoiled: !usable,
+            slot: self.slot_index - 1,
+            seed: self.backend_seed,
+        };
+        match self.backend.decide(&ctx) {
+            CollisionOutcome::Record => {
+                self.emit_record_created(transmitters.len(), usable);
+                self.deposit_record(transmitters, usable, None, rng, output);
+            }
+            CollisionOutcome::DecodeAll => self.decode_all(transmitters, rng, output),
+            CollisionOutcome::Lost => {}
+        }
+    }
+
+    /// Decodes every reply of a collision slot in place (MPR separation or
+    /// a successful sparse recovery): each tag is counted as resolved from
+    /// a collision, acknowledged, and appended to the slot output so the
+    /// protocols charge the same per-ID ack overhead as for ANC-resolved
+    /// records.
+    fn decode_all(&mut self, transmitters: &[u32], rng: &mut StdRng, output: &mut SlotOutput) {
+        let slot = self.slot_index - 1;
+        if S::ENABLED {
+            self.sink.record(&RecordEvent {
+                slot,
+                record_slot: slot,
+                kind: RecordEventKind::Recovered {
+                    backend: match self.backend {
+                        BackendModel::Anc => rfid_obs::RecoveryBackendTag::Anc,
+                        BackendModel::Mpr(_) => rfid_obs::RecoveryBackendTag::Mpr,
+                        BackendModel::CompressedSensing(_) => rfid_obs::RecoveryBackendTag::Cs,
+                    },
+                    decoded: transmitters.len() as u32,
+                },
+            });
+        }
+        let mut resolved = std::mem::take(&mut self.resolved_scratch);
+        for &idx in transmitters {
+            debug_assert!(resolved.is_empty());
+            let tag = self.records.tag_of(idx);
+            self.report.record_resolved_from_collision(tag);
+            // Mark known (no-op for an already-identified tag whose ack
+            // was lost); any cascade through outstanding ANC records is
+            // processed uniformly, though non-ANC backends never deposit
+            // records for one to exist.
+            self.records.learn_dense(idx, &mut resolved);
+            if !self.errors.sample_ack_lost(rng) {
+                self.remove_active(idx);
+            }
+            output.resolved.push(Resolved { tag, slot });
+            self.process_resolved(&resolved, rng, output);
+            resolved.clear();
+        }
+        self.resolved_scratch = resolved;
     }
 
     /// Signal-level classification: synthesize the superposed waveform,
@@ -843,6 +931,7 @@ mod tests {
             fidelity,
             &ResolutionModel::Ideal,
             RecoveryPolicy::DropRecord,
+            BackendModel::default(),
             &SimConfig::default(),
             NoopSink,
         )
@@ -906,6 +995,7 @@ mod tests {
             &fidelity,
             &ResolutionModel::Ideal,
             RecoveryPolicy::DropRecord,
+            BackendModel::default(),
             &SimConfig::default(),
             NoopSink,
         );
@@ -966,6 +1056,7 @@ mod tests {
             &fidelity,
             &ResolutionModel::Ideal,
             RecoveryPolicy::DropRecord,
+            BackendModel::default(),
             &config,
             NoopSink,
         );
@@ -996,6 +1087,7 @@ mod tests {
             &fidelity,
             &ResolutionModel::Ideal,
             RecoveryPolicy::DropRecord,
+            BackendModel::default(),
             &config,
             NoopSink,
         );

@@ -12,6 +12,7 @@
 //!    that slot (and is not yet acknowledged) recognizes the index and
 //!    stops, saving 96 − 23 bits per resolved ID.
 
+use crate::backend::{BackendModel, RecoveryBackend as _};
 use crate::config::{Fidelity, InitialPopulation, Membership};
 use crate::engine::{Engine, SlotOutput};
 use crate::lambda::LambdaController;
@@ -66,6 +67,7 @@ pub struct FcatConfig {
     fidelity: Fidelity,
     resolution: ResolutionModel,
     recovery: RecoveryPolicy,
+    backend: BackendModel,
 }
 
 impl FcatConfig {
@@ -85,6 +87,7 @@ impl FcatConfig {
             fidelity: Fidelity::SlotLevel,
             resolution: ResolutionModel::Ideal,
             recovery: RecoveryPolicy::DropRecord,
+            backend: BackendModel::Anc,
         }
     }
 
@@ -178,6 +181,17 @@ impl FcatConfig {
         self
     }
 
+    /// Sets the collision-recovery backend (ANC record cascade by
+    /// default; see [`BackendModel`]). A non-ANC backend overrides the
+    /// λ-derived ω* with its own optimal offered load `G*` and, like the
+    /// resolution model, is only consulted under
+    /// [`Fidelity::SlotLevel`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendModel) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Configured λ.
     #[must_use]
     pub fn lambda(&self) -> u32 {
@@ -224,6 +238,12 @@ impl FcatConfig {
     #[must_use]
     pub fn recovery(&self) -> RecoveryPolicy {
         self.recovery
+    }
+
+    /// Configured collision-recovery backend.
+    #[must_use]
+    pub fn backend(&self) -> &BackendModel {
+        &self.backend
     }
 }
 
@@ -290,7 +310,10 @@ impl Fcat {
     /// Creates FCAT from a configuration.
     #[must_use]
     pub fn new(config: FcatConfig) -> Self {
-        let name = format!("FCAT-{}", config.lambda);
+        let name = match config.backend.name_suffix() {
+            Some(suffix) => format!("FCAT-{}-{suffix}", config.lambda),
+            None => format!("FCAT-{}", config.lambda),
+        };
         Fcat { config, name }
     }
 
@@ -333,6 +356,7 @@ impl ObservableProtocol for Fcat {
             &cfg.fidelity,
             &cfg.resolution,
             cfg.recovery,
+            cfg.backend,
             config,
             sink,
         );
@@ -344,6 +368,13 @@ impl ObservableProtocol for Fcat {
         let ctl = LambdaController::from_policy(config.lambda_policy(), cfg.lambda);
         let mut omega = ctl.as_ref().map_or(cfg.omega, LambdaController::omega);
         engine.set_lambda_controller(ctl);
+        // A non-ANC backend replaces the λ-derived ω* with its own optimal
+        // offered load G* (λ is an ANC concept; MPR/CS never deposit
+        // records, so the collision-record calculus behind ω* is moot).
+        let omega_override = cfg.backend.omega_override();
+        if let Some(g) = omega_override {
+            omega = g;
+        }
 
         let mut estimate = cfg
             .initial
@@ -422,7 +453,7 @@ impl ObservableProtocol for Fcat {
             // Frame boundary: the adaptive-λ controller may re-select λ,
             // and the next frame's p follows the new ω*.
             if let Some((_, new_omega)) = engine.maybe_adjust_lambda() {
-                omega = new_omega;
+                omega = omega_override.unwrap_or(new_omega);
             }
             frame += 1;
         }

@@ -46,6 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[deny(missing_docs)]
+mod backend;
 mod config;
 pub mod device;
 mod engine;
@@ -53,10 +55,15 @@ mod fcat;
 mod inline_vec;
 mod lambda;
 mod records;
+#[deny(missing_docs)]
 mod resolution;
 mod scat;
 mod session;
 
+pub use backend::{
+    optimal_load, Anc, BackendModel, CollisionContext, CollisionOutcome, CompressedSensing, Mpr,
+    RecoveryBackend,
+};
 pub use config::{Fidelity, InitialPopulation, Membership, SignalLevelConfig};
 pub use fcat::{AckMode, EstimatorInput, Fcat, FcatConfig};
 pub use lambda::{LambdaController, MAX_TABULATED_LAMBDA};

@@ -11,6 +11,7 @@
 //! `N_i` is the count of not-yet-identified tags, which SCAT derives from
 //! an externally supplied population size (oracle or pre-step estimate).
 
+use crate::backend::{BackendModel, RecoveryBackend as _};
 use crate::config::{Fidelity, InitialPopulation, Membership};
 use crate::engine::{Engine, SlotOutput};
 use crate::lambda::LambdaController;
@@ -31,6 +32,7 @@ pub struct ScatConfig {
     fidelity: Fidelity,
     resolution: ResolutionModel,
     recovery: RecoveryPolicy,
+    backend: BackendModel,
     empty_streak: u32,
 }
 
@@ -47,6 +49,7 @@ impl ScatConfig {
             fidelity: Fidelity::SlotLevel,
             resolution: ResolutionModel::Ideal,
             recovery: RecoveryPolicy::DropRecord,
+            backend: BackendModel::Anc,
             empty_streak: 5,
         }
     }
@@ -116,6 +119,17 @@ impl ScatConfig {
         self
     }
 
+    /// Sets the collision-recovery backend (ANC record cascade by
+    /// default; see [`BackendModel`]). A non-ANC backend overrides the
+    /// λ-derived ω* with its own optimal offered load `G*` and, like the
+    /// resolution model, is only consulted under
+    /// [`Fidelity::SlotLevel`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendModel) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Consecutive empty slots that trigger the `p = 1` termination probe.
     ///
     /// # Panics
@@ -138,6 +152,12 @@ impl ScatConfig {
     #[must_use]
     pub fn omega(&self) -> f64 {
         self.omega
+    }
+
+    /// Configured collision-recovery backend.
+    #[must_use]
+    pub fn backend(&self) -> &BackendModel {
+        &self.backend
     }
 }
 
@@ -172,7 +192,10 @@ impl Scat {
     /// Creates SCAT from a configuration.
     #[must_use]
     pub fn new(config: ScatConfig) -> Self {
-        let name = format!("SCAT-{}", config.lambda);
+        let name = match config.backend.name_suffix() {
+            Some(suffix) => format!("SCAT-{}-{suffix}", config.lambda),
+            None => format!("SCAT-{}", config.lambda),
+        };
         Scat { config, name }
     }
 
@@ -215,6 +238,7 @@ impl ObservableProtocol for Scat {
             &cfg.fidelity,
             &cfg.resolution,
             cfg.recovery,
+            cfg.backend,
             config,
             sink,
         );
@@ -225,6 +249,13 @@ impl ObservableProtocol for Scat {
         let ctl = LambdaController::from_policy(config.lambda_policy(), cfg.lambda);
         let mut omega = ctl.as_ref().map_or(cfg.omega, LambdaController::omega);
         engine.set_lambda_controller(ctl);
+        // A non-ANC backend replaces the λ-derived ω* with its own optimal
+        // offered load G* (λ is an ANC concept; MPR/CS never deposit
+        // records, so the collision-record calculus behind ω* is moot).
+        let omega_override = cfg.backend.omega_override();
+        if let Some(g) = omega_override {
+            omega = g;
+        }
 
         // Population bootstrap.
         let mut population = cfg
@@ -324,7 +355,7 @@ impl ObservableProtocol for Scat {
             // Round boundary: the adaptive-λ controller may re-select λ,
             // and the next advertisement follows the new ω*.
             if let Some((_, new_omega)) = engine.maybe_adjust_lambda() {
-                omega = new_omega;
+                omega = omega_override.unwrap_or(new_omega);
             }
         }
 

@@ -81,6 +81,45 @@ pub enum RecordEventKind {
         /// Whether the addressed singleton decode succeeded.
         success: bool,
     },
+    /// A collision-recovery backend decoded every co-slotted reply in
+    /// place (MPR / compressed sensing); no record was deposited. Emitted
+    /// once per decoded slot — the per-tag resolutions show up in the
+    /// surrounding [`SlotEvent::learned_resolved`] count.
+    Recovered {
+        /// Which backend decoded the slot.
+        backend: RecoveryBackendTag,
+        /// How many replies were decoded from the slot.
+        decoded: u32,
+    },
+}
+
+/// Which collision-recovery backend produced a [`RecordEventKind::
+/// Recovered`] event.
+///
+/// Mirrors the core crate's `BackendModel` without pulling in its
+/// parameters: traces only need to attribute the decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RecoveryBackendTag {
+    /// The ANC collision-record cascade (only tagged on hypothetical
+    /// in-place decodes; ANC normally deposits records instead).
+    Anc,
+    /// Multi-packet reception with capability M.
+    Mpr,
+    /// Compressed-sensing sparse recovery.
+    Cs,
+}
+
+impl RecoveryBackendTag {
+    /// Stable lowercase wire name used in JSONL traces.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryBackendTag::Anc => "anc",
+            RecoveryBackendTag::Mpr => "mpr",
+            RecoveryBackendTag::Cs => "cs",
+        }
+    }
 }
 
 /// A collision-record lifecycle event.

@@ -192,6 +192,13 @@ impl<W: Write> EventSink for JsonlSink<W> {
                  \"attempt\":{attempt},\"success\":{success}}}",
                 event.slot, event.record_slot,
             ),
+            RecordEventKind::Recovered { backend, decoded } => format!(
+                "{{\"type\":\"record\",\"event\":\"recovered\",\"slot\":{},\"record_slot\":{},\
+                 \"backend\":\"{}\",\"decoded\":{decoded}}}",
+                event.slot,
+                event.record_slot,
+                backend.as_str(),
+            ),
         };
         self.write_line(&line);
     }
@@ -254,6 +261,11 @@ pub mod replay {
         pub records_resolved: u64,
         /// `record` events with `event == "attempted"`.
         pub resolution_attempts: u64,
+        /// `record` events with `event == "recovered"` (a non-ANC backend
+        /// decoded a collision slot in place).
+        pub slots_recovered: u64,
+        /// Replies decoded by those `recovered` events, summed.
+        pub replies_recovered: u64,
         /// Residual-SNR samples per hop depth, rebuilt from `attempted`
         /// events (same aggregation type as the live
         /// [`crate::Metrics::snr_by_hop`], so replay == live is
@@ -363,6 +375,10 @@ pub mod replay {
                         if let Some(db) = snr(&line) {
                             summary.snr_by_hop.observe(num(&line, "hop") as u32, db);
                         }
+                    }
+                    Some("recovered") => {
+                        summary.slots_recovered += 1;
+                        summary.replies_recovered += num(&line, "decoded");
                     }
                     _ => {}
                 },
@@ -599,6 +615,39 @@ mod tests {
         assert_eq!(stats.count, 2);
         assert_eq!(stats.min, f64::NEG_INFINITY);
         assert!(stats.mean.is_nan(), "inf + -inf has no defined mean");
+    }
+
+    #[test]
+    fn recovered_events_serialize_and_replay() {
+        use crate::event::RecoveryBackendTag;
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&RecordEvent {
+            slot: 5,
+            record_slot: 5,
+            kind: RecordEventKind::Recovered {
+                backend: RecoveryBackendTag::Mpr,
+                decoded: 3,
+            },
+        });
+        sink.record(&RecordEvent {
+            slot: 9,
+            record_slot: 9,
+            kind: RecordEventKind::Recovered {
+                backend: RecoveryBackendTag::Cs,
+                decoded: 2,
+            },
+        });
+        let text = String::from_utf8(sink.finish().expect("write")).expect("utf8");
+        assert!(text.contains("\"event\":\"recovered\""));
+        assert!(text.contains("\"backend\":\"mpr\""));
+        assert!(text.contains("\"backend\":\"cs\""));
+        assert!(text.contains("\"decoded\":3"));
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.slots_recovered, 2);
+        assert_eq!(summary.replies_recovered, 5);
+        // Not conflated with the ANC record-lifecycle counters.
+        assert_eq!(summary.records_created, 0);
+        assert_eq!(summary.records_resolved, 0);
     }
 
     #[test]

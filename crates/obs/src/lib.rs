@@ -29,7 +29,8 @@ pub mod jsonl;
 pub mod metrics;
 
 pub use event::{
-    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SlotEvent,
+    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, RecoveryBackendTag, ScheduleEvent,
+    SlotEvent,
 };
 pub use jsonl::JsonlSink;
 pub use metrics::{

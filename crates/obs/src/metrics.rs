@@ -292,6 +292,13 @@ pub struct Metrics {
     /// Largest number of sites reading concurrently in one slice.
     #[cfg_attr(feature = "serde", serde(default))]
     pub max_concurrent_sites: u64,
+    /// Collision slots decoded in place by a non-ANC recovery backend
+    /// (MPR / compressed sensing).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub slots_recovered: u64,
+    /// Replies decoded by those in-place recoveries, summed.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub replies_recovered: u64,
     /// Re-query slots scheduled by the recovery policy.
     pub requeries_scheduled: u64,
     /// Re-query slots executed.
@@ -354,6 +361,8 @@ impl Metrics {
         self.schedule_slices += other.schedule_slices;
         self.scheduled_sites += other.scheduled_sites;
         self.max_concurrent_sites = self.max_concurrent_sites.max(other.max_concurrent_sites);
+        self.slots_recovered += other.slots_recovered;
+        self.replies_recovered += other.replies_recovered;
         self.requeries_scheduled += other.requeries_scheduled;
         self.requeries_executed += other.requeries_executed;
         self.requeries_succeeded += other.requeries_succeeded;
@@ -508,6 +517,16 @@ impl fmt::Display for Metrics {
         )?;
         writeln!(
             f,
+            "backend slots recovered         {:>12}",
+            self.slots_recovered
+        )?;
+        writeln!(
+            f,
+            "  replies decoded               {:>12}",
+            self.replies_recovered
+        )?;
+        writeln!(
+            f,
             "re-queries scheduled            {:>12}",
             self.requeries_scheduled
         )?;
@@ -606,6 +625,10 @@ impl EventSink for MetricsSink {
                 if success {
                     m.requeries_succeeded += 1;
                 }
+            }
+            RecordEventKind::Recovered { decoded, .. } => {
+                m.slots_recovered += 1;
+                m.replies_recovered += u64::from(decoded);
             }
         }
     }
@@ -799,6 +822,32 @@ mod tests {
         assert_eq!(merged.scheduled_sites, 18);
         assert_eq!(merged.max_concurrent_sites, 5);
         assert!(merged.render_table().contains("schedule slices"));
+    }
+
+    #[test]
+    fn recovered_events_accumulate_and_merge() {
+        use crate::event::RecoveryBackendTag;
+        let mut sink = MetricsSink::new();
+        for (slot, decoded) in [(2u64, 3u32), (7, 2)] {
+            sink.record(&RecordEvent {
+                slot,
+                record_slot: slot,
+                kind: RecordEventKind::Recovered {
+                    backend: RecoveryBackendTag::Mpr,
+                    decoded,
+                },
+            });
+        }
+        let m = sink.into_metrics();
+        assert_eq!(m.slots_recovered, 2);
+        assert_eq!(m.replies_recovered, 5);
+        assert_eq!(m.records_created, 0, "in-place decodes deposit nothing");
+
+        let mut merged = m.clone();
+        merged.merge(&m);
+        assert_eq!(merged.slots_recovered, 4);
+        assert_eq!(merged.replies_recovered, 10);
+        assert!(merged.render_table().contains("backend slots recovered"));
     }
 
     #[test]

@@ -48,8 +48,9 @@ pub use rfid_types as types;
 pub mod prelude {
     pub use rfid_anc::device::MessageLevelFcat;
     pub use rfid_anc::{
-        Fcat, FcatConfig, LambdaController, RecoveryPolicy, ResolutionModel, Scat, ScatConfig,
-        SignalResolutionConfig, CALIBRATED_RESIDUAL_PER_HOP,
+        BackendModel, CompressedSensing, Fcat, FcatConfig, LambdaController, Mpr, RecoveryBackend,
+        RecoveryPolicy, ResolutionModel, Scat, ScatConfig, SignalResolutionConfig,
+        CALIBRATED_RESIDUAL_PER_HOP,
     };
     pub use rfid_protocols::{
         Abs, Aqs, Crdsa, Dfsa, DfsaConfig, Edfsa, EdfsaConfig, FramedSlottedAloha, QueryTree,
