@@ -10,8 +10,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod output;
 pub mod perf;
+pub mod serve;
 pub mod trace;
 
 pub use experiments::ExperimentOptions;
+pub use serve::{ServeOptions, Server};

@@ -172,6 +172,29 @@ pub struct ScheduleEvent {
     pub serial_elapsed_us: f64,
 }
 
+/// One site's inventory finished inside a sharded multi-site sweep.
+///
+/// Emitted by the work-stealing sharded executor as each site's inventory
+/// completes, so a streaming consumer sees per-site progress live. Events
+/// arrive in *completion* order (which worker finished first), not site
+/// order — each event's content is still deterministic for a given seed,
+/// because every site runs on its own derived RNG stream regardless of
+/// which worker executes it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SiteEvent {
+    /// Site index within the sweep (position order).
+    pub site: u32,
+    /// Worker thread that executed the site.
+    pub worker: u32,
+    /// Tags the site's inventory identified.
+    pub identified: u32,
+    /// Slots the site's inventory spent.
+    pub slots: u64,
+    /// Air time of the site's inventory, µs.
+    pub elapsed_us: f64,
+}
+
 /// A population-estimate revision.
 ///
 /// FCAT emits one per frame (the §V-C estimator inverting the frame's

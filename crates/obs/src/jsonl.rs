@@ -15,9 +15,7 @@
 //! reads the same subset back for post-hoc verification — see
 //! [`replay::summarize`].
 
-use crate::event::{
-    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SlotEvent,
-};
+use crate::event::{EstimatorEvent, LambdaEvent, RecordEvent, ScheduleEvent, SiteEvent, SlotEvent};
 use crate::metrics::SlotTotals;
 use crate::EventSink;
 use rfid_types::SlotClass;
@@ -67,69 +65,24 @@ fn class_str(class: SlotClass) -> &'static str {
     }
 }
 
-/// An [`EventSink`] that appends one JSON line per event to a writer.
+/// Renders events to their one-line JSON wire encoding.
 ///
-/// I/O errors are sticky: the first failure stops further writing and is
-/// returned by [`JsonlSink::finish`]. (Sink callbacks cannot return errors —
-/// by design, so the engine's hot path stays infallible.)
-#[derive(Debug)]
-pub struct JsonlSink<W: Write> {
-    out: BufWriter<W>,
-    error: Option<io::Error>,
-    lines: u64,
-}
+/// [`JsonlSink`] (file traces) and [`crate::StreamSink`] (bounded
+/// per-client event streams, the `repro serve` protocol) share these
+/// functions, so a served stream and a local trace of the same run are
+/// byte-identical line for line.
+pub mod wire {
+    use super::{class_str, fmt_f64, fmt_snr};
+    use crate::event::{
+        EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SiteEvent,
+        SlotEvent,
+    };
+    use crate::metrics::Metrics;
 
-impl<W: Write> JsonlSink<W> {
-    /// Wraps a writer (buffered internally).
-    pub fn new(out: W) -> Self {
-        JsonlSink {
-            out: BufWriter::new(out),
-            error: None,
-            lines: 0,
-        }
-    }
-
-    /// Lines successfully queued so far.
+    /// `{"type":"slot",...}` — one executed slot.
     #[must_use]
-    pub fn lines(&self) -> u64 {
-        self.lines
-    }
-
-    /// Flushes and returns the underlying writer, or the first I/O error
-    /// encountered while tracing.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first write/flush error.
-    pub fn finish(mut self) -> io::Result<W> {
-        if let Some(error) = self.error.take() {
-            return Err(error);
-        }
-        self.out.flush()?;
-        self.out
-            .into_inner()
-            .map_err(io::IntoInnerError::into_error)
-    }
-
-    fn write_line(&mut self, line: &str) {
-        if self.error.is_some() {
-            return;
-        }
-        if let Err(error) = self
-            .out
-            .write_all(line.as_bytes())
-            .and_then(|()| self.out.write_all(b"\n"))
-        {
-            self.error = Some(error);
-        } else {
-            self.lines += 1;
-        }
-    }
-}
-
-impl<W: Write> EventSink for JsonlSink<W> {
-    fn slot(&mut self, event: &SlotEvent) {
-        let line = format!(
+    pub fn slot_line(event: &SlotEvent) -> String {
+        format!(
             "{{\"type\":\"slot\",\"slot\":{},\"class\":\"{}\",\"transmitters\":{},\"p\":{},\
              \"learned_direct\":{},\"learned_resolved\":{},\"outstanding\":{}}}",
             event.slot,
@@ -139,12 +92,13 @@ impl<W: Write> EventSink for JsonlSink<W> {
             event.learned_direct,
             event.learned_resolved,
             event.records_outstanding,
-        );
-        self.write_line(&line);
+        )
     }
 
-    fn record(&mut self, event: &RecordEvent) {
-        let line = match event.kind {
+    /// `{"type":"record",...}` — one collision-record lifecycle event.
+    #[must_use]
+    pub fn record_line(event: &RecordEvent) -> String {
+        match event.kind {
             RecordEventKind::Created {
                 participants,
                 usable,
@@ -199,12 +153,13 @@ impl<W: Write> EventSink for JsonlSink<W> {
                 event.record_slot,
                 backend.as_str(),
             ),
-        };
-        self.write_line(&line);
+        }
     }
 
-    fn estimator(&mut self, event: &EstimatorEvent) {
-        let line = format!(
+    /// `{"type":"estimator",...}` — one population-estimate revision.
+    #[must_use]
+    pub fn estimator_line(event: &EstimatorEvent) -> String {
+        format!(
             "{{\"type\":\"estimator\",\"slot\":{},\"frame\":{},\"p\":{},\"n0\":{},\"n1\":{},\
              \"nc\":{},\"estimate\":{}}}",
             event.slot,
@@ -214,29 +169,212 @@ impl<W: Write> EventSink for JsonlSink<W> {
             event.n1,
             event.nc,
             fmt_f64(event.estimate),
-        );
-        self.write_line(&line);
+        )
     }
 
-    fn lambda(&mut self, event: &LambdaEvent) {
-        let line = format!(
+    /// `{"type":"lambda",...}` — one adaptive-λ re-selection.
+    #[must_use]
+    pub fn lambda_line(event: &LambdaEvent) -> String {
+        format!(
             "{{\"type\":\"lambda\",\"slot\":{},\"lambda\":{},\"omega\":{}}}",
             event.slot,
             event.lambda,
             fmt_f64(event.omega),
-        );
-        self.write_line(&line);
+        )
     }
 
-    fn schedule(&mut self, event: &ScheduleEvent) {
-        let line = format!(
+    /// `{"type":"schedule",...}` — one completed concurrent time slice.
+    #[must_use]
+    pub fn schedule_line(event: &ScheduleEvent) -> String {
+        format!(
             "{{\"type\":\"schedule\",\"slice\":{},\"sites\":{},\"wall_us\":{},\"serial_us\":{}}}",
             event.slice,
             event.sites,
             fmt_f64(event.wall_elapsed_us),
             fmt_f64(event.serial_elapsed_us),
-        );
-        self.write_line(&line);
+        )
+    }
+
+    /// `{"type":"site",...}` — one completed site of a sharded sweep.
+    #[must_use]
+    pub fn site_line(event: &SiteEvent) -> String {
+        format!(
+            "{{\"type\":\"site\",\"site\":{},\"worker\":{},\"identified\":{},\"slots\":{},\
+             \"elapsed_us\":{}}}",
+            event.site,
+            event.worker,
+            event.identified,
+            event.slots,
+            fmt_f64(event.elapsed_us),
+        )
+    }
+
+    /// `{"type":"metrics",...}` — a coalesced aggregate snapshot.
+    ///
+    /// Emitted by [`crate::StreamSink`] when a bounded client queue had to
+    /// drop events: the snapshot summarizes everything observed so far
+    /// (including the dropped events, which are still folded into the
+    /// aggregates) so a slow consumer loses granularity, never totals.
+    #[must_use]
+    pub fn metrics_line(metrics: &Metrics, dropped_events: u64) -> String {
+        format!(
+            "{{\"type\":\"metrics\",\"slots\":{},\"empty\":{},\"singleton\":{},\
+             \"collision\":{},\"identified_direct\":{},\"identified_resolved\":{},\
+             \"records_created\":{},\"records_resolved\":{},\"sites\":{},\
+             \"site_identified\":{},\"schedule_slices\":{},\"dropped_events\":{}}}",
+            metrics.slots.total(),
+            metrics.slots.empty,
+            metrics.slots.singleton,
+            metrics.slots.collision,
+            metrics.identified_direct,
+            metrics.identified_resolved,
+            metrics.records_created,
+            metrics.records_resolved,
+            metrics.sites_completed,
+            metrics.site_identified,
+            metrics.schedule_slices,
+            dropped_events,
+        )
+    }
+}
+
+/// An [`EventSink`] that appends one JSON line per event to a writer.
+///
+/// I/O errors are sticky: the first failure stops further writing and is
+/// returned by [`JsonlSink::finish`]. (Sink callbacks cannot return errors —
+/// by design, so the engine's hot path stays infallible.)
+///
+/// By default the internal buffer is flushed only by [`JsonlSink::finish`]
+/// — right for file traces, where syscall count matters. Streaming
+/// consumers (a `repro serve` client watching events live) should set
+/// [`JsonlSink::with_flush_every`] so output arrives in bounded batches
+/// instead of multi-KB bursts, and so a dropped connection loses at most
+/// the last partial batch rather than the whole buffered tail.
+///
+/// Dropping a sink without calling `finish` flushes what it can; a flush
+/// failure (or an earlier sticky error) is reported on stderr rather than
+/// silently discarded — but only `finish` can *return* the error, so it
+/// remains the correct way to end a trace.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: Option<BufWriter<W>>,
+    error: Option<io::Error>,
+    lines: u64,
+    flush_every: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer (buffered internally).
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: Some(BufWriter::new(out)),
+            error: None,
+            lines: 0,
+            flush_every: 0,
+        }
+    }
+
+    /// Returns this sink flushing after every `lines` written lines
+    /// (streaming mode). `0` restores the default: flush only at
+    /// [`JsonlSink::finish`].
+    #[must_use]
+    pub fn with_flush_every(mut self, lines: u64) -> Self {
+        self.flush_every = lines;
+        self
+    }
+
+    /// Lines successfully queued so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Whether a sticky I/O error is pending (it will be returned by
+    /// [`JsonlSink::finish`]).
+    #[must_use]
+    pub fn has_error(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Flushes and returns the underlying writer, or the first I/O error
+    /// encountered while tracing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write/flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        let mut out = self.out.take().expect("finish is called at most once");
+        out.flush()?;
+        out.into_inner().map_err(io::IntoInnerError::into_error)
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        if let Err(error) = out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+        {
+            self.error = Some(error);
+            return;
+        }
+        self.lines += 1;
+        if self.flush_every > 0 && self.lines.is_multiple_of(self.flush_every) {
+            if let Err(error) = out.flush() {
+                self.error = Some(error);
+            }
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let Some(mut out) = self.out.take() else {
+            return; // finish() already ran and owned the error path
+        };
+        let error = match self.error.take() {
+            Some(error) => Some(error),
+            None => out.flush().err(),
+        };
+        if let Some(error) = error {
+            // A drop cannot return the error; surfacing it beats the old
+            // behavior (BufWriter's Drop silently ignoring the failed
+            // flush and losing the tail of the trace).
+            eprintln!("rfid-obs: JsonlSink dropped with unreported I/O error: {error}");
+        }
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn slot(&mut self, event: &SlotEvent) {
+        self.write_line(&wire::slot_line(event));
+    }
+
+    fn record(&mut self, event: &RecordEvent) {
+        self.write_line(&wire::record_line(event));
+    }
+
+    fn estimator(&mut self, event: &EstimatorEvent) {
+        self.write_line(&wire::estimator_line(event));
+    }
+
+    fn lambda(&mut self, event: &LambdaEvent) {
+        self.write_line(&wire::lambda_line(event));
+    }
+
+    fn schedule(&mut self, event: &ScheduleEvent) {
+        self.write_line(&wire::schedule_line(event));
+    }
+
+    fn site(&mut self, event: &SiteEvent) {
+        self.write_line(&wire::site_line(event));
     }
 }
 
@@ -280,6 +418,16 @@ pub mod replay {
         pub schedule_wall_us: f64,
         /// Serial-equivalent air time summed over `schedule` events, µs.
         pub schedule_serial_us: f64,
+        /// `site` events (completed sites of a sharded sweep).
+        pub sites_completed: u64,
+        /// Identifications summed over `site` events.
+        pub site_identified: u64,
+        /// `metrics` events (coalesced snapshots a bounded stream emitted
+        /// after dropping events for a slow consumer).
+        pub coalesced_snapshots: u64,
+        /// `dropped_events` of the last `metrics` line seen (the counter is
+        /// cumulative on the wire, so last-wins is the stream's total).
+        pub dropped_events: u64,
         /// `lambda` events (adaptive-λ re-selections).
         pub lambda_adjustments: u64,
         /// λ of the last `lambda` event (0 when none occurred).
@@ -389,6 +537,14 @@ pub mod replay {
                     summary.schedule_wall_us += fnum(&line, "wall_us");
                     summary.schedule_serial_us += fnum(&line, "serial_us");
                 }
+                Some("site") => {
+                    summary.sites_completed += 1;
+                    summary.site_identified += num(&line, "identified");
+                }
+                Some("metrics") => {
+                    summary.coalesced_snapshots += 1;
+                    summary.dropped_events = num(&line, "dropped_events");
+                }
                 Some("lambda") => {
                     summary.lambda_adjustments += 1;
                     summary.lambda_current = num(&line, "lambda") as u32;
@@ -403,6 +559,7 @@ pub mod replay {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::RecordEventKind;
     use rfid_types::TagId;
     use std::io::BufReader;
 
@@ -697,6 +854,135 @@ mod tests {
         assert_eq!(summary.scheduled_sites, 8);
         assert!((summary.schedule_wall_us - 2200.25).abs() < 1e-9);
         assert!((summary.schedule_serial_us - 7300.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn site_and_metrics_lines_serialize_and_replay() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.site(&SiteEvent {
+            site: 7,
+            worker: 2,
+            identified: 40,
+            slots: 233,
+            elapsed_us: 1234.5,
+        });
+        sink.site(&SiteEvent {
+            site: 3,
+            worker: 0,
+            identified: 25,
+            slots: 150,
+            elapsed_us: 800.0,
+        });
+        let metrics = crate::Metrics {
+            sites_completed: 2,
+            site_identified: 65,
+            ..crate::Metrics::default()
+        };
+        let snapshot = wire::metrics_line(&metrics, 17);
+        let mut text = String::from_utf8(sink.finish().expect("write")).expect("utf8");
+        text.push_str(&snapshot);
+        text.push('\n');
+        assert!(text.contains("\"type\":\"site\""));
+        assert!(text.contains("\"worker\":2"));
+        assert!(text.contains("\"elapsed_us\":1234.5"));
+        assert!(text.contains("\"type\":\"metrics\""));
+        assert!(text.contains("\"dropped_events\":17"));
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.sites_completed, 2);
+        assert_eq!(summary.site_identified, 65);
+        assert_eq!(summary.coalesced_snapshots, 1);
+        assert_eq!(summary.dropped_events, 17);
+    }
+
+    /// A writer that records flush calls, for pinning the flush policy.
+    #[derive(Debug)]
+    struct FlushCounter {
+        flushes: std::rc::Rc<std::cell::Cell<u64>>,
+        fail_flush: bool,
+    }
+
+    impl Write for FlushCounter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushes.set(self.flushes.get() + 1);
+            if self.fail_flush {
+                Err(io::Error::other("flush refused"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn flush_every_flushes_in_bounded_batches() {
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sink = JsonlSink::new(FlushCounter {
+            flushes: flushes.clone(),
+            fail_flush: false,
+        })
+        .with_flush_every(2);
+        for slot in 0..5 {
+            sink.lambda(&LambdaEvent {
+                slot,
+                lambda: 2,
+                omega: 1.5,
+            });
+        }
+        // 5 lines with flush_every=2 → flushes after lines 2 and 4.
+        assert_eq!(flushes.get(), 2);
+        sink.finish().expect("finish");
+        assert!(flushes.get() >= 3, "finish flushes the tail");
+    }
+
+    #[test]
+    fn default_mode_flushes_only_at_finish() {
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sink = JsonlSink::new(FlushCounter {
+            flushes: flushes.clone(),
+            fail_flush: false,
+        });
+        for slot in 0..100 {
+            sink.lambda(&LambdaEvent {
+                slot,
+                lambda: 2,
+                omega: 1.5,
+            });
+        }
+        assert_eq!(flushes.get(), 0);
+        sink.finish().expect("finish");
+        assert!(flushes.get() >= 1);
+    }
+
+    #[test]
+    fn streaming_flush_error_is_sticky_and_returned_by_finish() {
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut sink = JsonlSink::new(FlushCounter {
+            flushes: flushes.clone(),
+            fail_flush: true,
+        })
+        .with_flush_every(1);
+        sink.lambda(&LambdaEvent {
+            slot: 0,
+            lambda: 2,
+            omega: 1.5,
+        });
+        assert!(sink.has_error());
+        let lines_after_error = sink.lines();
+        sink.lambda(&LambdaEvent {
+            slot: 1,
+            lambda: 2,
+            omega: 1.5,
+        });
+        assert_eq!(
+            sink.lines(),
+            lines_after_error,
+            "sticky error stops writing"
+        );
+        let err = sink.finish().expect_err("flush error surfaces");
+        assert_eq!(err.to_string(), "flush refused");
     }
 
     #[test]

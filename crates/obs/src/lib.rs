@@ -27,15 +27,17 @@
 pub mod event;
 pub mod jsonl;
 pub mod metrics;
+pub mod stream;
 
 pub use event::{
     EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, RecoveryBackendTag, ScheduleEvent,
-    SlotEvent,
+    SiteEvent, SlotEvent,
 };
 pub use jsonl::JsonlSink;
 pub use metrics::{
     LatencyHistogram, Metrics, MetricsSink, SlotTotals, SnrByHop, SnrHopStats, LATENCY_BUCKETS,
 };
+pub use stream::{StreamQueue, StreamRecv, StreamSink};
 
 /// Receives simulation events.
 ///
@@ -74,6 +76,11 @@ pub trait EventSink {
     fn schedule(&mut self, event: &ScheduleEvent) {
         let _ = event;
     }
+
+    /// A sharded multi-site sweep finished one site's inventory.
+    fn site(&mut self, event: &SiteEvent) {
+        let _ = event;
+    }
 }
 
 /// The do-nothing sink: `ENABLED = false`, so engines generic over it
@@ -107,6 +114,10 @@ impl<S: EventSink> EventSink for &mut S {
 
     fn schedule(&mut self, event: &ScheduleEvent) {
         (**self).schedule(event);
+    }
+
+    fn site(&mut self, event: &SiteEvent) {
+        (**self).site(event);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Aggregate counters and histograms built from the event stream.
 
 use crate::event::{
-    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SlotEvent,
+    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SiteEvent, SlotEvent,
 };
 use crate::EventSink;
 use rfid_types::SlotClass;
@@ -283,6 +283,12 @@ pub struct Metrics {
     /// λ event was ever observed).
     #[cfg_attr(feature = "serde", serde(default))]
     pub lambda_current: u32,
+    /// Sites completed by a sharded (work-stealing) multi-site executor.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub sites_completed: u64,
+    /// Tags identified across completed sharded sites, summed.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub site_identified: u64,
     /// Concurrent multi-reader time slices completed.
     #[cfg_attr(feature = "serde", serde(default))]
     pub schedule_slices: u64,
@@ -358,6 +364,8 @@ impl Metrics {
         if other.lambda_current != 0 {
             self.lambda_current = other.lambda_current;
         }
+        self.sites_completed += other.sites_completed;
+        self.site_identified += other.site_identified;
         self.schedule_slices += other.schedule_slices;
         self.scheduled_sites += other.scheduled_sites;
         self.max_concurrent_sites = self.max_concurrent_sites.max(other.max_concurrent_sites);
@@ -502,6 +510,16 @@ impl fmt::Display for Metrics {
         )?;
         writeln!(
             f,
+            "sharded sites completed         {:>12}",
+            self.sites_completed
+        )?;
+        writeln!(
+            f,
+            "  site identifications          {:>12}",
+            self.site_identified
+        )?;
+        writeln!(
+            f,
             "schedule slices                 {:>12}",
             self.schedule_slices
         )?;
@@ -574,6 +592,15 @@ impl MetricsSink {
         metrics.runs = 1;
         metrics.final_estimate_sum = self.final_estimate;
         metrics
+    }
+
+    /// The metrics accumulated so far, mid-run. `runs` and
+    /// `final_estimate_sum` are only stamped by
+    /// [`MetricsSink::into_metrics`]; everything else is live. Used by
+    /// streaming sinks to publish coalesced snapshots under backpressure.
+    #[must_use]
+    pub fn current(&self) -> &Metrics {
+        &self.metrics
     }
 }
 
@@ -648,6 +675,12 @@ impl EventSink for MetricsSink {
         m.schedule_slices += 1;
         m.scheduled_sites += u64::from(event.sites);
         m.max_concurrent_sites = m.max_concurrent_sites.max(u64::from(event.sites));
+    }
+
+    fn site(&mut self, event: &SiteEvent) {
+        let m = &mut self.metrics;
+        m.sites_completed += 1;
+        m.site_identified += u64::from(event.identified);
     }
 }
 

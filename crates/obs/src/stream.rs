@@ -1,0 +1,438 @@
+//! Bounded per-client event streaming for `repro serve`.
+//!
+//! A served sweep produces events far faster than a slow client drains
+//! them. Buffering without bound would let one stalled consumer grow the
+//! server's memory arbitrarily, so each client gets a [`StreamQueue`]: a
+//! fixed-capacity line queue between the simulation thread (producer, via
+//! [`StreamSink`]) and the connection writer (consumer). When the queue is
+//! full, *granular* events are dropped and counted — but every event is
+//! folded into the sink's [`crate::Metrics`] first, so once the
+//! consumer catches up it receives a coalesced `{"type":"metrics",...}`
+//! snapshot carrying the aggregate totals and the cumulative
+//! `dropped_events` counter. A slow consumer loses granularity, never
+//! totals, and the server's memory stays bounded by `capacity` lines.
+//!
+//! The wire encoding is shared with [`JsonlSink`](crate::JsonlSink) (see
+//! [`crate::jsonl::wire`]), so a served stream replays through
+//! [`crate::jsonl::replay::summarize`] exactly like a file trace.
+
+use crate::event::{EstimatorEvent, LambdaEvent, RecordEvent, ScheduleEvent, SiteEvent, SlotEvent};
+use crate::jsonl::wire;
+use crate::metrics::{Metrics, MetricsSink};
+use crate::EventSink;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Outcome of one [`StreamQueue::recv_timeout`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamRecv {
+    /// A line was dequeued.
+    Line(String),
+    /// The timeout elapsed with the queue empty (and not closed). A
+    /// streaming writer should flush its transport buffer here so the
+    /// client sees everything produced so far.
+    Empty,
+    /// The queue is closed and fully drained; no more lines will arrive.
+    Closed,
+}
+
+struct QueueState {
+    lines: VecDeque<String>,
+    dropped_total: u64,
+    dropped_since_snapshot: u64,
+    closed: bool,
+}
+
+/// A fixed-capacity, thread-safe line queue with drop accounting.
+///
+/// Producers call [`StreamQueue::push_event`] (lossy; full queue → the
+/// line is dropped and counted) or [`StreamQueue::push_blocking`]
+/// (waits for room; used for must-deliver lines like the final result).
+/// The consumer calls [`StreamQueue::recv_timeout`] in a loop and flushes
+/// on [`StreamRecv::Empty`].
+pub struct StreamQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+impl std::fmt::Debug for StreamQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("stream queue poisoned");
+        f.debug_struct("StreamQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &state.lines.len())
+            .field("dropped_total", &state.dropped_total)
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+impl StreamQueue {
+    /// Creates a queue holding at most `capacity` lines (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(StreamQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                lines: VecDeque::new(),
+                dropped_total: 0,
+                dropped_since_snapshot: 0,
+                closed: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        })
+    }
+
+    /// Maximum number of buffered lines.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lines currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("stream queue poisoned")
+            .lines
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative granular events dropped because the queue was full.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("stream queue poisoned")
+            .dropped_total
+    }
+
+    /// Lossy enqueue with coalescing. Returns `true` if `line` was
+    /// enqueued.
+    ///
+    /// If earlier lines were dropped and there is room for both, a
+    /// snapshot line (built by `snapshot`, which receives the cumulative
+    /// drop count) is enqueued first, covering the gap. If the queue is
+    /// full — or has room for the snapshot alone — the granular line is
+    /// dropped and counted; its content stays represented because callers
+    /// fold every event into their aggregate metrics *before* pushing.
+    pub fn push_event<F>(&self, line: String, snapshot: F) -> bool
+    where
+        F: FnOnce(u64) -> String,
+    {
+        let mut state = self.state.lock().expect("stream queue poisoned");
+        if state.closed {
+            return false;
+        }
+        let room = self.capacity - state.lines.len();
+        let enqueued = if state.dropped_since_snapshot == 0 && room >= 1 {
+            state.lines.push_back(line);
+            true
+        } else if state.dropped_since_snapshot > 0 && room >= 2 {
+            let snap = snapshot(state.dropped_total);
+            state.lines.push_back(snap);
+            state.dropped_since_snapshot = 0;
+            state.lines.push_back(line);
+            true
+        } else {
+            state.dropped_total += 1;
+            state.dropped_since_snapshot += 1;
+            false
+        };
+        if enqueued {
+            drop(state);
+            self.readable.notify_one();
+        }
+        enqueued
+    }
+
+    /// Enqueues `line`, waiting for room if the queue is full. Returns
+    /// `false` only if the queue was closed before room appeared.
+    pub fn push_blocking(&self, line: String) -> bool {
+        let mut state = self.state.lock().expect("stream queue poisoned");
+        loop {
+            if state.closed {
+                return false;
+            }
+            if state.lines.len() < self.capacity {
+                state.lines.push_back(line);
+                drop(state);
+                self.readable.notify_one();
+                return true;
+            }
+            state = self.writable.wait(state).expect("stream queue poisoned");
+        }
+    }
+
+    /// Marks the queue closed. Already-buffered lines remain receivable;
+    /// the consumer sees [`StreamRecv::Closed`] once they are drained.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("stream queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Dequeues the next line, waiting up to `timeout` for one to arrive.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: Duration) -> StreamRecv {
+        let mut state = self.state.lock().expect("stream queue poisoned");
+        loop {
+            if let Some(line) = state.lines.pop_front() {
+                drop(state);
+                self.writable.notify_one();
+                return StreamRecv::Line(line);
+            }
+            if state.closed {
+                return StreamRecv::Closed;
+            }
+            let (next, result) = self
+                .readable
+                .wait_timeout(state, timeout)
+                .expect("stream queue poisoned");
+            state = next;
+            if result.timed_out() && state.lines.is_empty() {
+                return if state.closed {
+                    StreamRecv::Closed
+                } else {
+                    StreamRecv::Empty
+                };
+            }
+        }
+    }
+}
+
+/// An [`EventSink`] that renders events to the JSONL wire format and
+/// feeds them into a bounded [`StreamQueue`].
+///
+/// Every event is folded into an internal [`MetricsSink`] *before* the
+/// lossy enqueue, so when the queue drops lines for a slow consumer the
+/// coalesced `{"type":"metrics",...}` snapshot it later emits still
+/// carries complete aggregates. The snapshot's `dropped_events` field is
+/// cumulative over the stream's lifetime.
+#[derive(Debug)]
+pub struct StreamSink {
+    queue: Arc<StreamQueue>,
+    metrics: MetricsSink,
+    emitted: u64,
+}
+
+impl StreamSink {
+    /// Wraps a queue.
+    #[must_use]
+    pub fn new(queue: Arc<StreamQueue>) -> Self {
+        StreamSink {
+            queue,
+            metrics: MetricsSink::new(),
+            emitted: 0,
+        }
+    }
+
+    /// Granular lines successfully enqueued (excludes snapshots).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Cumulative granular events dropped by the queue.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.queue.dropped_events()
+    }
+
+    /// The aggregate metrics observed so far (dropped events included).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        self.metrics.current()
+    }
+
+    /// Consumes the sink and returns its aggregate metrics.
+    #[must_use]
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics.into_metrics()
+    }
+
+    fn push(&mut self, line: String) {
+        let metrics = self.metrics.current();
+        if self
+            .queue
+            .push_event(line, |dropped| wire::metrics_line(metrics, dropped))
+        {
+            self.emitted += 1;
+        }
+    }
+}
+
+impl EventSink for StreamSink {
+    fn slot(&mut self, event: &SlotEvent) {
+        self.metrics.slot(event);
+        self.push(wire::slot_line(event));
+    }
+
+    fn record(&mut self, event: &RecordEvent) {
+        self.metrics.record(event);
+        self.push(wire::record_line(event));
+    }
+
+    fn estimator(&mut self, event: &EstimatorEvent) {
+        self.metrics.estimator(event);
+        self.push(wire::estimator_line(event));
+    }
+
+    fn lambda(&mut self, event: &LambdaEvent) {
+        self.metrics.lambda(event);
+        self.push(wire::lambda_line(event));
+    }
+
+    fn schedule(&mut self, event: &ScheduleEvent) {
+        self.metrics.schedule(event);
+        self.push(wire::schedule_line(event));
+    }
+
+    fn site(&mut self, event: &SiteEvent) {
+        self.metrics.site(event);
+        self.push(wire::site_line(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site_event(site: u32) -> SiteEvent {
+        SiteEvent {
+            site,
+            worker: 0,
+            identified: 1,
+            slots: 10,
+            elapsed_us: 100.0,
+        }
+    }
+
+    fn drain(queue: &StreamQueue) -> Vec<String> {
+        let mut lines = Vec::new();
+        while let StreamRecv::Line(line) = queue.recv_timeout(Duration::from_millis(1)) {
+            lines.push(line);
+        }
+        lines
+    }
+
+    #[test]
+    fn unconstrained_stream_delivers_every_event() {
+        let queue = StreamQueue::new(64);
+        let mut sink = StreamSink::new(queue.clone());
+        for site in 0..10 {
+            sink.site(&site_event(site));
+        }
+        assert_eq!(sink.emitted(), 10);
+        assert_eq!(sink.dropped_events(), 0);
+        let lines = drain(&queue);
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.contains("\"type\":\"site\"")));
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts_then_coalesces() {
+        let queue = StreamQueue::new(2);
+        let mut sink = StreamSink::new(queue.clone());
+        // Fill the queue, then overflow it.
+        for site in 0..5 {
+            sink.site(&site_event(site));
+        }
+        assert_eq!(sink.emitted(), 2);
+        assert_eq!(sink.dropped_events(), 3);
+        assert_eq!(queue.len(), 2, "memory stays bounded by capacity");
+
+        // Consumer catches up; the next event is preceded by a snapshot.
+        let before = drain(&queue);
+        assert_eq!(before.len(), 2);
+        sink.site(&site_event(5));
+        let after = drain(&queue);
+        assert_eq!(after.len(), 2);
+        assert!(
+            after[0].contains("\"type\":\"metrics\""),
+            "coalesced snapshot covers the gap: {}",
+            after[0]
+        );
+        assert!(after[0].contains("\"dropped_events\":3"));
+        // The snapshot aggregates include the dropped events: all 6 sites.
+        assert!(after[0].contains("\"sites\":6"), "{}", after[0]);
+        assert!(after[1].contains("\"type\":\"site\""));
+        // Metrics never lost anything.
+        assert_eq!(sink.metrics().sites_completed, 6);
+    }
+
+    #[test]
+    fn snapshot_is_not_emitted_without_room_for_both() {
+        let queue = StreamQueue::new(2);
+        let mut sink = StreamSink::new(queue.clone());
+        for site in 0..3 {
+            sink.site(&site_event(site));
+        }
+        assert_eq!(sink.dropped_events(), 1);
+        // One slot frees up: not enough for snapshot + event, so the next
+        // event is dropped too rather than emitting a snapshot that would
+        // immediately go stale.
+        let first = queue.recv_timeout(Duration::from_millis(1));
+        assert!(matches!(first, StreamRecv::Line(_)));
+        sink.site(&site_event(3));
+        assert_eq!(sink.dropped_events(), 2);
+        assert_eq!(queue.len(), 1);
+    }
+
+    #[test]
+    fn push_blocking_waits_for_room() {
+        let queue = StreamQueue::new(1);
+        assert!(queue.push_blocking("a".to_owned()));
+        let q2 = queue.clone();
+        let producer = std::thread::spawn(move || q2.push_blocking("b".to_owned()));
+        // Drain one line; the blocked producer must complete.
+        assert_eq!(
+            queue.recv_timeout(Duration::from_secs(5)),
+            StreamRecv::Line("a".to_owned())
+        );
+        assert!(producer.join().expect("producer"));
+        assert_eq!(
+            queue.recv_timeout(Duration::from_secs(5)),
+            StreamRecv::Line("b".to_owned())
+        );
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let queue = StreamQueue::new(4);
+        assert!(queue.push_blocking("tail".to_owned()));
+        queue.close();
+        assert!(!queue.push_blocking("late".to_owned()), "closed rejects");
+        assert!(!queue.push_event("late".to_owned(), |_| String::new()));
+        assert_eq!(
+            queue.recv_timeout(Duration::from_millis(1)),
+            StreamRecv::Line("tail".to_owned())
+        );
+        assert_eq!(
+            queue.recv_timeout(Duration::from_millis(1)),
+            StreamRecv::Closed
+        );
+    }
+
+    #[test]
+    fn empty_timeout_reports_empty_for_flush() {
+        let queue = StreamQueue::new(4);
+        assert_eq!(
+            queue.recv_timeout(Duration::from_millis(1)),
+            StreamRecv::Empty
+        );
+    }
+}

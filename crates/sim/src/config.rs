@@ -1,5 +1,6 @@
 //! Per-run simulation configuration.
 
+use crate::SimError;
 use rand::Rng;
 use rfid_types::TimingConfig;
 
@@ -396,6 +397,76 @@ impl SimConfig {
     pub fn lambda_policy(&self) -> &LambdaPolicy {
         &self.lambda_policy
     }
+
+    /// Checks every invariant the builder methods enforce by panicking.
+    ///
+    /// The builders (`with_threads`, `with_hash_bits`, `with_max_slots`,
+    /// …) assert their arguments, which is right for programmatic
+    /// construction — but a config assembled from *external input* (a
+    /// `repro serve` JSON request, a deserialized snapshot) bypasses them
+    /// field by field, and an invalid value then panics deep inside the
+    /// engine (e.g. `threads: 0` inside the scoped-thread peeling
+    /// cascade). Run entry points call this at start so such configs are
+    /// rejected with a structured [`SimError`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn invalid(message: String) -> Result<(), SimError> {
+            Err(SimError::InvalidParameter { message })
+        }
+        if self.max_slots == 0 {
+            return invalid("max_slots must be positive".into());
+        }
+        if !(1..=32).contains(&self.hash_bits) {
+            return invalid(format!(
+                "hash_bits must be in 1..=32, got {}",
+                self.hash_bits
+            ));
+        }
+        if self.threads == 0 {
+            return invalid("threads must be positive".into());
+        }
+        for (name, p) in [
+            ("ack_loss", self.errors.ack_loss),
+            ("report_corruption", self.errors.report_corruption),
+            ("unresolvable_collision", self.errors.unresolvable_collision),
+            ("capture", self.errors.capture),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return invalid(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        if let LambdaPolicy::SnrWindow {
+            min_lambda,
+            max_lambda,
+            window,
+            demote_below_db,
+            promote_above_db,
+        } = &self.lambda_policy
+        {
+            if min_lambda > max_lambda {
+                return invalid(format!(
+                    "lambda bounds inverted: min {min_lambda} > max {max_lambda}"
+                ));
+            }
+            if *window == 0 {
+                return invalid("lambda window must be positive".into());
+            }
+            if !demote_below_db.is_finite() || !promote_above_db.is_finite() {
+                return invalid("lambda thresholds must be finite".into());
+            }
+            if demote_below_db > promote_above_db {
+                return invalid(format!(
+                    "lambda thresholds inverted: demote_below {demote_below_db} dB > \
+                     promote_above {promote_above_db} dB"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimConfig {
@@ -497,6 +568,78 @@ mod tests {
         assert!(adaptive.is_adaptive());
         let c = SimConfig::default().with_lambda_policy(adaptive.clone());
         assert_eq!(c.lambda_policy(), &adaptive);
+    }
+
+    /// Builds a config the way external deserialization does: field by
+    /// field, bypassing every builder assertion.
+    fn raw_config(threads: usize, hash_bits: u32, max_slots: u64) -> SimConfig {
+        SimConfig {
+            seed: 0,
+            timing: TimingConfig::philips_icode(),
+            errors: ErrorModel::none(),
+            max_slots,
+            trace: false,
+            hash_bits,
+            lambda_policy: LambdaPolicy::Fixed,
+            threads,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_every_builder_product() {
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+        assert_eq!(
+            SimConfig::default()
+                .with_threads(8)
+                .with_hash_bits(32)
+                .with_max_slots(1)
+                .with_errors(ErrorModel::new(0.1, 0.2, 0.3).with_capture(0.4))
+                .with_lambda_policy(LambdaPolicy::snr_window())
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_builder_bypassing_configs() {
+        // `threads: 0` used to panic deep in the scoped-thread cascade
+        // when it arrived via deserialization instead of `with_threads`.
+        let err = raw_config(0, 16, 1000).validate().unwrap_err();
+        assert!(err.to_string().contains("threads"), "{err}");
+        let err = raw_config(1, 0, 1000).validate().unwrap_err();
+        assert!(err.to_string().contains("hash_bits"), "{err}");
+        let err = raw_config(1, 33, 1000).validate().unwrap_err();
+        assert!(err.to_string().contains("hash_bits"), "{err}");
+        let err = raw_config(1, 16, 0).validate().unwrap_err();
+        assert!(err.to_string().contains("max_slots"), "{err}");
+
+        let mut bad_errors = raw_config(1, 16, 1000);
+        bad_errors.errors.ack_loss = 1.5;
+        let err = bad_errors.validate().unwrap_err();
+        assert!(err.to_string().contains("ack_loss"), "{err}");
+        let mut nan_capture = raw_config(1, 16, 1000);
+        nan_capture.errors.capture = f64::NAN;
+        assert!(nan_capture.validate().is_err());
+
+        let mut bad_lambda = raw_config(1, 16, 1000);
+        bad_lambda.lambda_policy = LambdaPolicy::SnrWindow {
+            min_lambda: 4,
+            max_lambda: 2,
+            window: 4,
+            demote_below_db: 5.5,
+            promote_above_db: 6.5,
+        };
+        let err = bad_lambda.validate().unwrap_err();
+        assert!(err.to_string().contains("lambda bounds"), "{err}");
+        let mut zero_window = raw_config(1, 16, 1000);
+        zero_window.lambda_policy = LambdaPolicy::SnrWindow {
+            min_lambda: 2,
+            max_lambda: 4,
+            window: 0,
+            demote_below_db: 5.5,
+            promote_above_db: 6.5,
+        };
+        assert!(zero_window.validate().is_err());
     }
 
     #[test]

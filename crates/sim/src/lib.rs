@@ -68,6 +68,7 @@ mod rng;
 pub mod rounds;
 mod runner;
 pub mod sampling;
+pub mod shard;
 
 pub use config::{ErrorModel, LambdaPolicy, SimConfig};
 pub use error::SimError;
@@ -83,6 +84,7 @@ pub use rng::{derive_seed, noise_stream_seed, seeded_rng, CounterRng};
 pub use runner::{
     run_inventory, run_inventory_observed, run_many, run_many_observed, run_many_with_populations,
 };
+pub use shard::{multi_site_inventory_sharded, multi_site_inventory_sharded_observed, SliceQueue};
 
 /// The observability layer (event types, sinks, metrics, JSONL traces),
 /// re-exported so downstream crates need no direct `rfid-obs` dependency.

@@ -109,14 +109,52 @@ impl Deployment {
     /// half a cell outside it. A point of the region is never farther than
     /// `spacing/2` per axis (`spacing/√2` total) from its nearest
     /// position, so `spacing ≤ range·√2` guarantees full coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the errors [`Deployment::try_grid_positions`] reports —
+    /// use that method when `spacing` comes from external input.
     #[must_use]
     pub fn grid_positions(&self, spacing: f64) -> Vec<(f64, f64)> {
-        assert!(
-            spacing > 0.0 && spacing.is_finite(),
-            "spacing must be positive"
-        );
-        let cols = (self.width / spacing).ceil().max(1.0) as usize;
-        let rows = (self.height / spacing).ceil().max(1.0) as usize;
+        match self.try_grid_positions(spacing) {
+            Ok(positions) => positions,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// [`Deployment::grid_positions`] with fallible validation, for
+    /// spacings arriving from external input (a `repro serve` request).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `spacing` is not
+    /// strictly positive and finite, or when it is so small relative to
+    /// the region that the grid would exceed
+    /// [`Deployment::MAX_GRID_POSITIONS`] sites — the old unchecked
+    /// arithmetic turned a denormal spacing into an OOM-sized allocation.
+    pub fn try_grid_positions(&self, spacing: f64) -> Result<Vec<(f64, f64)>, SimError> {
+        if !(spacing > 0.0 && spacing.is_finite()) {
+            return Err(SimError::InvalidParameter {
+                message: format!("spacing must be positive and finite, got {spacing}"),
+            });
+        }
+        let cols = (self.width / spacing).ceil().max(1.0);
+        let rows = (self.height / spacing).ceil().max(1.0);
+        // Bound *before* converting to usize: `cols * rows` can overflow
+        // through `as usize` saturation long before the multiply.
+        if cols * rows > Self::MAX_GRID_POSITIONS as f64 {
+            return Err(SimError::InvalidParameter {
+                message: format!(
+                    "spacing {spacing} over a {} x {} region yields {cols} x {rows} grid \
+                     positions (max {})",
+                    self.width,
+                    self.height,
+                    Self::MAX_GRID_POSITIONS
+                ),
+            });
+        }
+        let cols = cols as usize;
+        let rows = rows as usize;
         let mut positions = Vec::with_capacity(cols * rows);
         for row in 0..rows {
             for col in 0..cols {
@@ -125,8 +163,16 @@ impl Deployment {
                 positions.push((x, y));
             }
         }
-        positions
+        Ok(positions)
     }
+}
+
+impl Deployment {
+    /// Upper bound on the number of reading positions
+    /// [`Deployment::try_grid_positions`] will generate (2²² ≈ 4.2 M
+    /// sites, far beyond any realistic fleet but well short of an
+    /// OOM-sized allocation).
+    pub const MAX_GRID_POSITIONS: usize = 1 << 22;
 }
 
 /// Which reading positions cannot run their inventories simultaneously.
@@ -493,6 +539,68 @@ where
     )
 }
 
+/// Runs the inventory of one site exactly as every sweep entry point
+/// must: the tags in range of the site's position, under a config whose
+/// seed is derived from the site *index*. The derivation depends only on
+/// `(config.seed(), site)`, so per-site reports are independent of which
+/// path (serial, scheduled, sharded) or worker executes them.
+pub(crate) fn run_site<P: AntiCollisionProtocol + ?Sized>(
+    protocol: &P,
+    deployment: &Deployment,
+    positions: &[(f64, f64)],
+    range: f64,
+    config: &SimConfig,
+    site: usize,
+) -> Result<InventoryReport, SimError> {
+    let (x, y) = positions[site];
+    let in_range = deployment.in_range(x, y, range);
+    let site_config = config
+        .clone()
+        .with_seed(crate::derive_seed(config.seed(), site as u64));
+    run_inventory(protocol, &in_range, &site_config)
+}
+
+/// The site-order merge shared by every sweep path.
+pub(crate) struct MergedSites {
+    pub per_site: Vec<InventoryReport>,
+    pub unique_tags: usize,
+    pub cross_site_duplicates: usize,
+    pub uncovered: usize,
+}
+
+/// Merges per-site reports in site-index order, whatever order the sites
+/// ran in: the duplicates accounting (first reader keeps the tag) then
+/// matches the serial sweep exactly.
+pub(crate) fn merge_site_reports(
+    deployment: &Deployment,
+    reports: Vec<InventoryReport>,
+) -> MergedSites {
+    let mut seen: HashSet<TagId> = HashSet::new();
+    let mut per_site = Vec::with_capacity(reports.len());
+    let mut cross_site_duplicates = 0usize;
+    for report in reports {
+        // Credit what the protocol actually identified (== in_range on a
+        // clean channel, but the distinction matters under error models).
+        for tag in &report.ids {
+            if !seen.insert(*tag) {
+                cross_site_duplicates += 1;
+            }
+        }
+        per_site.push(report.without_ids());
+    }
+    let uncovered = deployment
+        .tags
+        .iter()
+        .filter(|t| !seen.contains(&t.id))
+        .count();
+    MergedSites {
+        per_site,
+        unique_tags: seen.len(),
+        cross_site_duplicates,
+        uncovered,
+    }
+}
+
 /// Shared sweep core. `schedule: None` is the serial path: every site is
 /// its own implicit slice and pays its full air time. With a schedule,
 /// sites run slice by slice and each slice pays its maximum.
@@ -509,22 +617,13 @@ where
     P: AntiCollisionProtocol + ?Sized,
     S: EventSink,
 {
-    let run_site = |site: usize| -> Result<InventoryReport, SimError> {
-        let (x, y) = positions[site];
-        let in_range = deployment.in_range(x, y, range);
-        let site_config = config
-            .clone()
-            .with_seed(crate::derive_seed(config.seed(), site as u64));
-        run_inventory(protocol, &in_range, &site_config)
-    };
-
     let mut reports: Vec<Option<InventoryReport>> = (0..positions.len()).map(|_| None).collect();
     let mut total_elapsed_us = 0.0;
     let mut slice_timings = Vec::new();
     match &schedule {
         None => {
             for (site, slot) in reports.iter_mut().enumerate() {
-                let report = run_site(site)?;
+                let report = run_site(protocol, deployment, positions, range, config, site)?;
                 total_elapsed_us += report.elapsed_us;
                 *slot = Some(report);
             }
@@ -534,7 +633,7 @@ where
                 let mut wall = 0.0f64;
                 let mut serial = 0.0f64;
                 for &site in slice {
-                    let report = run_site(site)?;
+                    let report = run_site(protocol, deployment, positions, range, config, site)?;
                     wall = wall.max(report.elapsed_us);
                     serial += report.elapsed_us;
                     reports[site] = Some(report);
@@ -557,34 +656,16 @@ where
         }
     }
 
-    // Merge in site-index order, whatever order the slices ran in: the
-    // duplicates accounting (first reader keeps the tag) then matches the
-    // serial sweep exactly.
-    let mut seen: HashSet<TagId> = HashSet::new();
-    let mut per_site = Vec::with_capacity(positions.len());
-    let mut cross_site_duplicates = 0usize;
-    for report in reports {
-        let report = report.expect("every site is scheduled exactly once");
-        // Credit what the protocol actually identified (== in_range on a
-        // clean channel, but the distinction matters under error models).
-        for tag in &report.ids {
-            if !seen.insert(*tag) {
-                cross_site_duplicates += 1;
-            }
-        }
-        per_site.push(report.without_ids());
-    }
-
-    let uncovered = deployment
-        .tags
-        .iter()
-        .filter(|t| !seen.contains(&t.id))
-        .count();
+    let reports = reports
+        .into_iter()
+        .map(|report| report.expect("every site is scheduled exactly once"))
+        .collect();
+    let merged = merge_site_reports(deployment, reports);
     Ok(MultiSiteReport {
-        per_site,
-        unique_tags: seen.len(),
-        cross_site_duplicates,
-        uncovered,
+        per_site: merged.per_site,
+        unique_tags: merged.unique_tags,
+        cross_site_duplicates: merged.cross_site_duplicates,
+        uncovered: merged.uncovered,
         total_elapsed_us,
         slices: slice_timings,
         schedule: schedule.map(|s| s.slices).unwrap_or_default(),
@@ -680,6 +761,37 @@ mod tests {
         };
         let positions = d.grid_positions(25.0);
         assert_eq!(positions, vec![(10.0, 8.0)]);
+    }
+
+    #[test]
+    fn try_grid_positions_rejects_external_input_hazards() {
+        let d = Deployment {
+            width: 100.0,
+            height: 60.0,
+            tags: Vec::new(),
+        };
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = d.try_grid_positions(bad).unwrap_err();
+            assert!(err.to_string().contains("spacing"), "{err}");
+        }
+        // Regression: a denormal-tiny spacing passed the old positivity
+        // assert and then sized the grid at (width/spacing).ceil() cells
+        // per axis — an OOM-scale allocation. Now it is a structured
+        // error.
+        let err = d.try_grid_positions(1e-300).unwrap_err();
+        assert!(err.to_string().contains("grid positions"), "{err}");
+        assert_eq!(d.try_grid_positions(40.0).unwrap().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing must be positive")]
+    fn grid_positions_still_panics_for_programmatic_misuse() {
+        let d = Deployment {
+            width: 10.0,
+            height: 10.0,
+            tags: Vec::new(),
+        };
+        let _ = d.grid_positions(f64::NAN);
     }
 
     #[test]

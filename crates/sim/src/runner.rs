@@ -34,12 +34,16 @@ fn finalize_run(
 ///
 /// Propagates the protocol's [`SimError`]s; additionally returns
 /// [`SimError::IncompleteInventory`] if a clean-channel run failed to
-/// identify every tag (a protocol bug the harness refuses to hide).
+/// identify every tag (a protocol bug the harness refuses to hide), and
+/// [`SimError::InvalidParameter`] for a config violating the builder
+/// invariants (reachable when configs arrive from external input, e.g. a
+/// `repro serve` request, instead of through the panicking builders).
 pub fn run_inventory<P: AntiCollisionProtocol + ?Sized>(
     protocol: &P,
     tags: &[TagId],
     config: &SimConfig,
 ) -> Result<InventoryReport, SimError> {
+    config.validate()?;
     let mut rng = seeded_rng(config.seed());
     let report = protocol.run(tags, config, &mut rng)?;
     finalize_run(report, tags, config)
@@ -64,6 +68,7 @@ where
     P: ObservableProtocol + ?Sized,
     S: EventSink,
 {
+    config.validate()?;
     let mut rng = seeded_rng(config.seed());
     let report = protocol.run_observed(tags, config, &mut rng, sink)?;
     finalize_run(report, tags, config)

@@ -1,0 +1,293 @@
+//! End-to-end smoke tests for `repro serve`: many concurrent clients, a
+//! hostile-input gauntlet, backpressure under a deliberately slow
+//! consumer, and graceful shutdown with in-flight streams.
+
+use anc_rfid::prelude::*;
+use anc_rfid::sim::{multi_site_inventory_scheduled, Deployment, MultiSiteReport};
+use rfid_bench::json::Json;
+use rfid_bench::serve::{ServeOptions, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends one request line and reads the response stream until its final
+/// `result` or `error` line (inclusive). Every line must parse as JSON.
+fn send_request(addr: SocketAddr, request: &str) -> Vec<Json> {
+    let mut stream = TcpStream::connect(addr).expect("connect to serve");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set timeout");
+    stream.write_all(request.as_bytes()).expect("send request");
+    stream.write_all(b"\n").expect("send newline");
+    read_stream(BufReader::new(stream))
+}
+
+/// Reads response lines until a terminal `result`/`error` line or EOF.
+fn read_stream<R: BufRead>(reader: R) -> Vec<Json> {
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        let line = line.expect("read response line");
+        let value = Json::parse(&line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .expect("every line is typed")
+            .to_owned();
+        lines.push(value);
+        if kind == "result" || kind == "error" {
+            break;
+        }
+    }
+    lines
+}
+
+fn line_type(line: &Json) -> &str {
+    line.get("type").and_then(Json::as_str).unwrap_or("")
+}
+
+/// The serial oracle for a serve request: same deployment, same grid,
+/// same per-site seeds, run on the scheduled (single-threaded) path.
+fn oracle(seed: u64, tags: usize, spacing: f64) -> MultiSiteReport {
+    let deployment = Deployment::uniform(&mut seeded_rng(seed), tags, 60.0, 60.0);
+    let positions = deployment.try_grid_positions(spacing).expect("valid grid");
+    let fcat = Fcat::new(FcatConfig::default().with_lambda(2));
+    multi_site_inventory_scheduled(
+        &fcat,
+        &deployment,
+        &positions,
+        spacing,
+        0.0,
+        &SimConfig::default().with_seed(seed),
+    )
+    .expect("oracle sweep succeeds")
+}
+
+/// Asserts a streamed response matches the oracle bit-for-bit: every
+/// per-site event and the final roll-up. `worker` attribution is the only
+/// field allowed to vary between runs.
+fn assert_stream_matches(lines: &[Json], expected: &MultiSiteReport) {
+    assert_eq!(line_type(&lines[0]), "accepted", "{lines:?}");
+    assert_eq!(
+        lines[0].get("sites").and_then(Json::as_usize),
+        Some(expected.per_site.len())
+    );
+    let mut sites_seen = 0usize;
+    for line in lines {
+        if line_type(line) == "site" {
+            let site = line.get("site").and_then(Json::as_usize).expect("site idx");
+            let report = &expected.per_site[site];
+            assert_eq!(
+                line.get("identified").and_then(Json::as_usize),
+                Some(report.identified),
+                "site {site} identified"
+            );
+            assert_eq!(
+                line.get("slots").and_then(Json::as_u64),
+                Some(report.slots.total()),
+                "site {site} slots"
+            );
+            // f64 Display is shortest-round-trip, so equality is exact.
+            assert_eq!(
+                line.get("elapsed_us").and_then(Json::as_f64),
+                Some(report.elapsed_us),
+                "site {site} elapsed"
+            );
+            sites_seen += 1;
+        }
+    }
+    assert_eq!(sites_seen, expected.per_site.len(), "one event per site");
+    let result = lines.last().expect("stream has lines");
+    assert_eq!(line_type(result), "result", "{result:?}");
+    assert_eq!(
+        result.get("unique_tags").and_then(Json::as_usize),
+        Some(expected.unique_tags)
+    );
+    assert_eq!(
+        result.get("cross_site_duplicates").and_then(Json::as_u64),
+        Some(expected.cross_site_duplicates as u64)
+    );
+    assert_eq!(
+        result.get("total_elapsed_us").and_then(Json::as_f64),
+        Some(expected.total_elapsed_us)
+    );
+    assert_eq!(result.get("dropped_events").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn hundred_concurrent_requests_stream_bit_identical_inventories() {
+    let server = Server::spawn(ServeOptions::default()).expect("spawn server");
+    let addr = server.local_addr();
+
+    // Three distinct sweeps; 102 clients cycle through them, all in
+    // flight at once on their own connections.
+    let shapes: Vec<(u64, usize, f64)> = vec![(3, 60, 30.0), (17, 90, 20.0), (99, 40, 30.0)];
+    let oracles: Vec<MultiSiteReport> = shapes
+        .iter()
+        .map(|&(seed, tags, spacing)| oracle(seed, tags, spacing))
+        .collect();
+
+    let clients = 102;
+    let responses: Vec<(usize, Vec<Json>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let shapes = &shapes;
+                scope.spawn(move || {
+                    let (seed, tags, spacing) = shapes[client % shapes.len()];
+                    let request = format!(
+                        "{{\"seed\":{seed},\"tags\":{tags},\"spacing\":{spacing},\"workers\":2}}"
+                    );
+                    (client % shapes.len(), send_request(addr, &request))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("client thread"))
+            .collect()
+    });
+
+    assert_eq!(responses.len(), clients);
+    for (shape, lines) in &responses {
+        assert_stream_matches(lines, &oracles[*shape]);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_and_the_connection_survives() {
+    let server = Server::spawn(ServeOptions::default()).expect("spawn server");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set timeout");
+
+    // The gauntlet: every line is hostile, each must produce exactly one
+    // structured error without killing the connection or the server.
+    let hostile = [
+        ("this is not json", "malformed"),
+        ("{\"threads\":0}", "threads"),
+        ("{\"spacing\":-1}", "spacing"),
+        ("{\"spacing\":0}", "spacing"),
+        ("{\"hash_bits\":0}", "hash_bits"),
+        ("{\"max_slots\":0}", "max_slots"),
+        ("{\"lambda\":1}", "lambda"),
+        ("{\"protocol\":\"tree-walking\"}", "unknown protocol"),
+        ("{\"width\":-5}", "region"),
+        ("{\"tags\":1e30}", "tags"),
+        ("{\"spacing\":1e-300}", "grid positions"),
+    ];
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    for (request, expect) in hostile {
+        stream.write_all(request.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send newline");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read error line");
+        let value = Json::parse(line.trim()).expect("error line is JSON");
+        assert_eq!(line_type(&value), "error", "request {request:?}: {line}");
+        let message = value.get("message").and_then(Json::as_str).unwrap_or("");
+        assert!(
+            message.contains(expect),
+            "request {request:?}: expected {expect:?} in {message:?}"
+        );
+    }
+
+    // Same connection, now a valid request: full stream, correct answer.
+    stream
+        .write_all(b"{\"seed\":3,\"tags\":60,\"spacing\":30,\"workers\":2}\n")
+        .expect("send valid request");
+    let lines = read_stream(reader);
+    assert_stream_matches(&lines, &oracle(3, 60, 30.0));
+    server.shutdown();
+}
+
+#[test]
+fn slow_consumer_hits_bounded_queue_and_loses_only_granularity() {
+    let server = Server::spawn(ServeOptions::default()).expect("spawn server");
+    // Tiny queue + artificial drain delay + a site per 6 meters: the
+    // producer laps the consumer immediately and must drop, not buffer.
+    let request = "{\"seed\":5,\"tags\":40,\"spacing\":6,\"queue_capacity\":4,\
+                   \"drain_delay_ms\":2,\"workers\":4}";
+    let lines = send_request(server.local_addr(), request);
+
+    let result = lines.last().expect("stream has lines");
+    assert_eq!(line_type(result), "result", "{result:?}");
+    let dropped = result
+        .get("dropped_events")
+        .and_then(Json::as_u64)
+        .expect("result reports dropped_events");
+    assert!(dropped > 0, "slow consumer must shed events: {result:?}");
+
+    // Coalesced metrics snapshots carried the aggregates across the gap,
+    // and the last one agrees with the result's cumulative drop count.
+    let snapshots: Vec<&Json> = lines
+        .iter()
+        .filter(|line| line_type(line) == "metrics")
+        .collect();
+    assert!(
+        !snapshots.is_empty(),
+        "dropped events must be covered by metrics snapshots"
+    );
+    let last = snapshots.last().expect("non-empty");
+    assert_eq!(
+        last.get("dropped_events").and_then(Json::as_u64),
+        Some(dropped)
+    );
+    // Aggregates survive even though granular lines were shed: the final
+    // snapshot counts every site of the sweep.
+    let accepted_sites = lines[0].get("sites").and_then(Json::as_u64).expect("sites");
+    assert_eq!(
+        last.get("sites").and_then(Json::as_u64),
+        Some(accepted_sites)
+    );
+    // Far fewer lines arrived than events were generated.
+    let delivered = lines.len() as u64;
+    let emitted = result
+        .get("events_emitted")
+        .and_then(Json::as_u64)
+        .expect("events_emitted");
+    assert!(
+        delivered < emitted + dropped,
+        "delivered {delivered}, generated {}",
+        emitted + dropped
+    );
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_streams_and_stops_accepting() {
+    let server = Server::spawn(ServeOptions::default()).expect("spawn server");
+    let addr = server.local_addr();
+
+    // A deliberately slow stream that will still be in flight at shutdown.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set timeout");
+    stream
+        .write_all(b"{\"seed\":2,\"tags\":40,\"spacing\":10,\"drain_delay_ms\":20,\"workers\":2}\n")
+        .expect("send request");
+    let mut reader = BufReader::new(stream);
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read accepted line");
+    let accepted = Json::parse(first.trim()).expect("accepted line is JSON");
+    assert_eq!(line_type(&accepted), "accepted");
+    // Read into the event stream so shutdown provably lands mid-flight
+    // (the 20 ms drain delay keeps the stream alive long past this point).
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read in-flight line");
+        let value = Json::parse(line.trim()).expect("in-flight line is JSON");
+        assert!(!line_type(&value).is_empty(), "{line}");
+    }
+
+    server.request_shutdown();
+
+    // The in-flight stream ends with whatever was buffered, flushed, then
+    // EOF — every delivered line is intact JSON, never a torn write.
+    for line in reader.lines() {
+        let line = line.expect("read line during shutdown");
+        Json::parse(&line).unwrap_or_else(|e| panic!("torn line {line:?}: {e}"));
+    }
+
+    server.shutdown();
+}
