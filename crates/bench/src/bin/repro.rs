@@ -190,6 +190,12 @@ const EXPERIMENTS: &[Experiment] = &[
         run: |opts| experiments::run_interference_sweep(opts).map_err(|e| e.to_string()),
     },
     Experiment {
+        name: "churn-sweep",
+        csv: "churn-sweep",
+        sparkline: true,
+        run: |opts| experiments::run_churn_sweep(opts).map_err(|e| e.to_string()),
+    },
+    Experiment {
         name: "extension-crdsa",
         csv: "extension-crdsa",
         sparkline: false,
@@ -527,7 +533,7 @@ fn run_trace(path: &std::path::Path, n_tags: usize, seed: u64) -> Result<(), Str
     let report = &traced.report;
     println!(
         "traced run: {} over {} tags (seed {seed})",
-        report.protocol, report.population
+        report.protocol, report.population_initial
     );
     println!(
         "  identified {} ({} via collision records), {} slots, {:.1} tags/s",

@@ -45,8 +45,9 @@ use crate::json::Json;
 use rfid_sim::obs::jsonl::wire;
 use rfid_sim::obs::{StreamQueue, StreamRecv, StreamSink};
 use rfid_sim::{
-    multi_site_inventory_sharded_observed, seeded_rng, AntiCollisionProtocol, Deployment,
-    MultiSiteReport, SimConfig,
+    multi_site_inventory_sharded_observed, run_monitoring_observed, seeded_rng,
+    AntiCollisionProtocol, Deployment, DwellModel, MonitorConfig, MonitorDetectionKind,
+    MonitorReport, MultiSiteReport, PopulationSchedule, SimConfig,
 };
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -70,6 +71,12 @@ pub mod limits {
     pub const MAX_LAMBDA: u32 = 8;
     /// Maximum bytes in one request line.
     pub const MAX_LINE_BYTES: usize = 1 << 20;
+    /// Maximum rounds in one churn-monitoring window.
+    pub const MAX_CHURN_ROUNDS: usize = 10_000;
+    /// Maximum mean arrivals per round a churn request may ask for.
+    pub const MAX_CHURN_RATE: f64 = 10_000.0;
+    /// Maximum mean dwell (rounds) a churn request may ask for.
+    pub const MAX_CHURN_DWELL: f64 = 1_000_000.0;
 }
 
 /// Server-wide defaults; per-request fields can override `workers` and
@@ -120,6 +127,19 @@ impl Default for ServeOptions {
 /// | `hash_bits`           | int    | `16`           | advertisement hash width |
 /// | `queue_capacity`      | int    | server default | stream backpressure bound (lines) |
 /// | `drain_delay_ms`      | int    | `0`            | artificial per-line consumer delay (testing) |
+///
+/// Presence of any `churn_*` field switches the request into
+/// continuous-monitoring mode: instead of a spatial multi-site sweep, the
+/// server replays a Poisson-churn population schedule (`tags` initial
+/// tags) through the selected protocol and streams
+/// `{"type":"population",…}` / `{"type":"detection",…}` events:
+///
+/// | field               | type   | default | meaning |
+/// |---------------------|--------|---------|---------|
+/// | `churn_rate`        | number | `1.0`   | mean arrivals per round, finite ≥ 0 |
+/// | `churn_dwell`       | number | `10.0`  | mean dwell (rounds), finite > 0 |
+/// | `churn_rounds`      | int    | `8`     | monitoring window length, `1..=10_000` |
+/// | `churn_audit_every` | int    | `4`     | full-inventory period (1 = every round) |
 #[derive(Debug, Clone)]
 pub struct SweepRequest {
     /// Protocol name (`fcat`, `scat`, `dfsa`).
@@ -144,8 +164,25 @@ pub struct SweepRequest {
     pub queue_capacity: usize,
     /// Artificial delay per streamed line (slow-consumer testing).
     pub drain_delay_ms: u64,
+    /// Churn-monitoring parameters; `Some` switches the request into
+    /// continuous-monitoring mode.
+    pub churn: Option<ChurnParams>,
     /// The per-site simulation config (seed, threads, caps — validated).
     pub config: SimConfig,
+}
+
+/// Validated churn-monitoring parameters of a [`SweepRequest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnParams {
+    /// Mean arrivals per round (Poisson), finite and ≥ 0.
+    pub rate: f64,
+    /// Mean dwell in rounds (exponential), finite and > 0.
+    pub dwell: f64,
+    /// Monitoring window length in rounds, ≥ 1.
+    pub rounds: usize,
+    /// Full-inventory (audit) period; non-audit rounds inventory only the
+    /// unread delta.
+    pub audit_every: usize,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -208,6 +245,48 @@ pub fn result_line(
     )
 }
 
+/// Renders the final `{"type":"result","mode":"churn",…}` line for a
+/// completed monitoring window.
+#[must_use]
+pub fn churn_result_line(
+    request: &SweepRequest,
+    churn: &ChurnParams,
+    report: &MonitorReport,
+    events_emitted: u64,
+    dropped_events: u64,
+) -> String {
+    format!(
+        "{{\"type\":\"result\",\"mode\":\"churn\",\"protocol\":\"{}\",\"rounds\":{},\
+         \"population_initial\":{},\"population_seen\":{},\"unique\":{},\
+         \"present_at_end\":{},\"departed_after_read\":{},\
+         \"unknown_detected\":{},\"missing_detected\":{},\
+         \"unknown_latency_us\":{},\"missing_latency_us\":{},\
+         \"total_elapsed_us\":{},\"events_emitted\":{},\"dropped_events\":{}}}",
+        json_escape(&request.protocol),
+        churn.rounds,
+        report.population_initial,
+        report.population_seen,
+        report.unique,
+        report.unique_present_at_end,
+        report.unique_departed_after_read,
+        report.detection_count(MonitorDetectionKind::UnknownTag),
+        report.detection_count(MonitorDetectionKind::MissingTag),
+        fmt_f64(
+            report
+                .mean_latency_us(MonitorDetectionKind::UnknownTag)
+                .unwrap_or(0.0)
+        ),
+        fmt_f64(
+            report
+                .mean_latency_us(MonitorDetectionKind::MissingTag)
+                .unwrap_or(0.0)
+        ),
+        fmt_f64(report.elapsed_us),
+        events_emitted,
+        dropped_events,
+    )
+}
+
 /// Parses and validates one request line against the schema table on
 /// [`SweepRequest`].
 ///
@@ -236,6 +315,10 @@ pub fn parse_request(line: &str, defaults: &ServeOptions) -> Result<SweepRequest
         "hash_bits",
         "queue_capacity",
         "drain_delay_ms",
+        "churn_rate",
+        "churn_dwell",
+        "churn_rounds",
+        "churn_audit_every",
     ];
     if let Json::Obj(fields) = &value {
         if let Some((unknown, _)) = fields.iter().find(|(k, _)| !known.contains(&k.as_str())) {
@@ -332,6 +415,71 @@ pub fn parse_request(line: &str, defaults: &ServeOptions) -> Result<SweepRequest
     )? as usize;
     let drain_delay_ms = uint(&value, "drain_delay_ms", 0, 0, limits::MAX_DRAIN_DELAY_MS)?;
 
+    // Continuous-monitoring mode: presence of any churn field selects it.
+    // Rates and dwells are range-checked here (errors on the wire, never a
+    // panic), then cross-checked against the simulator's own model
+    // validator so the wire contract cannot drift from `DwellModel`.
+    let churn_fields = [
+        "churn_rate",
+        "churn_dwell",
+        "churn_rounds",
+        "churn_audit_every",
+    ];
+    let churn = if churn_fields.iter().any(|k| value.get(k).is_some()) {
+        let rate = match value.get("churn_rate") {
+            None => 1.0,
+            Some(v) => v.as_f64().ok_or("churn_rate must be a number")?,
+        };
+        if !rate.is_finite() || !(0.0..=limits::MAX_CHURN_RATE).contains(&rate) {
+            return Err(format!(
+                "churn_rate must be finite in 0..={}, got {rate}",
+                limits::MAX_CHURN_RATE
+            ));
+        }
+        let dwell = match value.get("churn_dwell") {
+            None => 10.0,
+            Some(v) => v.as_f64().ok_or("churn_dwell must be a number")?,
+        };
+        if !dwell.is_finite() || dwell <= 0.0 || dwell > limits::MAX_CHURN_DWELL {
+            return Err(format!(
+                "churn_dwell must be finite in (0, {}], got {dwell}",
+                limits::MAX_CHURN_DWELL
+            ));
+        }
+        let rounds = uint(
+            &value,
+            "churn_rounds",
+            8,
+            1,
+            limits::MAX_CHURN_ROUNDS as u64,
+        )? as usize;
+        let audit_every = uint(
+            &value,
+            "churn_audit_every",
+            4,
+            1,
+            limits::MAX_CHURN_ROUNDS as u64,
+        )? as usize;
+        // Expected arrival volume is bounded like the static deployment.
+        if rate * rounds as f64 > limits::MAX_TAGS as f64 {
+            return Err(format!(
+                "churn_rate * churn_rounds must stay <= {} expected arrivals",
+                limits::MAX_TAGS
+            ));
+        }
+        DwellModel::poisson(rate, dwell)
+            .validate()
+            .map_err(|e| format!("churn: {e}"))?;
+        Some(ChurnParams {
+            rate,
+            dwell,
+            rounds,
+            audit_every,
+        })
+    } else {
+        None
+    };
+
     // Validate-on-deserialize: the SimConfig builders panic on bad input
     // (fine for programmatic use), so every externally supplied value is
     // range-checked *before* the builder runs, and `SimConfig::validate`
@@ -360,6 +508,7 @@ pub fn parse_request(line: &str, defaults: &ServeOptions) -> Result<SweepRequest
         workers,
         queue_capacity,
         drain_delay_ms,
+        churn,
         config,
     })
 }
@@ -373,6 +522,26 @@ fn build_protocol(request: &SweepRequest) -> Box<dyn AntiCollisionProtocol + Sen
         "dfsa" => Box::new(Dfsa::new()),
         // parse_request rejected everything else.
         _ => Box::new(Fcat::new(FcatConfig::default().with_lambda(request.lambda))),
+    }
+}
+
+/// Builds the multi-round session a churn request names. The
+/// collision-aware protocols get their Gen2-style warm-start sessions
+/// (the backlog estimate carries across rounds); DFSA re-estimates from
+/// scratch each round.
+fn build_session(request: &SweepRequest) -> Box<dyn rfid_sim::rounds::MultiRoundSession + Send> {
+    use rfid_anc::{FcatConfig, FcatSession, ScatConfig, ScatSession};
+    use rfid_protocols::Dfsa;
+    use rfid_sim::rounds::StatelessSession;
+    match request.protocol.as_str() {
+        "scat" => Box::new(ScatSession::new(
+            ScatConfig::default().with_lambda(request.lambda),
+        )),
+        "dfsa" => Box::new(StatelessSession::new(Dfsa::new())),
+        // parse_request rejected everything else.
+        _ => Box::new(FcatSession::new(
+            FcatConfig::default().with_lambda(request.lambda),
+        )),
     }
 }
 
@@ -551,7 +720,12 @@ fn handle_connection(
                 writer.write_all(b"\n")?;
                 writer.flush()?;
             }
-            Ok(request) => serve_request(&mut writer, &request, options, shutdown)?,
+            Ok(request) => match request.churn {
+                Some(churn) => {
+                    serve_churn_request(&mut writer, &request, &churn, options, shutdown)?
+                }
+                None => serve_request(&mut writer, &request, options, shutdown)?,
+            },
         }
     }
     writer.flush()
@@ -628,47 +802,124 @@ fn serve_request<W: Write>(
             producer_queue.close();
         });
 
-        let mut since_flush = 0u64;
-        let outcome = loop {
-            if shutdown.load(Ordering::SeqCst) {
-                // Stop the producer; keep draining what is already
-                // buffered so the stream ends flushed, not truncated.
-                queue.close();
-            }
-            match queue.recv_timeout(Duration::from_millis(50)) {
-                StreamRecv::Line(line) => {
-                    if let Err(error) = out
-                        .write_all(line.as_bytes())
-                        .and_then(|()| out.write_all(b"\n"))
-                    {
-                        queue.close();
-                        break Err(error);
-                    }
-                    since_flush += 1;
-                    if since_flush >= flush_every {
-                        since_flush = 0;
-                        if let Err(error) = out.flush() {
-                            queue.close();
-                            break Err(error);
-                        }
-                    }
-                    if request.drain_delay_ms > 0 {
-                        std::thread::sleep(Duration::from_millis(request.drain_delay_ms));
-                    }
-                }
-                StreamRecv::Empty => {
-                    since_flush = 0;
-                    if let Err(error) = out.flush() {
-                        queue.close();
-                        break Err(error);
-                    }
-                }
-                StreamRecv::Closed => break out.flush(),
-            }
-        };
+        let outcome = drain_stream(out, &queue, flush_every, request.drain_delay_ms, shutdown);
         let _ = simulation.join();
         outcome
     })
+}
+
+/// Runs one accepted churn-monitoring request and streams its
+/// population/detection events to `out`.
+fn serve_churn_request<W: Write>(
+    out: &mut W,
+    request: &SweepRequest,
+    churn: &ChurnParams,
+    options: &ServeOptions,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    // Schedule and every round stream derive from `request.config.seed()`
+    // alone, so a replayed request reproduces the same monitoring window.
+    let model = DwellModel::poisson(churn.rate, churn.dwell);
+    let schedule =
+        PopulationSchedule::generate(&model, request.tags, churn.rounds, request.config.seed());
+    let accepted = format!(
+        "{{\"type\":\"accepted\",\"protocol\":\"{}\",\"mode\":\"churn\",\"tags\":{},\
+         \"rounds\":{},\"arrivals\":{},\"departures\":{}}}",
+        json_escape(&request.protocol),
+        request.tags,
+        churn.rounds,
+        schedule.arrivals(),
+        schedule.departures(),
+    );
+    out.write_all(accepted.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()?;
+
+    let mut session = build_session(request);
+    let monitor = MonitorConfig {
+        audit_every: churn.audit_every,
+        persistence: true,
+    };
+    let queue = StreamQueue::new(request.queue_capacity);
+    let flush_every = options.flush_every.max(1);
+    std::thread::scope(|scope| {
+        let producer_queue = queue.clone();
+        let schedule = &schedule;
+        let simulation = scope.spawn(move || {
+            let mut sink = StreamSink::new(producer_queue.clone());
+            let result = run_monitoring_observed(
+                session.as_mut(),
+                schedule,
+                &monitor,
+                &request.config,
+                &mut sink,
+            );
+            let dropped = producer_queue.dropped_events();
+            if dropped > 0 {
+                let _ = producer_queue.push_blocking(wire::metrics_line(sink.metrics(), dropped));
+            }
+            let final_line = match &result {
+                Ok(report) => churn_result_line(request, churn, report, sink.emitted(), dropped),
+                Err(error) => error_line(&error.to_string()),
+            };
+            let _ = producer_queue.push_blocking(final_line);
+            producer_queue.close();
+        });
+
+        let outcome = drain_stream(out, &queue, flush_every, request.drain_delay_ms, shutdown);
+        let _ = simulation.join();
+        outcome
+    })
+}
+
+/// Drains `queue` to `out` until the producer closes it (or shutdown is
+/// requested), flushing every `flush_every` lines and whenever the queue
+/// idles. Shared by the sweep and churn serving paths.
+fn drain_stream<W: Write>(
+    out: &mut W,
+    queue: &StreamQueue,
+    flush_every: u64,
+    drain_delay_ms: u64,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let mut since_flush = 0u64;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            // Stop the producer; keep draining what is already
+            // buffered so the stream ends flushed, not truncated.
+            queue.close();
+        }
+        match queue.recv_timeout(Duration::from_millis(50)) {
+            StreamRecv::Line(line) => {
+                if let Err(error) = out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                {
+                    queue.close();
+                    return Err(error);
+                }
+                since_flush += 1;
+                if since_flush >= flush_every {
+                    since_flush = 0;
+                    if let Err(error) = out.flush() {
+                        queue.close();
+                        return Err(error);
+                    }
+                }
+                if drain_delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(drain_delay_ms));
+                }
+            }
+            StreamRecv::Empty => {
+                since_flush = 0;
+                if let Err(error) = out.flush() {
+                    queue.close();
+                    return Err(error);
+                }
+            }
+            StreamRecv::Closed => return out.flush(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -700,6 +951,37 @@ mod tests {
     }
 
     #[test]
+    fn parse_request_churn_fields() {
+        let opts = ServeOptions::default();
+        assert!(parse_request("{}", &opts).unwrap().churn.is_none());
+        // Any single churn field selects monitoring mode; the rest default.
+        let req = parse_request(r#"{"churn_rate":2.5}"#, &opts).unwrap();
+        assert_eq!(
+            req.churn,
+            Some(ChurnParams {
+                rate: 2.5,
+                dwell: 10.0,
+                rounds: 8,
+                audit_every: 4
+            })
+        );
+        let req = parse_request(
+            r#"{"churn_rate":0,"churn_dwell":3.5,"churn_rounds":12,"churn_audit_every":1}"#,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(
+            req.churn,
+            Some(ChurnParams {
+                rate: 0.0,
+                dwell: 3.5,
+                rounds: 12,
+                audit_every: 1
+            })
+        );
+    }
+
+    #[test]
     fn parse_request_rejects_malformed_and_hostile_input() {
         let opts = ServeOptions::default();
         for (input, expect) in [
@@ -720,6 +1002,14 @@ mod tests {
             (r#"{"drain_delay_ms":999999}"#, "drain_delay_ms"),
             (r#"{"surprise":1}"#, "unknown request field"),
             (r#"{"seed":1.5}"#, "seed"),
+            (r#"{"churn_rate":-1}"#, "churn_rate"),
+            (r#"{"churn_rate":"fast"}"#, "churn_rate"),
+            (r#"{"churn_rate":1e999}"#, "overflows"),
+            (r#"{"churn_dwell":0}"#, "churn_dwell"),
+            (r#"{"churn_dwell":-3.5}"#, "churn_dwell"),
+            (r#"{"churn_rounds":0}"#, "churn_rounds"),
+            (r#"{"churn_audit_every":0}"#, "churn_audit_every"),
+            (r#"{"churn_rate":10000,"churn_rounds":10000}"#, "arrivals"),
         ] {
             let err = parse_request(input, &opts).unwrap_err();
             assert!(
@@ -730,6 +1020,34 @@ mod tests {
         // Spacing problems surface at execution (structured error over
         // the wire), but non-numbers are rejected at parse time.
         assert!(parse_request(r#"{"spacing":true}"#, &opts).is_err());
+    }
+
+    #[test]
+    fn churn_request_streams_events_and_result() {
+        let opts = ServeOptions::default();
+        let request = parse_request(
+            r#"{"tags":30,"seed":5,"churn_rate":2,"churn_rounds":6,"churn_audit_every":2}"#,
+            &opts,
+        )
+        .unwrap();
+        let churn = request.churn.unwrap();
+        let shutdown = AtomicBool::new(false);
+        let mut out = Vec::new();
+        serve_churn_request(&mut out, &request, &churn, &opts, &shutdown).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").and_then(Json::as_str), Some("accepted"));
+        assert_eq!(first.get("mode").and_then(Json::as_str), Some("churn"));
+        let last = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("type").and_then(Json::as_str), Some("result"));
+        assert_eq!(last.get("mode").and_then(Json::as_str), Some("churn"));
+        assert!(last.get("unique").and_then(Json::as_f64).unwrap() >= 30.0);
+        assert!(lines.iter().any(|l| l.contains("\"type\":\"population\"")));
+        // Deterministic replay: the same request yields the same bytes.
+        let mut again = Vec::new();
+        serve_churn_request(&mut again, &request, &churn, &opts, &shutdown).unwrap();
+        assert_eq!(text, String::from_utf8(again).unwrap());
     }
 
     #[test]

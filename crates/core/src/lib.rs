@@ -72,4 +72,4 @@ pub use resolution::{
     RecoveryPolicy, ResolutionModel, SignalResolutionConfig, CALIBRATED_RESIDUAL_PER_HOP,
 };
 pub use scat::{Scat, ScatConfig};
-pub use session::FcatSession;
+pub use session::{FcatSession, ScatSession};

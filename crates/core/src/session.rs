@@ -5,7 +5,7 @@
 //! is an excellent prior for the next round under moderate churn, so a
 //! warm session skips the cold-start frames a fresh `Guess` pays.
 
-use crate::{Fcat, FcatConfig, InitialPopulation};
+use crate::{Fcat, FcatConfig, InitialPopulation, Scat, ScatConfig};
 use rand::rngs::StdRng;
 use rfid_sim::rounds::MultiRoundSession;
 use rfid_sim::{AntiCollisionProtocol, InventoryReport, SimConfig, SimError};
@@ -78,6 +78,74 @@ impl MultiRoundSession for FcatSession {
     }
 }
 
+/// Session-state SCAT: like [`FcatSession`], each round seeds the initial
+/// population estimate from the previous round's identified count, so
+/// re-inventory rounds skip the pre-step bootstrap.
+///
+/// # Example
+///
+/// ```
+/// use rfid_anc::{ScatConfig, ScatSession};
+/// use rfid_sim::rounds::{run_rounds, ChurnModel};
+/// use rfid_sim::SimConfig;
+///
+/// let mut session = ScatSession::new(ScatConfig::default());
+/// let report = run_rounds(&mut session, 500, 3, &ChurnModel::new(0.1, 50),
+///                         &SimConfig::default())?;
+/// assert_eq!(report.per_round.len(), 3);
+/// # Ok::<(), rfid_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScatSession {
+    base: ScatConfig,
+    last_count: Option<usize>,
+    name: String,
+}
+
+impl ScatSession {
+    /// Creates a cold session; the first round uses `base`'s own
+    /// initial-population setting.
+    #[must_use]
+    pub fn new(base: ScatConfig) -> Self {
+        let name = format!("SCAT-{}-session", base.lambda());
+        ScatSession {
+            base,
+            last_count: None,
+            name,
+        }
+    }
+
+    /// The estimate the next round will start from, if warmed.
+    #[must_use]
+    pub fn warm_estimate(&self) -> Option<usize> {
+        self.last_count
+    }
+}
+
+impl MultiRoundSession for ScatSession {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run_round(
+        &mut self,
+        tags: &[TagId],
+        config: &SimConfig,
+        rng: &mut StdRng,
+    ) -> Result<InventoryReport, SimError> {
+        let cfg = match self.last_count {
+            Some(count) => self
+                .base
+                .clone()
+                .with_initial(InitialPopulation::Guess(count.max(1) as u32)),
+            None => self.base.clone(),
+        };
+        let report = Scat::new(cfg).run(tags, config, rng)?;
+        self.last_count = Some(report.identified);
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +195,27 @@ mod tests {
             "warm {warm} unexpectedly below cold {cold}"
         );
         assert!(warm > 185.0, "warm {warm}");
+    }
+
+    #[test]
+    fn scat_session_warm_start_tracks_population() {
+        let mut session =
+            ScatSession::new(ScatConfig::default().with_initial(InitialPopulation::Guess(16)));
+        assert_eq!(session.warm_estimate(), None);
+        let report = run_rounds(
+            &mut session,
+            1_000,
+            3,
+            &ChurnModel::new(0.05, 50),
+            &SimConfig::default().with_seed(4),
+        )
+        .unwrap();
+        assert_eq!(report.per_round.len(), 3);
+        let warm = session.warm_estimate().unwrap();
+        assert!((800..1_200).contains(&warm), "warm estimate {warm}");
+        for (r, n) in report.per_round.iter().zip(&report.population_per_round) {
+            assert_eq!(r.identified, *n);
+        }
     }
 
     #[test]

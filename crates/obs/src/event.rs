@@ -195,6 +195,84 @@ pub struct SiteEvent {
     pub elapsed_us: f64,
 }
 
+/// What a dynamic-population event did to the ground-truth tag set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PopulationEventKind {
+    /// The tag entered the read zone (start of `round`).
+    Arrival,
+    /// The tag left the read zone (start of `round`).
+    Departure,
+}
+
+impl PopulationEventKind {
+    /// Stable lowercase wire name used in JSONL traces.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PopulationEventKind::Arrival => "arrival",
+            PopulationEventKind::Departure => "departure",
+        }
+    }
+}
+
+/// A ground-truth population change replayed by the continuous-monitoring
+/// driver (`rfid_sim::population`): a tag arrived in or departed from the
+/// read zone at the start of an inventory round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PopulationEvent {
+    /// Inventory round at whose start the change took effect (0-based).
+    pub round: u64,
+    /// Arrival or departure.
+    pub kind: PopulationEventKind,
+    /// The tag that arrived or departed.
+    pub tag: TagId,
+}
+
+/// Which anomaly a monitoring detection resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DetectionKind {
+    /// An unknown (newly arrived) tag was read for the first time.
+    Unknown,
+    /// A previously read tag was declared missing after a completed
+    /// full-inventory round did not see it.
+    Missing,
+}
+
+impl DetectionKind {
+    /// Stable lowercase wire name used in JSONL traces.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DetectionKind::Unknown => "unknown",
+            DetectionKind::Missing => "missing",
+        }
+    }
+}
+
+/// The monitoring reader detected a population anomaly — the headline
+/// metric of the continuous-monitoring mode is this event's latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DetectionEvent {
+    /// Round at whose end the detection was made.
+    pub round: u64,
+    /// The detected tag.
+    pub tag: TagId,
+    /// Unknown-tag (arrival) or missing-tag (departure) detection.
+    pub kind: DetectionKind,
+    /// Round at whose start the underlying population event happened.
+    pub event_round: u64,
+    /// Rounds elapsed between the event and its detection
+    /// (`round - event_round`; 0 = caught within the event's own round).
+    pub latency_rounds: u64,
+    /// Simulated air time between the population event and the end of the
+    /// detecting round, µs.
+    pub latency_us: f64,
+}
+
 /// A population-estimate revision.
 ///
 /// FCAT emits one per frame (the §V-C estimator inverting the frame's

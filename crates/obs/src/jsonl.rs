@@ -15,7 +15,10 @@
 //! reads the same subset back for post-hoc verification — see
 //! [`replay::summarize`].
 
-use crate::event::{EstimatorEvent, LambdaEvent, RecordEvent, ScheduleEvent, SiteEvent, SlotEvent};
+use crate::event::{
+    DetectionEvent, EstimatorEvent, LambdaEvent, PopulationEvent, RecordEvent, ScheduleEvent,
+    SiteEvent, SlotEvent,
+};
 use crate::metrics::SlotTotals;
 use crate::EventSink;
 use rfid_types::SlotClass;
@@ -74,8 +77,8 @@ fn class_str(class: SlotClass) -> &'static str {
 pub mod wire {
     use super::{class_str, fmt_f64, fmt_snr};
     use crate::event::{
-        EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SiteEvent,
-        SlotEvent,
+        DetectionEvent, EstimatorEvent, LambdaEvent, PopulationEvent, RecordEvent, RecordEventKind,
+        ScheduleEvent, SiteEvent, SlotEvent,
     };
     use crate::metrics::Metrics;
 
@@ -209,6 +212,32 @@ pub mod wire {
         )
     }
 
+    /// `{"type":"population",...}` — one replayed arrival or departure.
+    #[must_use]
+    pub fn population_line(event: &PopulationEvent) -> String {
+        format!(
+            "{{\"type\":\"population\",\"round\":{},\"kind\":\"{}\",\"tag\":\"{}\"}}",
+            event.round,
+            event.kind.as_str(),
+            event.tag,
+        )
+    }
+
+    /// `{"type":"detection",...}` — one unknown-/missing-tag detection.
+    #[must_use]
+    pub fn detection_line(event: &DetectionEvent) -> String {
+        format!(
+            "{{\"type\":\"detection\",\"round\":{},\"kind\":\"{}\",\"tag\":\"{}\",\
+             \"event_round\":{},\"latency_rounds\":{},\"latency_us\":{}}}",
+            event.round,
+            event.kind.as_str(),
+            event.tag,
+            event.event_round,
+            event.latency_rounds,
+            fmt_f64(event.latency_us),
+        )
+    }
+
     /// `{"type":"metrics",...}` — a coalesced aggregate snapshot.
     ///
     /// Emitted by [`crate::StreamSink`] when a bounded client queue had to
@@ -221,7 +250,9 @@ pub mod wire {
             "{{\"type\":\"metrics\",\"slots\":{},\"empty\":{},\"singleton\":{},\
              \"collision\":{},\"identified_direct\":{},\"identified_resolved\":{},\
              \"records_created\":{},\"records_resolved\":{},\"sites\":{},\
-             \"site_identified\":{},\"schedule_slices\":{},\"dropped_events\":{}}}",
+             \"site_identified\":{},\"schedule_slices\":{},\"arrivals\":{},\
+             \"departures\":{},\"unknown_detected\":{},\"missing_detected\":{},\
+             \"dropped_events\":{}}}",
             metrics.slots.total(),
             metrics.slots.empty,
             metrics.slots.singleton,
@@ -233,6 +264,10 @@ pub mod wire {
             metrics.sites_completed,
             metrics.site_identified,
             metrics.schedule_slices,
+            metrics.arrivals,
+            metrics.departures,
+            metrics.unknown_detected,
+            metrics.missing_detected,
             dropped_events,
         )
     }
@@ -376,6 +411,14 @@ impl<W: Write> EventSink for JsonlSink<W> {
     fn site(&mut self, event: &SiteEvent) {
         self.write_line(&wire::site_line(event));
     }
+
+    fn population(&mut self, event: &PopulationEvent) {
+        self.write_line(&wire::population_line(event));
+    }
+
+    fn detection(&mut self, event: &DetectionEvent) {
+        self.write_line(&wire::detection_line(event));
+    }
 }
 
 /// Reading traces back, for post-hoc verification and tooling.
@@ -434,6 +477,16 @@ pub mod replay {
         pub lambda_current: u32,
         /// `estimator` events.
         pub estimator_updates: u64,
+        /// `population` events with `kind == "arrival"`.
+        pub arrivals: u64,
+        /// `population` events with `kind == "departure"`.
+        pub departures: u64,
+        /// `detection` events with `kind == "unknown"`.
+        pub unknown_detected: u64,
+        /// `detection` events with `kind == "missing"`.
+        pub missing_detected: u64,
+        /// Detection latency summed over `detection` events, µs.
+        pub detection_latency_us: f64,
         /// Total lines parsed.
         pub lines: u64,
     }
@@ -549,6 +602,19 @@ pub mod replay {
                     summary.lambda_adjustments += 1;
                     summary.lambda_current = num(&line, "lambda") as u32;
                 }
+                Some("population") => match field(&line, "kind") {
+                    Some("arrival") => summary.arrivals += 1,
+                    Some("departure") => summary.departures += 1,
+                    _ => {}
+                },
+                Some("detection") => {
+                    match field(&line, "kind") {
+                        Some("unknown") => summary.unknown_detected += 1,
+                        Some("missing") => summary.missing_detected += 1,
+                        _ => {}
+                    }
+                    summary.detection_latency_us += fnum(&line, "latency_us");
+                }
                 _ => {}
             }
         }
@@ -560,6 +626,7 @@ pub mod replay {
 mod tests {
     use super::*;
     use crate::event::RecordEventKind;
+    use crate::{DetectionEvent, DetectionKind, PopulationEvent, PopulationEventKind};
     use rfid_types::TagId;
     use std::io::BufReader;
 
@@ -636,6 +703,51 @@ mod tests {
         assert_eq!(summary.records_created, 1);
         assert_eq!(summary.records_resolved, 1);
         assert_eq!(summary.estimator_updates, 1);
+    }
+
+    #[test]
+    fn population_and_detection_lines_round_trip_through_replay() {
+        let tag = TagId::from_payload(42);
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.population(&PopulationEvent {
+            round: 3,
+            kind: PopulationEventKind::Arrival,
+            tag,
+        });
+        sink.population(&PopulationEvent {
+            round: 5,
+            kind: PopulationEventKind::Departure,
+            tag,
+        });
+        sink.detection(&DetectionEvent {
+            round: 4,
+            tag,
+            kind: DetectionKind::Unknown,
+            event_round: 3,
+            latency_rounds: 1,
+            latency_us: 120.5,
+        });
+        sink.detection(&DetectionEvent {
+            round: 8,
+            tag,
+            kind: DetectionKind::Missing,
+            event_round: 5,
+            latency_rounds: 3,
+            latency_us: 30.25,
+        });
+        assert_eq!(sink.lines(), 4);
+        let bytes = sink.finish().expect("in-memory writes succeed");
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert!(text.contains("\"kind\":\"arrival\""));
+        assert!(text.contains("\"kind\":\"departure\""));
+        assert!(text.contains("\"latency_us\":120.5"));
+
+        let summary = replay::summarize(BufReader::new(text.as_bytes())).expect("replay");
+        assert_eq!(summary.arrivals, 1);
+        assert_eq!(summary.departures, 1);
+        assert_eq!(summary.unknown_detected, 1);
+        assert_eq!(summary.missing_detected, 1);
+        assert!((summary.detection_latency_us - 150.75).abs() < 1e-12);
     }
 
     #[test]

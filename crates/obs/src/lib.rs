@@ -30,7 +30,8 @@ pub mod metrics;
 pub mod stream;
 
 pub use event::{
-    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, RecoveryBackendTag, ScheduleEvent,
+    DetectionEvent, DetectionKind, EstimatorEvent, LambdaEvent, PopulationEvent,
+    PopulationEventKind, RecordEvent, RecordEventKind, RecoveryBackendTag, ScheduleEvent,
     SiteEvent, SlotEvent,
 };
 pub use jsonl::JsonlSink;
@@ -81,6 +82,16 @@ pub trait EventSink {
     fn site(&mut self, event: &SiteEvent) {
         let _ = event;
     }
+
+    /// A dynamic-population schedule applied an arrival or departure.
+    fn population(&mut self, event: &PopulationEvent) {
+        let _ = event;
+    }
+
+    /// The monitoring reader detected an unknown or missing tag.
+    fn detection(&mut self, event: &DetectionEvent) {
+        let _ = event;
+    }
 }
 
 /// The do-nothing sink: `ENABLED = false`, so engines generic over it
@@ -118,6 +129,14 @@ impl<S: EventSink> EventSink for &mut S {
 
     fn site(&mut self, event: &SiteEvent) {
         (**self).site(event);
+    }
+
+    fn population(&mut self, event: &PopulationEvent) {
+        (**self).population(event);
+    }
+
+    fn detection(&mut self, event: &DetectionEvent) {
+        (**self).detection(event);
     }
 }
 

@@ -1,7 +1,8 @@
 //! Aggregate counters and histograms built from the event stream.
 
 use crate::event::{
-    EstimatorEvent, LambdaEvent, RecordEvent, RecordEventKind, ScheduleEvent, SiteEvent, SlotEvent,
+    DetectionEvent, DetectionKind, EstimatorEvent, LambdaEvent, PopulationEvent,
+    PopulationEventKind, RecordEvent, RecordEventKind, ScheduleEvent, SiteEvent, SlotEvent,
 };
 use crate::EventSink;
 use rfid_types::SlotClass;
@@ -305,6 +306,22 @@ pub struct Metrics {
     /// Replies decoded by those in-place recoveries, summed.
     #[cfg_attr(feature = "serde", serde(default))]
     pub replies_recovered: u64,
+    /// Tag arrivals replayed by a dynamic-population schedule.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub arrivals: u64,
+    /// Tag departures replayed by a dynamic-population schedule.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub departures: u64,
+    /// Unknown-tag (arrival) detections made by the monitoring reader.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub unknown_detected: u64,
+    /// Missing-tag (departure) detections made by the monitoring reader.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub missing_detected: u64,
+    /// Summed detection latency across both detection kinds, µs (divide
+    /// by `unknown_detected + missing_detected` for the mean).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub detection_latency_us: f64,
     /// Re-query slots scheduled by the recovery policy.
     pub requeries_scheduled: u64,
     /// Re-query slots executed.
@@ -336,6 +353,18 @@ impl Metrics {
             0.0
         } else {
             self.records_resolved as f64 / self.records_created as f64
+        }
+    }
+
+    /// Mean detection latency over every unknown- and missing-tag
+    /// detection, µs (0 when nothing was detected).
+    #[must_use]
+    pub fn detection_latency_mean_us(&self) -> f64 {
+        let n = self.unknown_detected + self.missing_detected;
+        if n == 0 {
+            0.0
+        } else {
+            self.detection_latency_us / n as f64
         }
     }
 
@@ -371,6 +400,11 @@ impl Metrics {
         self.max_concurrent_sites = self.max_concurrent_sites.max(other.max_concurrent_sites);
         self.slots_recovered += other.slots_recovered;
         self.replies_recovered += other.replies_recovered;
+        self.arrivals += other.arrivals;
+        self.departures += other.departures;
+        self.unknown_detected += other.unknown_detected;
+        self.missing_detected += other.missing_detected;
+        self.detection_latency_us += other.detection_latency_us;
         self.requeries_scheduled += other.requeries_scheduled;
         self.requeries_executed += other.requeries_executed;
         self.requeries_succeeded += other.requeries_succeeded;
@@ -543,6 +577,23 @@ impl fmt::Display for Metrics {
             "  replies decoded               {:>12}",
             self.replies_recovered
         )?;
+        writeln!(f, "population arrivals             {:>12}", self.arrivals)?;
+        writeln!(f, "population departures           {:>12}", self.departures)?;
+        writeln!(
+            f,
+            "unknown tags detected           {:>12}",
+            self.unknown_detected
+        )?;
+        writeln!(
+            f,
+            "missing tags detected           {:>12}",
+            self.missing_detected
+        )?;
+        writeln!(
+            f,
+            "detection latency (mean µs)     {:>12.1}",
+            self.detection_latency_mean_us()
+        )?;
         writeln!(
             f,
             "re-queries scheduled            {:>12}",
@@ -681,6 +732,21 @@ impl EventSink for MetricsSink {
         let m = &mut self.metrics;
         m.sites_completed += 1;
         m.site_identified += u64::from(event.identified);
+    }
+
+    fn population(&mut self, event: &PopulationEvent) {
+        match event.kind {
+            PopulationEventKind::Arrival => self.metrics.arrivals += 1,
+            PopulationEventKind::Departure => self.metrics.departures += 1,
+        }
+    }
+
+    fn detection(&mut self, event: &DetectionEvent) {
+        match event.kind {
+            DetectionKind::Unknown => self.metrics.unknown_detected += 1,
+            DetectionKind::Missing => self.metrics.missing_detected += 1,
+        }
+        self.metrics.detection_latency_us += event.latency_us;
     }
 }
 

@@ -16,7 +16,10 @@
 //! [`crate::jsonl::wire`]), so a served stream replays through
 //! [`crate::jsonl::replay::summarize`] exactly like a file trace.
 
-use crate::event::{EstimatorEvent, LambdaEvent, RecordEvent, ScheduleEvent, SiteEvent, SlotEvent};
+use crate::event::{
+    DetectionEvent, EstimatorEvent, LambdaEvent, PopulationEvent, RecordEvent, ScheduleEvent,
+    SiteEvent, SlotEvent,
+};
 use crate::jsonl::wire;
 use crate::metrics::{Metrics, MetricsSink};
 use crate::EventSink;
@@ -304,6 +307,16 @@ impl EventSink for StreamSink {
     fn site(&mut self, event: &SiteEvent) {
         self.metrics.site(event);
         self.push(wire::site_line(event));
+    }
+
+    fn population(&mut self, event: &PopulationEvent) {
+        self.metrics.population(event);
+        self.push(wire::population_line(event));
+    }
+
+    fn detection(&mut self, event: &DetectionEvent) {
+        self.metrics.detection(event);
+        self.push(wire::detection_line(event));
     }
 }
 

@@ -62,6 +62,7 @@
 mod config;
 mod error;
 pub mod multisite;
+pub mod population;
 mod protocol;
 mod report;
 mod rng;
@@ -75,6 +76,10 @@ pub use error::SimError;
 pub use multisite::{
     multi_site_inventory, multi_site_inventory_scheduled, multi_site_inventory_scheduled_observed,
     Deployment, InterferenceGraph, MultiSiteReport, PlacedTag, Schedule, SliceTiming,
+};
+pub use population::{
+    run_monitoring, run_monitoring_observed, Detection, DwellModel, MonitorConfig,
+    MonitorDetectionKind, MonitorReport, PopulationSchedule, ScheduledEvent, ScheduledEventKind,
 };
 pub use protocol::{AntiCollisionProtocol, ObservableProtocol};
 pub use report::{

@@ -74,9 +74,22 @@ impl SlotCounts {
 pub struct InventoryReport {
     /// Name of the protocol that produced this report.
     pub protocol: String,
-    /// Size of the tag population this run executed against. Set by the
+    /// Size of the tag population present when the run started. Set by the
     /// run harness ([`crate::run_inventory`]); 0 for reports built by hand.
-    pub population: usize,
+    ///
+    /// Serialized under the legacy name `population` so existing traces
+    /// and goldens keep their wire shape.
+    #[cfg_attr(feature = "serde", serde(rename = "population"))]
+    pub population_initial: usize,
+    /// Distinct tags that were present at any point during the run. For a
+    /// static inventory this equals [`population_initial`]; under a
+    /// dynamic population (see [`crate::population`]) it additionally
+    /// counts mid-run arrivals, so completeness (`identified /
+    /// population_seen`) stays well-defined when tags churn.
+    ///
+    /// [`population_initial`]: InventoryReport::population_initial
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub population_seen: usize,
     /// Number of distinct tags identified.
     pub identified: usize,
     /// Slot breakdown.
@@ -114,7 +127,8 @@ impl InventoryReport {
     pub fn new(protocol: &str) -> Self {
         InventoryReport {
             protocol: protocol.to_owned(),
-            population: 0,
+            population_initial: 0,
+            population_seen: 0,
             identified: 0,
             slots: SlotCounts::default(),
             resolved_from_collisions: 0,
@@ -296,7 +310,7 @@ pub struct MultiRunReport {
 
 impl MultiRunReport {
     /// Aggregates per-run reports. The population is the mean of each
-    /// report's own [`InventoryReport::population`].
+    /// report's own [`InventoryReport::population_initial`].
     ///
     /// Returns `None` when `reports` is empty.
     #[must_use]
@@ -308,7 +322,7 @@ impl MultiRunReport {
         };
         Some(MultiRunReport {
             protocol: first.protocol.clone(),
-            population: pull(&|r| r.population as f64).mean,
+            population: pull(&|r| r.population_initial as f64).mean,
             runs: reports.len(),
             throughput: pull(&|r| r.throughput_tags_per_sec),
             total_slots: pull(&|r| r.slots.total() as f64),
@@ -398,12 +412,12 @@ mod tests {
     #[test]
     fn multi_run_aggregation() {
         let mut r1 = InventoryReport::new("p");
-        r1.population = 1;
+        r1.population_initial = 1;
         r1.record_slot(SlotClass::Singleton, 1000.0);
         r1.record_identified(tag(1));
         r1.finalize();
         let mut r2 = InventoryReport::new("p");
-        r2.population = 3;
+        r2.population_initial = 3;
         r2.record_slot(SlotClass::Singleton, 1000.0);
         r2.record_slot(SlotClass::Empty, 1000.0);
         r2.record_identified(tag(1));

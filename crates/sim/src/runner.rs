@@ -14,7 +14,8 @@ fn finalize_run(
     tags: &[TagId],
     config: &SimConfig,
 ) -> Result<InventoryReport, SimError> {
-    report.population = tags.len();
+    report.population_initial = tags.len();
+    report.population_seen = tags.len();
     report.finalize();
     if config.errors().is_clean() && report.identified != tags.len() {
         return Err(SimError::IncompleteInventory {
@@ -350,7 +351,8 @@ mod tests {
         assert_eq!(agg.runs, 8);
         assert_eq!(reports.len(), 8);
         assert!((agg.population - 20.0).abs() < 1e-12);
-        assert!(reports.iter().all(|r| r.population == 20));
+        assert!(reports.iter().all(|r| r.population_initial == 20));
+        assert!(reports.iter().all(|r| r.population_seen == 20));
         assert!((agg.singleton_slots.mean - 20.0).abs() < 1e-12);
         // Deterministic protocol → throughput identical across runs
         // (up to floating-point summation order).
@@ -368,7 +370,7 @@ mod tests {
                 population::uniform(rng, n)
             })
             .unwrap();
-        let sizes: Vec<usize> = reports.iter().map(|r| r.population).collect();
+        let sizes: Vec<usize> = reports.iter().map(|r| r.population_initial).collect();
         assert!(
             sizes.iter().any(|&s| s != sizes[0]),
             "sizes should vary: {sizes:?}"

@@ -48,17 +48,19 @@ pub use rfid_types as types;
 pub mod prelude {
     pub use rfid_anc::device::MessageLevelFcat;
     pub use rfid_anc::{
-        BackendModel, CompressedSensing, Fcat, FcatConfig, LambdaController, Mpr, RecoveryBackend,
-        RecoveryPolicy, ResolutionModel, Scat, ScatConfig, SignalResolutionConfig,
-        CALIBRATED_RESIDUAL_PER_HOP,
+        BackendModel, CompressedSensing, Fcat, FcatConfig, FcatSession, LambdaController, Mpr,
+        RecoveryBackend, RecoveryPolicy, ResolutionModel, Scat, ScatConfig, ScatSession,
+        SignalResolutionConfig, CALIBRATED_RESIDUAL_PER_HOP,
     };
     pub use rfid_protocols::{
         Abs, Aqs, Crdsa, Dfsa, DfsaConfig, Edfsa, EdfsaConfig, FramedSlottedAloha, QueryTree,
         SlottedAloha,
     };
     pub use rfid_sim::{
-        run_inventory, run_inventory_observed, run_many, run_many_observed, seeded_rng,
-        AntiCollisionProtocol, InventoryReport, LambdaPolicy, ObservableProtocol, SimConfig,
+        run_inventory, run_inventory_observed, run_many, run_many_observed, run_monitoring,
+        seeded_rng, AntiCollisionProtocol, DwellModel, InventoryReport, LambdaPolicy,
+        MonitorConfig, MonitorDetectionKind, MonitorReport, ObservableProtocol, PopulationSchedule,
+        SimConfig,
     };
     pub use rfid_types::{population, SlotClass, TagId, TimingConfig};
 }

@@ -29,7 +29,7 @@ const SEEDS: std::ops::Range<u64> = 0..5;
 fn canonical(report: &InventoryReport) -> String {
     let mut s = String::new();
     writeln!(s, "protocol: {}", report.protocol).unwrap();
-    writeln!(s, "population: {}", report.population).unwrap();
+    writeln!(s, "population: {}", report.population_initial).unwrap();
     writeln!(s, "identified: {}", report.identified).unwrap();
     writeln!(
         s,

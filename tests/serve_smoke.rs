@@ -175,6 +175,16 @@ fn malformed_requests_get_structured_errors_and_the_connection_survives() {
         ("{\"width\":-5}", "region"),
         ("{\"tags\":1e30}", "tags"),
         ("{\"spacing\":1e-300}", "grid positions"),
+        // Churn-monitoring fields: negative rates, non-finite dwell
+        // times, and zero-length windows are wire errors, not panics.
+        ("{\"churn_rate\":-1}", "churn_rate"),
+        ("{\"churn_rate\":\"fast\"}", "churn_rate"),
+        ("{\"churn_dwell\":1e999}", "overflows"),
+        ("{\"churn_dwell\":0}", "churn_dwell"),
+        ("{\"churn_dwell\":-2.5}", "churn_dwell"),
+        ("{\"churn_rounds\":0}", "churn_rounds"),
+        ("{\"churn_audit_every\":0}", "churn_audit_every"),
+        ("{\"churn_rate\":10000,\"churn_rounds\":10000}", "arrivals"),
     ];
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     for (request, expect) in hostile {
@@ -197,6 +207,65 @@ fn malformed_requests_get_structured_errors_and_the_connection_survives() {
         .expect("send valid request");
     let lines = read_stream(reader);
     assert_stream_matches(&lines, &oracle(3, 60, 30.0));
+    server.shutdown();
+}
+
+#[test]
+fn churn_requests_stream_monitoring_events_matching_the_local_oracle() {
+    let server = Server::spawn(ServeOptions::default()).expect("spawn server");
+    let request = "{\"tags\":40,\"seed\":9,\"churn_rate\":2,\"churn_dwell\":8,\
+                   \"churn_rounds\":6,\"churn_audit_every\":2}";
+    let lines = send_request(server.local_addr(), request);
+
+    assert_eq!(line_type(&lines[0]), "accepted", "{lines:?}");
+    assert_eq!(lines[0].get("mode").and_then(Json::as_str), Some("churn"));
+    let result = lines.last().expect("stream has lines");
+    assert_eq!(line_type(result), "result", "{result:?}");
+    assert_eq!(result.get("mode").and_then(Json::as_str), Some("churn"));
+    assert!(
+        lines.iter().any(|line| line_type(line) == "population"),
+        "population events must be on the wire"
+    );
+
+    // The local monitoring run with the same inputs is the parity oracle.
+    let model = DwellModel::poisson(2.0, 8.0);
+    let schedule = PopulationSchedule::generate(&model, 40, 6, 9);
+    let mut session = FcatSession::new(FcatConfig::default().with_lambda(2));
+    let monitor = MonitorConfig {
+        audit_every: 2,
+        persistence: true,
+    };
+    let expected = run_monitoring(
+        &mut session,
+        &schedule,
+        &monitor,
+        &SimConfig::default().with_seed(9),
+    )
+    .expect("oracle monitoring run succeeds");
+    assert_eq!(
+        lines[0].get("arrivals").and_then(Json::as_usize),
+        Some(schedule.arrivals())
+    );
+    assert_eq!(
+        result.get("unique").and_then(Json::as_usize),
+        Some(expected.unique)
+    );
+    assert_eq!(
+        result.get("present_at_end").and_then(Json::as_usize),
+        Some(expected.unique_present_at_end)
+    );
+    assert_eq!(
+        result.get("unknown_detected").and_then(Json::as_usize),
+        Some(expected.detection_count(MonitorDetectionKind::UnknownTag))
+    );
+    assert_eq!(
+        result.get("missing_detected").and_then(Json::as_usize),
+        Some(expected.detection_count(MonitorDetectionKind::MissingTag))
+    );
+    assert_eq!(
+        result.get("total_elapsed_us").and_then(Json::as_f64),
+        Some(expected.elapsed_us)
+    );
     server.shutdown();
 }
 

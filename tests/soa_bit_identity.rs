@@ -33,7 +33,7 @@ fn signal_backed(noise_std: f64) -> ResolutionModel {
 fn canonical(report: &InventoryReport) -> String {
     let mut s = String::new();
     writeln!(s, "protocol: {}", report.protocol).unwrap();
-    writeln!(s, "population: {}", report.population).unwrap();
+    writeln!(s, "population: {}", report.population_initial).unwrap();
     writeln!(s, "identified: {}", report.identified).unwrap();
     writeln!(
         s,
